@@ -1,0 +1,155 @@
+// Command navarchos-bench regenerates every table and figure of the
+// paper's evaluation on the synthetic fleet.
+//
+// Usage:
+//
+//	navarchos-bench                      # everything, bench scale
+//	navarchos-bench -experiment fig4     # one exhibit
+//	navarchos-bench -scale small         # quick pass
+//
+// Experiments: fig1 fig2 fig4 fig5 fig6 fig7 table1 table2 table3 fig8
+// baselines all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"github.com/navarchos/pdm/internal/experiments"
+	"github.com/navarchos/pdm/internal/fleetsim"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("navarchos-bench: ")
+	scale := flag.String("scale", "bench", "dataset scale: small | bench | paper")
+	seed := flag.Int64("seed", 1, "generator seed")
+	experiment := flag.String("experiment", "all", "which exhibit to regenerate")
+	vehicle := flag.String("vehicle", "", "vehicle for fig8 (default: first failing)")
+	flag.Parse()
+
+	var cfg fleetsim.Config
+	switch *scale {
+	case "small":
+		cfg = fleetsim.SmallConfig()
+	case "bench":
+		cfg = fleetsim.BenchConfig()
+	case "paper":
+		cfg = fleetsim.DefaultConfig()
+	default:
+		log.Fatalf("unknown scale %q", *scale)
+	}
+	cfg.Seed = *seed
+	opts := &experiments.Options{FleetConfig: cfg}
+	out := os.Stdout
+
+	want := map[string]bool{}
+	for _, e := range strings.Split(*experiment, ",") {
+		want[strings.TrimSpace(e)] = true
+	}
+	has := func(name string) bool { return want["all"] || want[name] }
+	ran := false
+
+	if has("fig1") {
+		ran = true
+		r, err := experiments.Figure1(opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		r.Render(out)
+		fmt.Fprintln(out)
+	}
+	if has("fig2") {
+		ran = true
+		r, err := experiments.Figure2(opts, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		r.Render(out)
+		fmt.Fprintln(out)
+	}
+	if has("fig4") || has("fig5") {
+		ran = true
+		r, err := experiments.Figures45(opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if has("fig4") {
+			r.Render(out, experiments.Setting40)
+			fmt.Fprintln(out)
+		}
+		if has("fig5") {
+			r.Render(out, experiments.Setting26)
+			fmt.Fprintln(out)
+		}
+	}
+	if has("fig6") {
+		ran = true
+		r, err := experiments.Figure6(opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		r.Render(out)
+		fmt.Fprintln(out)
+	}
+	if has("fig7") {
+		ran = true
+		r, err := experiments.Figure7(opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		r.Render(out)
+		fmt.Fprintln(out)
+	}
+	if has("table1") {
+		ran = true
+		r, err := experiments.Table1(opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		r.Render(out)
+		fmt.Fprintln(out)
+	}
+	if has("table2") {
+		ran = true
+		r, err := experiments.Table2(opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		r.Render(out)
+		fmt.Fprintln(out)
+	}
+	if has("table3") {
+		ran = true
+		r, err := experiments.Table3(opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		r.Render(out)
+		fmt.Fprintln(out)
+	}
+	if has("baselines") {
+		ran = true
+		r, err := experiments.Baselines(opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		r.Render(out)
+		fmt.Fprintln(out)
+	}
+	if has("fig8") {
+		ran = true
+		r, err := experiments.Figure8(opts, *vehicle)
+		if err != nil {
+			log.Fatal(err)
+		}
+		r.Render(out)
+		fmt.Fprintln(out)
+	}
+	if !ran {
+		log.Fatalf("unknown experiment %q (want fig1 fig2 fig4 fig5 fig6 fig7 table1 table2 table3 fig8 baselines or all)", *experiment)
+	}
+}

@@ -1,0 +1,54 @@
+// Command navarchos-explore reproduces the paper's Section 2 data
+// exploration on the synthetic fleet: the Figure 1 DTC/event timelines
+// and the Figure 2 agglomerative clustering with top-1% LOF outlier
+// analysis.
+//
+// Usage:
+//
+//	navarchos-explore -scale bench -seed 1
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+
+	"github.com/navarchos/pdm/internal/experiments"
+	"github.com/navarchos/pdm/internal/fleetsim"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("navarchos-explore: ")
+	scale := flag.String("scale", "bench", "dataset scale: small | bench | paper")
+	seed := flag.Int64("seed", 1, "generator seed")
+	maxDays := flag.Int("maxdays", 4000, "cap on clustered vehicle-days (O(n²) memory)")
+	flag.Parse()
+
+	var cfg fleetsim.Config
+	switch *scale {
+	case "small":
+		cfg = fleetsim.SmallConfig()
+	case "bench":
+		cfg = fleetsim.BenchConfig()
+	case "paper":
+		cfg = fleetsim.DefaultConfig()
+	default:
+		log.Fatalf("unknown scale %q", *scale)
+	}
+	cfg.Seed = *seed
+	opts := &experiments.Options{FleetConfig: cfg}
+
+	fig1, err := experiments.Figure1(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fig1.Render(os.Stdout)
+
+	fig2, err := experiments.Figure2(opts, *maxDays)
+	if err != nil {
+		log.Fatal(err)
+	}
+	os.Stdout.WriteString("\n")
+	fig2.Render(os.Stdout)
+}

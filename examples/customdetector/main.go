@@ -1,0 +1,108 @@
+// Customdetector: the framework's step 3 is an interface, so plugging in
+// your own scoring model is a few dozen lines. This example implements a
+// per-feature z-score detector and runs it inside the standard pipeline.
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"math"
+	"time"
+
+	"github.com/navarchos/pdm"
+)
+
+// zscoreDetector scores each feature by |x - mean| / std over the
+// reference profile — the simplest possible per-feature model, useful as
+// a baseline for anything fancier.
+type zscoreDetector struct {
+	names []string
+	mean  []float64
+	std   []float64
+}
+
+func (d *zscoreDetector) Name() string { return "zscore" }
+
+func (d *zscoreDetector) Fit(ref [][]float64) error {
+	if len(ref) == 0 {
+		return errors.New("zscore: empty reference")
+	}
+	dim := len(ref[0])
+	d.mean = make([]float64, dim)
+	d.std = make([]float64, dim)
+	for c := 0; c < dim; c++ {
+		var sum float64
+		for _, row := range ref {
+			sum += row[c]
+		}
+		m := sum / float64(len(ref))
+		var ss float64
+		for _, row := range ref {
+			diff := row[c] - m
+			ss += diff * diff
+		}
+		d.mean[c] = m
+		d.std[c] = math.Sqrt(ss / float64(len(ref)))
+	}
+	return nil
+}
+
+func (d *zscoreDetector) Score(x []float64) ([]float64, error) {
+	if d.mean == nil {
+		return nil, errors.New("zscore: not fitted")
+	}
+	out := make([]float64, len(x))
+	for c, v := range x {
+		if d.std[c] > 0 {
+			out[c] = math.Abs(v-d.mean[c]) / d.std[c]
+		}
+	}
+	return out, nil
+}
+
+func (d *zscoreDetector) Channels() int { return len(d.mean) }
+
+func (d *zscoreDetector) ChannelNames() []string { return d.names }
+
+func main() {
+	log.SetFlags(0)
+	fleet := pdm.NewFleet(pdm.SmallFleetConfig())
+
+	var vehicle string
+	for _, ev := range fleet.Events {
+		if ev.Type == pdm.EventRepair {
+			vehicle = ev.VehicleID
+			break
+		}
+	}
+
+	tr, err := pdm.NewTransformer(pdm.Correlation, 12)
+	if err != nil {
+		log.Fatal(err)
+	}
+	custom := &zscoreDetector{names: tr.FeatureNames()}
+
+	alarms, err := pdm.RunVehicle(vehicle, fleet.Records, fleet.Events, func() pdm.PipelineConfig {
+		tr, _ := pdm.NewTransformer(pdm.Correlation, 12)
+		return pdm.PipelineConfig{
+			Transformer:   tr,
+			Detector:      custom,
+			Thresholder:   pdm.NewSelfTuningThreshold(8),
+			ProfileLength: 45,
+		}
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	daily := pdm.ConsolidateDaily(alarms)
+	fmt.Printf("custom %q detector on %s: %d day-level alarms\n", custom.Name(), vehicle, len(daily))
+	for _, a := range daily {
+		fmt.Printf("  %s  %-30s z=%.2f\n", a.Time.Format("2006-01-02"), a.Feature, a.Score)
+	}
+	m := pdm.Evaluate(daily, fleet.Events, 30*24*time.Hour)
+	fmt.Printf("PH=30d: precision %.2f recall %.2f F0.5 %.2f\n", m.Precision, m.Recall, m.F05)
+	fmt.Println("(a naive z-score baseline is expected to trail closest-pair — healthy")
+	fmt.Println(" correlations are multi-modal, which a single mean/std cannot capture;")
+	fmt.Println(" see examples/comparison for the detectors the paper evaluates)")
+}

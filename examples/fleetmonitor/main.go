@@ -1,0 +1,80 @@
+// Fleetmonitor: an FMS-style streaming monitor over a whole fleet. One
+// pipeline per vehicle consumes the interleaved record/event stream;
+// profile resets and day-level alarms are logged as they happen, the way
+// an operations dashboard would show them.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"github.com/navarchos/pdm"
+)
+
+func main() {
+	log.SetFlags(0)
+	fleet := pdm.NewFleet(pdm.SmallFleetConfig())
+	fmt.Printf("fleet: %d vehicles, %d records, %d events\n\n",
+		len(fleet.Vehicles), len(fleet.Records), len(fleet.Events))
+
+	pipelines := map[string]*pdm.Pipeline{}
+	newPipeline := func(vehicle string) *pdm.Pipeline {
+		p, err := pdm.NewDefaultPipeline(vehicle)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return p
+	}
+
+	lastAlarmDay := map[string]string{}
+	alarmDays := 0
+	evIdx := 0
+	for _, rec := range fleet.Records {
+		// Deliver due events to their vehicle's pipeline.
+		for evIdx < len(fleet.Events) && !fleet.Events[evIdx].Time.After(rec.Time) {
+			ev := fleet.Events[evIdx]
+			evIdx++
+			p, ok := pipelines[ev.VehicleID]
+			if !ok {
+				continue
+			}
+			before := p.State()
+			p.HandleEvent(ev)
+			if before != p.State() {
+				fmt.Printf("%s  %-8s %-8s -> reference profile rebuilding\n",
+					ev.Time.Format("2006-01-02"), ev.VehicleID, ev.Type)
+			}
+		}
+		p, ok := pipelines[rec.VehicleID]
+		if !ok {
+			p = newPipeline(rec.VehicleID)
+			pipelines[rec.VehicleID] = p
+		}
+		alarms, err := p.HandleRecord(rec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Log at most one alarm per vehicle-day (operator view).
+		for _, a := range alarms {
+			day := a.Time.Format("2006-01-02")
+			if lastAlarmDay[a.VehicleID] == day {
+				continue
+			}
+			lastAlarmDay[a.VehicleID] = day
+			alarmDays++
+			fmt.Printf("%s  %-8s ALARM %-30s score %.4f > %.4f\n",
+				day, a.VehicleID, a.Feature, a.Score, a.Threshold)
+		}
+	}
+
+	fmt.Printf("\nprocessed %d records across %d vehicles; %d vehicle-day alarms\n",
+		len(fleet.Records), len(pipelines), alarmDays)
+	for _, ev := range fleet.Events {
+		if ev.Type == pdm.EventRepair {
+			fmt.Printf("ground truth: %s repaired on %s (%s)\n",
+				ev.VehicleID, ev.Time.Format("2006-01-02"), ev.Note)
+		}
+	}
+	_ = time.Hour
+}

@@ -1,0 +1,3 @@
+module github.com/navarchos/pdm
+
+go 1.22

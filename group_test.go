@@ -1,0 +1,32 @@
+package pdm
+
+import (
+	"testing"
+	"time"
+)
+
+// TestGroupDeviationPublicAPI exercises the fleet-level Grand strategy
+// through the public surface.
+func TestGroupDeviationPublicAPI(t *testing.T) {
+	cfg := SmallFleetConfig()
+	cfg.Days = 50
+	cfg.NumVehicles = 4
+	cfg.RecordedVehicles = 4
+	cfg.RecordedFailures = 1
+	cfg.HiddenFailures = 0
+	fleet := NewFleet(cfg)
+
+	g := NewGroupDeviation(GrandConfig{Measure: GrandKNN}, 20*24*time.Hour)
+	devs, err := g.Run(fleet.Records, Correlation, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(devs) == 0 {
+		t.Fatal("no fleet-level deviations")
+	}
+	for _, d := range devs {
+		if d.VehicleID == "" || d.Deviation < 0 || d.Deviation >= 1 {
+			t.Fatalf("bad deviation entry: %+v", d)
+		}
+	}
+}

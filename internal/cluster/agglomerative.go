@@ -1,0 +1,171 @@
+// Package cluster implements average-linkage agglomerative hierarchical
+// clustering — the method of the paper's Section 2 data exploration —
+// using the nearest-neighbour-chain algorithm (O(n²) time, O(n²) space)
+// and Lance–Williams distance updates.
+package cluster
+
+import (
+	"errors"
+	"sort"
+
+	"github.com/navarchos/pdm/internal/mat"
+)
+
+// ErrBadInput is returned for empty data or an out-of-range k.
+var ErrBadInput = errors.New("cluster: empty data or invalid k")
+
+// Merge records one dendrogram merge between the clusters containing
+// representative points A and B at the given linkage height.
+type Merge struct {
+	A, B   int
+	Height float64
+}
+
+// Dendrogram is the full merge sequence of a hierarchical clustering.
+type Dendrogram struct {
+	N      int
+	Merges []Merge // n-1 merges, in the order produced by the NN chain
+}
+
+// Agglomerative builds the average-linkage dendrogram of points using
+// Euclidean distance.
+func Agglomerative(points [][]float64) (*Dendrogram, error) {
+	n := len(points)
+	if n == 0 {
+		return nil, ErrBadInput
+	}
+	d := &Dendrogram{N: n}
+	if n == 1 {
+		return d, nil
+	}
+	// Dense distance matrix.
+	dist := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			v, err := mat.Euclidean(points[i], points[j])
+			if err != nil {
+				return nil, err
+			}
+			dist[i*n+j] = v
+			dist[j*n+i] = v
+		}
+	}
+	active := make([]bool, n)
+	size := make([]int, n)
+	for i := range active {
+		active[i] = true
+		size[i] = 1
+	}
+	remaining := n
+	var chain []int
+
+	nearest := func(a int) (int, float64) {
+		best, bestD := -1, 0.0
+		row := dist[a*n : (a+1)*n]
+		for j := 0; j < n; j++ {
+			if j == a || !active[j] {
+				continue
+			}
+			if best < 0 || row[j] < bestD {
+				best, bestD = j, row[j]
+			}
+		}
+		return best, bestD
+	}
+
+	for remaining > 1 {
+		if len(chain) == 0 {
+			for i := 0; i < n; i++ {
+				if active[i] {
+					chain = append(chain, i)
+					break
+				}
+			}
+		}
+		a := chain[len(chain)-1]
+		b, dAB := nearest(a)
+		// Follow the chain until we find a reciprocal nearest pair.
+		if len(chain) >= 2 && chain[len(chain)-2] == b {
+			// Merge a and b into slot a (Lance–Williams average update).
+			chain = chain[:len(chain)-2]
+			d.Merges = append(d.Merges, Merge{A: a, B: b, Height: dAB})
+			na, nb := float64(size[a]), float64(size[b])
+			tot := na + nb
+			for k := 0; k < n; k++ {
+				if !active[k] || k == a || k == b {
+					continue
+				}
+				nd := (na*dist[a*n+k] + nb*dist[b*n+k]) / tot
+				dist[a*n+k] = nd
+				dist[k*n+a] = nd
+			}
+			size[a] += size[b]
+			active[b] = false
+			remaining--
+		} else {
+			chain = append(chain, b)
+		}
+	}
+	return d, nil
+}
+
+// Cut assigns each point to one of k clusters by applying the merges in
+// increasing height order until k clusters remain, then relabelling the
+// components 0..k-1 in order of first appearance.
+func (d *Dendrogram) Cut(k int) ([]int, error) {
+	if k < 1 || k > d.N {
+		return nil, ErrBadInput
+	}
+	merges := make([]Merge, len(d.Merges))
+	copy(merges, d.Merges)
+	sort.SliceStable(merges, func(i, j int) bool { return merges[i].Height < merges[j].Height })
+
+	parent := make([]int, d.N)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	apply := d.N - k
+	for i := 0; i < apply; i++ {
+		ra, rb := find(merges[i].A), find(merges[i].B)
+		if ra != rb {
+			parent[rb] = ra
+		}
+	}
+	labels := make([]int, d.N)
+	next := 0
+	names := map[int]int{}
+	for i := 0; i < d.N; i++ {
+		r := find(i)
+		id, ok := names[r]
+		if !ok {
+			id = next
+			names[r] = id
+			next++
+		}
+		labels[i] = id
+	}
+	return labels, nil
+}
+
+// Sizes returns the size of each cluster in a labelling.
+func Sizes(labels []int) []int {
+	maxL := -1
+	for _, l := range labels {
+		if l > maxL {
+			maxL = l
+		}
+	}
+	out := make([]int, maxL+1)
+	for _, l := range labels {
+		out[l]++
+	}
+	return out
+}

@@ -1,0 +1,197 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func blobs(t *testing.T, centers [][]float64, perBlob int, spread float64, seed int64) ([][]float64, []int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	var pts [][]float64
+	var truth []int
+	for c, ctr := range centers {
+		for i := 0; i < perBlob; i++ {
+			p := make([]float64, len(ctr))
+			for j := range p {
+				p[j] = ctr[j] + rng.NormFloat64()*spread
+			}
+			pts = append(pts, p)
+			truth = append(truth, c)
+		}
+	}
+	return pts, truth
+}
+
+func TestAgglomerativeSeparatedBlobs(t *testing.T) {
+	centers := [][]float64{{0, 0}, {20, 0}, {0, 20}}
+	pts, truth := blobs(t, centers, 30, 0.8, 1)
+	d, err := Agglomerative(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Merges) != len(pts)-1 {
+		t.Fatalf("merges = %d, want %d", len(d.Merges), len(pts)-1)
+	}
+	labels, err := d.Cut(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every true blob must map to exactly one predicted label.
+	blobToLabel := map[int]int{}
+	for i, l := range labels {
+		if prev, ok := blobToLabel[truth[i]]; ok {
+			if prev != l {
+				t.Fatalf("blob %d split across labels %d and %d", truth[i], prev, l)
+			}
+		} else {
+			blobToLabel[truth[i]] = l
+		}
+	}
+	if len(blobToLabel) != 3 {
+		t.Fatalf("blobs mapped to %d labels", len(blobToLabel))
+	}
+	sizes := Sizes(labels)
+	for c, s := range sizes {
+		if s != 30 {
+			t.Errorf("cluster %d size = %d, want 30", c, s)
+		}
+	}
+}
+
+func TestCutEdgeCases(t *testing.T) {
+	pts, _ := blobs(t, [][]float64{{0, 0}, {10, 10}}, 5, 0.5, 2)
+	d, err := Agglomerative(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// k=1: everything in one cluster.
+	labels, err := d.Cut(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range labels {
+		if l != 0 {
+			t.Fatal("k=1 should give a single label")
+		}
+	}
+	// k=n: every point its own cluster.
+	labels, err = d.Cut(len(pts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for _, l := range labels {
+		if seen[l] {
+			t.Fatal("k=n should give unique labels")
+		}
+		seen[l] = true
+	}
+	if _, err := d.Cut(0); err != ErrBadInput {
+		t.Error("k=0 should error")
+	}
+	if _, err := d.Cut(len(pts) + 1); err != ErrBadInput {
+		t.Error("k>n should error")
+	}
+}
+
+func TestAgglomerativeSingleAndEmpty(t *testing.T) {
+	if _, err := Agglomerative(nil); err != ErrBadInput {
+		t.Error("empty input should error")
+	}
+	d, err := Agglomerative([][]float64{{1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels, err := d.Cut(1)
+	if err != nil || len(labels) != 1 || labels[0] != 0 {
+		t.Errorf("single point cut = %v, %v", labels, err)
+	}
+}
+
+// bruteAverageLinkage is an O(n^3) reference implementation: repeatedly
+// merge the pair of clusters with minimal average inter-cluster
+// distance.
+func bruteAverageLinkage(points [][]float64, k int) []int {
+	n := len(points)
+	clusters := make([][]int, n)
+	for i := range clusters {
+		clusters[i] = []int{i}
+	}
+	dist := func(a, b []int) float64 {
+		var sum float64
+		for _, i := range a {
+			for _, j := range b {
+				var d float64
+				for c := range points[i] {
+					diff := points[i][c] - points[j][c]
+					d += diff * diff
+				}
+				sum += sqrtApprox(d)
+			}
+		}
+		return sum / float64(len(a)*len(b))
+	}
+	for len(clusters) > k {
+		bi, bj, bd := -1, -1, 0.0
+		for i := 0; i < len(clusters); i++ {
+			for j := i + 1; j < len(clusters); j++ {
+				d := dist(clusters[i], clusters[j])
+				if bi < 0 || d < bd {
+					bi, bj, bd = i, j, d
+				}
+			}
+		}
+		clusters[bi] = append(clusters[bi], clusters[bj]...)
+		clusters = append(clusters[:bj], clusters[bj+1:]...)
+	}
+	labels := make([]int, n)
+	for c, cl := range clusters {
+		for _, i := range cl {
+			labels[i] = c
+		}
+	}
+	return labels
+}
+
+func sqrtApprox(x float64) float64 {
+	// Newton iterations suffice for test purposes; avoids importing math
+	// to keep this reference implementation self-contained.
+	if x == 0 {
+		return 0
+	}
+	z := x
+	for i := 0; i < 30; i++ {
+		z = (z + x/z) / 2
+	}
+	return z
+}
+
+func TestMatchesBruteForcePartition(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 10; trial++ {
+		n := 12 + rng.Intn(10)
+		pts := make([][]float64, n)
+		for i := range pts {
+			pts[i] = []float64{rng.NormFloat64() * 5, rng.NormFloat64() * 5}
+		}
+		k := 2 + rng.Intn(3)
+		d, err := Agglomerative(pts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := d.Cut(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := bruteAverageLinkage(pts, k)
+		// Compare as partitions (label-invariant): same co-membership.
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if (got[i] == got[j]) != (want[i] == want[j]) {
+					t.Fatalf("trial %d: partition mismatch at (%d,%d)", trial, i, j)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,367 @@
+// Package core implements the paper's framework (Section 3.1 and
+// Algorithm 1): a per-vehicle streaming pipeline that (1) transforms raw
+// PID records, (2) dynamically maintains a reference profile Ref of
+// assumed-healthy behaviour that is rebuilt after every maintenance
+// event, and (3) scores new transformed samples with an unsupervised
+// detector, raising alarms on threshold violations.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/navarchos/pdm/internal/detector"
+	"github.com/navarchos/pdm/internal/mat"
+	"github.com/navarchos/pdm/internal/obd"
+	"github.com/navarchos/pdm/internal/thresholds"
+	"github.com/navarchos/pdm/internal/timeseries"
+	"github.com/navarchos/pdm/internal/transform"
+)
+
+// ResetPolicy selects which maintenance events rebuild the reference
+// profile (the design choice the paper ablates in Table 3).
+type ResetPolicy int
+
+const (
+	// ResetOnAllEvents rebuilds Ref after every service or repair — the
+	// paper's default, which exploits all partial information available.
+	ResetOnAllEvents ResetPolicy = iota
+	// ResetOnRepairsOnly ignores service events; Ref is rebuilt only
+	// after repairs, so vehicles without repairs keep their initial
+	// profile forever (the degraded Table 3 variant).
+	ResetOnRepairsOnly
+)
+
+// String implements fmt.Stringer.
+func (r ResetPolicy) String() string {
+	switch r {
+	case ResetOnAllEvents:
+		return "reset-on-all-events"
+	case ResetOnRepairsOnly:
+		return "reset-on-repairs-only"
+	default:
+		return fmt.Sprintf("ResetPolicy(%d)", int(r))
+	}
+}
+
+// State describes where a pipeline is in its fill→fit→detect cycle.
+type State int
+
+const (
+	// StateCollecting: the reference profile is still filling.
+	StateCollecting State = iota
+	// StateDetecting: the detector is fitted and scoring new samples.
+	StateDetecting
+)
+
+// String implements fmt.Stringer.
+func (s State) String() string {
+	switch s {
+	case StateCollecting:
+		return "collecting"
+	case StateDetecting:
+		return "detecting"
+	default:
+		return fmt.Sprintf("State(%d)", int(s))
+	}
+}
+
+// Config assembles a pipeline. Transformer, Detector and Thresholder are
+// required; everything else has defaults.
+type Config struct {
+	Transformer transform.Transformer
+	Detector    detector.Detector
+	Thresholder thresholds.Thresholder
+
+	// ProfileLength is the number of transformed samples in Ref
+	// (default 60).
+	ProfileLength int
+	// CalibrationFraction is the tail fraction of Ref held out from
+	// Fit and used to calibrate the threshold — the paper's "small
+	// portion of healthy data" (default 0.25).
+	CalibrationFraction float64
+	// ResetPolicy selects which events rebuild Ref.
+	ResetPolicy ResetPolicy
+	// Filter drops raw records before transformation; nil means the
+	// paper's default of removing stationary-state and sensor-fault
+	// records.
+	Filter func(*timeseries.Record) bool
+	// DensityM and DensityK gate alarms on persistence: an alarm is
+	// emitted only when at least M of the vehicle's last K scored
+	// samples (including the current one) violate their thresholds.
+	// Degradation is sustained; isolated excursions are noise. Defaults
+	// to 1/1 (every violation alarms).
+	DensityM int
+	DensityK int
+	// Trace, when non-nil, records every scored sample for
+	// visualisation (Figure 8).
+	Trace *Trace
+}
+
+func (c *Config) validate() error {
+	if c.Transformer == nil || c.Detector == nil || c.Thresholder == nil {
+		return errors.New("core: Config requires Transformer, Detector and Thresholder")
+	}
+	if c.ProfileLength <= 0 {
+		c.ProfileLength = 60
+	}
+	if c.CalibrationFraction <= 0 || c.CalibrationFraction >= 1 {
+		c.CalibrationFraction = 0.25
+	}
+	if c.Filter == nil {
+		c.Filter = timeseries.CleanFilter
+	}
+	if c.DensityM <= 0 {
+		c.DensityM = 1
+	}
+	if c.DensityK < c.DensityM {
+		c.DensityK = c.DensityM
+	}
+	return nil
+}
+
+// Calib holds the per-channel mean and standard deviation of the
+// detector's scores on one reference profile's calibration tail. It lets
+// a threshold factor f be replayed offline (threshold_c = mean_c +
+// f·std_c) without re-running the detector — the evaluation grid sweeps
+// threshold parameters this way.
+type Calib struct {
+	Means, Stds []float64
+}
+
+// Trace captures the per-sample scoring history of one pipeline for
+// plotting (Figure 8) and for offline threshold sweeps.
+type Trace struct {
+	Times      []time.Time
+	Scores     [][]float64
+	Thresholds [][]float64
+	Alarmed    []bool
+	Resets     []time.Time // when Ref was rebuilt
+
+	// Segments[i] indexes SegCalib for the profile cycle sample i was
+	// scored under.
+	Segments []int
+	SegCalib []Calib
+}
+
+// AlarmMark is an alarm classified against the prediction horizon, used
+// by visualisations (the green/red rectangles of the paper's Figure 8).
+type AlarmMark struct {
+	Time         time.Time
+	Feature      string
+	Score        float64
+	TruePositive bool
+}
+
+// Pipeline is the per-vehicle realisation of Algorithm 1. Not safe for
+// concurrent use.
+type Pipeline struct {
+	vehicleID string
+	cfg       Config
+
+	ref    [][]float64
+	fitted bool
+	state  State
+
+	// density persistence ring over recent violation flags
+	violRing  []bool
+	violPos   int
+	violCount int
+}
+
+// NewPipeline builds a pipeline for one vehicle.
+func NewPipeline(vehicleID string, cfg Config) (*Pipeline, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &Pipeline{
+		vehicleID: vehicleID,
+		cfg:       cfg,
+		state:     StateCollecting,
+		violRing:  make([]bool, cfg.DensityK),
+	}, nil
+}
+
+// VehicleID returns the vehicle this pipeline monitors.
+func (p *Pipeline) VehicleID() string { return p.vehicleID }
+
+// State returns the pipeline's current phase.
+func (p *Pipeline) State() State { return p.state }
+
+// RefLen returns how many transformed samples the profile currently
+// holds.
+func (p *Pipeline) RefLen() int { return len(p.ref) }
+
+// HandleEvent feeds a maintenance event to the pipeline. Events that
+// trigger a reset (per the ResetPolicy) discard the reference profile
+// and return the pipeline to the collecting state.
+func (p *Pipeline) HandleEvent(ev obd.Event) {
+	if ev.VehicleID != p.vehicleID {
+		return
+	}
+	reset := false
+	switch p.cfg.ResetPolicy {
+	case ResetOnAllEvents:
+		reset = ev.IsReset()
+	case ResetOnRepairsOnly:
+		reset = ev.Type == obd.EventRepair
+	}
+	if !reset {
+		return
+	}
+	p.ref = p.ref[:0]
+	p.fitted = false
+	p.state = StateCollecting
+	p.cfg.Transformer.Reset()
+	for i := range p.violRing {
+		p.violRing[i] = false
+	}
+	p.violPos, p.violCount = 0, 0
+	if p.cfg.Trace != nil {
+		p.cfg.Trace.Resets = append(p.cfg.Trace.Resets, ev.Time)
+	}
+}
+
+// HandleRecord feeds one raw PID record. It returns any alarms raised by
+// the sample (nil most of the time).
+func (p *Pipeline) HandleRecord(r timeseries.Record) ([]detector.Alarm, error) {
+	if r.VehicleID != p.vehicleID {
+		return nil, nil
+	}
+	if !p.cfg.Filter(&r) {
+		return nil, nil
+	}
+	p.cfg.Transformer.Collect(r)
+	if !p.cfg.Transformer.Ready() {
+		return nil, nil
+	}
+	x := p.cfg.Transformer.Emit()
+
+	if len(p.ref) < p.cfg.ProfileLength {
+		p.ref = append(p.ref, x)
+		if len(p.ref) == p.cfg.ProfileLength {
+			if err := p.fit(); err != nil {
+				return nil, err
+			}
+		}
+		return nil, nil
+	}
+	return p.score(r.Time, x)
+}
+
+// fit trains the detector and calibrates the thresholder. Detectors
+// that self-calibrate (detector.SelfCalibrator) are fitted on the full
+// reference profile and calibrated from their leave-one-out scores;
+// everything else is fitted on the head of Ref and calibrated on the
+// detector's scores over the held-out tail.
+func (p *Pipeline) fit() error {
+	var calib [][]float64
+	if sc, ok := p.cfg.Detector.(detector.SelfCalibrator); ok {
+		if err := p.cfg.Detector.Fit(p.ref); err != nil {
+			return fmt.Errorf("core: fit detector for %s: %w", p.vehicleID, err)
+		}
+		calib = sc.LOOScores()
+	} else {
+		n := len(p.ref)
+		calibN := int(float64(n) * p.cfg.CalibrationFraction)
+		if calibN < 1 {
+			calibN = 1
+		}
+		fitN := n - calibN
+		if fitN < 1 {
+			fitN = 1
+			calibN = n - 1
+		}
+		if err := p.cfg.Detector.Fit(p.ref[:fitN]); err != nil {
+			return fmt.Errorf("core: fit detector for %s: %w", p.vehicleID, err)
+		}
+		calib = make([][]float64, 0, calibN)
+		for _, x := range p.ref[fitN:] {
+			s, err := p.cfg.Detector.Score(x)
+			if err != nil {
+				return fmt.Errorf("core: calibrate %s: %w", p.vehicleID, err)
+			}
+			calib = append(calib, s)
+		}
+	}
+	if err := p.cfg.Thresholder.Fit(calib); err != nil {
+		return fmt.Errorf("core: fit thresholds for %s: %w", p.vehicleID, err)
+	}
+	if p.cfg.Trace != nil {
+		p.cfg.Trace.SegCalib = append(p.cfg.Trace.SegCalib, calibStats(calib))
+	}
+	p.fitted = true
+	p.state = StateDetecting
+	return nil
+}
+
+// calibStats summarises calibration scores per channel.
+func calibStats(calib [][]float64) Calib {
+	if len(calib) == 0 {
+		return Calib{}
+	}
+	ch := len(calib[0])
+	c := Calib{Means: make([]float64, ch), Stds: make([]float64, ch)}
+	col := make([]float64, len(calib))
+	for j := 0; j < ch; j++ {
+		for i, row := range calib {
+			col[i] = row[j]
+		}
+		c.Means[j] = mat.Mean(col)
+		c.Stds[j] = mat.Std(col)
+	}
+	return c
+}
+
+// score runs the detector on a transformed sample and converts threshold
+// violations into alarms.
+func (p *Pipeline) score(t time.Time, x []float64) ([]detector.Alarm, error) {
+	scores, err := p.cfg.Detector.Score(x)
+	if err != nil {
+		return nil, fmt.Errorf("core: score %s: %w", p.vehicleID, err)
+	}
+	viol := p.cfg.Thresholder.Violations(scores)
+	// Density persistence: suppress the alarm unless at least M of the
+	// last K scored samples violated.
+	if p.violRing[p.violPos] {
+		p.violCount--
+	}
+	p.violRing[p.violPos] = len(viol) > 0
+	if len(viol) > 0 {
+		p.violCount++
+	}
+	p.violPos = (p.violPos + 1) % len(p.violRing)
+	if len(viol) > 0 && p.violCount < p.cfg.DensityM {
+		viol = nil
+	}
+	var alarms []detector.Alarm
+	names := p.cfg.Detector.ChannelNames()
+	thVals := p.cfg.Thresholder.Values()
+	for _, c := range viol {
+		a := detector.Alarm{
+			VehicleID: p.vehicleID,
+			Time:      t,
+			Channel:   c,
+			Score:     scores[c],
+		}
+		if c < len(names) {
+			a.Feature = names[c]
+		}
+		if c < len(thVals) {
+			a.Threshold = thVals[c]
+		}
+		alarms = append(alarms, a)
+	}
+	if p.cfg.Trace != nil {
+		tr := p.cfg.Trace
+		tr.Times = append(tr.Times, t)
+		tr.Scores = append(tr.Scores, scores)
+		th := make([]float64, len(thVals))
+		copy(th, thVals)
+		tr.Thresholds = append(tr.Thresholds, th)
+		tr.Alarmed = append(tr.Alarmed, len(alarms) > 0)
+		tr.Segments = append(tr.Segments, len(tr.SegCalib)-1)
+	}
+	return alarms, nil
+}

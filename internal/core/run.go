@@ -1,0 +1,70 @@
+package core
+
+import (
+	"sort"
+
+	"github.com/navarchos/pdm/internal/detector"
+	"github.com/navarchos/pdm/internal/obd"
+	"github.com/navarchos/pdm/internal/timeseries"
+)
+
+// RunVehicle replays a vehicle's records and events in chronological
+// order through a fresh pipeline built by makeCfg and returns all alarms
+// raised. It is the batch driver the evaluation harness and the
+// examples use; the pipeline itself remains fully streaming.
+//
+// makeCfg is called once per run so each run gets fresh transformer,
+// detector and thresholder state.
+func RunVehicle(vehicleID string, records []timeseries.Record, events []obd.Event, makeCfg func() Config) ([]detector.Alarm, error) {
+	p, err := NewPipeline(vehicleID, makeCfg())
+	if err != nil {
+		return nil, err
+	}
+	// Merge the two streams by timestamp, events first on ties (a
+	// service at 18:00 must reset Ref before an 18:00 record is scored
+	// against the old profile).
+	type item struct {
+		isEvent bool
+		rec     int
+		ev      int
+	}
+	items := make([]item, 0, len(records)+len(events))
+	for i := range records {
+		if records[i].VehicleID == vehicleID {
+			items = append(items, item{rec: i})
+		}
+	}
+	for i := range events {
+		if events[i].VehicleID == vehicleID {
+			items = append(items, item{isEvent: true, ev: i})
+		}
+	}
+	timeOf := func(it item) (t int64, isEvent bool) {
+		if it.isEvent {
+			return events[it.ev].Time.UnixNano(), true
+		}
+		return records[it.rec].Time.UnixNano(), false
+	}
+	sort.SliceStable(items, func(a, b int) bool {
+		ta, ea := timeOf(items[a])
+		tb, eb := timeOf(items[b])
+		if ta != tb {
+			return ta < tb
+		}
+		return ea && !eb
+	})
+
+	var alarms []detector.Alarm
+	for _, it := range items {
+		if it.isEvent {
+			p.HandleEvent(events[it.ev])
+			continue
+		}
+		a, err := p.HandleRecord(records[it.rec])
+		if err != nil {
+			return nil, err
+		}
+		alarms = append(alarms, a...)
+	}
+	return alarms, nil
+}

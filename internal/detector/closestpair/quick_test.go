@@ -1,0 +1,96 @@
+package closestpair
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// TestQuickScoreProperties checks, for arbitrary reference sets and
+// queries: scores are non-negative and finite, reference members score
+// exactly zero, and scores are monotone in the query's distance beyond
+// the reference hull.
+func TestQuickScoreProperties(t *testing.T) {
+	f := func(refRaw [12]float64, q float64) bool {
+		q = math.Remainder(q, 1e6)
+		if math.IsNaN(q) {
+			q = 0
+		}
+		ref := make([][]float64, len(refRaw))
+		for i, v := range refRaw {
+			v = math.Remainder(v, 1e6)
+			if math.IsNaN(v) {
+				v = 0
+			}
+			ref[i] = []float64{v}
+		}
+		d := New(nil)
+		if err := d.Fit(ref); err != nil {
+			return false
+		}
+		// Non-negative, finite.
+		s, err := d.Score([]float64{q})
+		if err != nil || s[0] < 0 || math.IsNaN(s[0]) || math.IsInf(s[0], 0) {
+			return false
+		}
+		// Members score zero.
+		for _, r := range ref {
+			sm, err := d.Score([]float64{r[0]})
+			if err != nil || sm[0] != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickLOOConsistency checks that every leave-one-out calibration
+// score equals the score of that sample against a reference set with one
+// matching value removed.
+func TestQuickLOOConsistency(t *testing.T) {
+	f := func(refRaw [9]float64) bool {
+		ref := make([][]float64, len(refRaw))
+		for i, v := range refRaw {
+			v = math.Remainder(v, 1e3)
+			if math.IsNaN(v) {
+				v = 0
+			}
+			ref[i] = []float64{v}
+		}
+		d := New(nil)
+		if err := d.Fit(ref); err != nil {
+			return false
+		}
+		loo := d.LOOScores()
+		if len(loo) != len(ref) {
+			return false
+		}
+		for i := range ref {
+			// Build the reference without sample i and score it.
+			rest := make([][]float64, 0, len(ref)-1)
+			for j := range ref {
+				if j != i {
+					rest = append(rest, ref[j])
+				}
+			}
+			d2 := New(nil)
+			if err := d2.Fit(rest); err != nil {
+				return false
+			}
+			want, err := d2.Score(ref[i])
+			if err != nil {
+				return false
+			}
+			if math.Abs(loo[i][0]-want[0]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,91 @@
+// Package detector defines the scoring-model interface of step 3 of the
+// paper's framework and its alarm vocabulary. Concrete detectors live in
+// subpackages (closestpair, grand, tranad, regress).
+package detector
+
+import (
+	"errors"
+	"time"
+)
+
+// ErrNotFitted is returned when Score is called before a successful Fit.
+var ErrNotFitted = errors.New("detector: not fitted")
+
+// ErrEmptyReference is returned when Fit receives no reference samples.
+var ErrEmptyReference = errors.New("detector: empty reference profile")
+
+// ErrDimension is returned when a sample's dimensionality does not match
+// the fitted reference.
+var ErrDimension = errors.New("detector: feature dimension mismatch")
+
+// Detector scores transformed samples against a fitted reference profile
+// (the framework's Ref). Implementations are per-vehicle and not safe
+// for concurrent use.
+//
+// A detector exposes one or more score channels: the similarity- and
+// regression-based techniques in the paper score every feature
+// separately (enabling the per-feature alarm explanations of Section
+// 3.3/3.6), whereas the reconstruction and conformal techniques emit a
+// single aggregate channel.
+type Detector interface {
+	// Name returns the canonical technique name used in result tables.
+	Name() string
+	// Fit (re)trains the detector on the reference profile; rows are
+	// transformed samples. It replaces any previous fit.
+	Fit(ref [][]float64) error
+	// Score returns one anomaly score per channel for sample x. Higher
+	// means more anomalous.
+	Score(x []float64) ([]float64, error)
+	// Channels returns the number of score channels (fixed after Fit).
+	Channels() int
+	// ChannelNames returns a label per channel for alarm explanations.
+	ChannelNames() []string
+}
+
+// SelfCalibrator is an optional Detector extension for techniques that
+// can score their own reference data leave-one-out. When implemented,
+// the pipeline fits the detector on the FULL reference profile and
+// calibrates thresholds from the leave-one-out scores instead of holding
+// out a calibration tail — both the fit and the calibration then see all
+// of Ref, which matters when profiles are only a few dozen samples.
+type SelfCalibrator interface {
+	// LOOScores returns, for each reference sample used in the last
+	// Fit, its per-channel score computed as if that sample were not
+	// part of the reference.
+	LOOScores() [][]float64
+}
+
+// Alarm is an emitted anomaly alert with its explanation.
+type Alarm struct {
+	VehicleID string
+	Time      time.Time
+	Channel   int     // which score channel fired
+	Feature   string  // human-readable channel label
+	Score     float64 // the offending score
+	Threshold float64 // the threshold it violated
+}
+
+// numberedChannels builds fallback channel names ("feature-0", ...)
+// when the caller provides none.
+func NumberedChannels(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = "feature-" + itoa(i)
+	}
+	return out
+}
+
+// itoa avoids importing strconv for a two-digit label.
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	pos := len(buf)
+	for i > 0 {
+		pos--
+		buf[pos] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(buf[pos:])
+}

@@ -1,0 +1,67 @@
+// Package isoforest adapts Isolation Forest to the framework's step-3
+// Detector interface. The paper's related work (Khan et al. 2019, UAVs)
+// uses isolation forests for real-time anomaly alarms and conjectures
+// that XGBoost "is expected to behave at least as well as IF"; wiring IF
+// into the same harness lets that comparison run.
+package isoforest
+
+import (
+	"github.com/navarchos/pdm/internal/detector"
+	"github.com/navarchos/pdm/internal/iforest"
+)
+
+// Detector scores samples with an isolation forest fitted on the
+// reference profile. It emits a single score channel in (0, 1), suited
+// to a constant threshold (like Grand's deviation score).
+type Detector struct {
+	cfg    iforest.Config
+	forest *iforest.Forest
+	dim    int
+}
+
+// New returns an isolation-forest detector.
+func New(cfg iforest.Config) *Detector { return &Detector{cfg: cfg} }
+
+// Name implements detector.Detector.
+func (d *Detector) Name() string { return "isolation-forest" }
+
+// Channels implements detector.Detector.
+func (d *Detector) Channels() int { return 1 }
+
+// ChannelNames implements detector.Detector.
+func (d *Detector) ChannelNames() []string { return []string{"isolation"} }
+
+// Fit implements detector.Detector.
+func (d *Detector) Fit(ref [][]float64) error {
+	if len(ref) == 0 {
+		return detector.ErrEmptyReference
+	}
+	dim := len(ref[0])
+	for _, row := range ref {
+		if len(row) != dim {
+			return detector.ErrDimension
+		}
+	}
+	f, err := iforest.Fit(ref, d.cfg)
+	if err != nil {
+		return err
+	}
+	d.forest = f
+	d.dim = dim
+	return nil
+}
+
+// Score implements detector.Detector.
+func (d *Detector) Score(x []float64) ([]float64, error) {
+	if d.forest == nil {
+		return nil, detector.ErrNotFitted
+	}
+	if len(x) != d.dim {
+		return nil, detector.ErrDimension
+	}
+	s, err := d.forest.Score(x)
+	if err != nil {
+		return nil, err
+	}
+	return []float64{s}, nil
+}

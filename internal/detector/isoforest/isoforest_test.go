@@ -1,0 +1,74 @@
+package isoforest
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/navarchos/pdm/internal/detector"
+	"github.com/navarchos/pdm/internal/iforest"
+)
+
+func ref(n int, seed int64) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([][]float64, n)
+	for i := range out {
+		out[i] = []float64{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+	}
+	return out
+}
+
+func TestLifecycle(t *testing.T) {
+	d := New(iforest.Config{Trees: 50})
+	if d.Name() != "isolation-forest" || d.Channels() != 1 || d.ChannelNames()[0] != "isolation" {
+		t.Error("metadata wrong")
+	}
+	if _, err := d.Score([]float64{0, 0, 0}); err != detector.ErrNotFitted {
+		t.Error("unfitted Score should error")
+	}
+	if err := d.Fit(nil); err != detector.ErrEmptyReference {
+		t.Error("empty ref should error")
+	}
+	if err := d.Fit([][]float64{{1, 2}, {3}}); err != detector.ErrDimension {
+		t.Error("ragged ref should error")
+	}
+	if err := d.Fit(ref(300, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Score([]float64{1}); err != detector.ErrDimension {
+		t.Error("dim mismatch should error")
+	}
+	in, err := d.Score([]float64{0, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _ := d.Score([]float64{8, 8, 8})
+	if out[0] <= in[0] {
+		t.Errorf("outlier %v should outscore inlier %v", out[0], in[0])
+	}
+	if in[0] <= 0 || in[0] >= 1 || out[0] <= 0 || out[0] >= 1 {
+		t.Errorf("scores out of (0,1): %v %v", in[0], out[0])
+	}
+}
+
+func TestWorksInPipelineStyle(t *testing.T) {
+	// Refit replaces the previous forest.
+	d := New(iforest.Config{Trees: 30})
+	if err := d.Fit(ref(100, 2)); err != nil {
+		t.Fatal(err)
+	}
+	s1, _ := d.Score([]float64{5, 5, 5})
+	// Refit on data centred at (5,5,5): the same point becomes an inlier.
+	shifted := ref(100, 3)
+	for _, row := range shifted {
+		for c := range row {
+			row[c] += 5
+		}
+	}
+	if err := d.Fit(shifted); err != nil {
+		t.Fatal(err)
+	}
+	s2, _ := d.Score([]float64{5, 5, 5})
+	if s2[0] >= s1[0] {
+		t.Errorf("score after refit (%v) should drop below %v", s2[0], s1[0])
+	}
+}

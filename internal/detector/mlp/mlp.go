@@ -1,0 +1,186 @@
+// Package mlp implements the engine-load-regression detector of Massaro
+// et al. (IoT 2020), which the paper's related work describes: a
+// multi-layer perceptron is trained on healthy data to predict one
+// target signal (engine load, approximated here by manifold pressure,
+// or any chosen channel) from the remaining signals; the prediction
+// error on new data is the anomaly score. It is the simplest
+// representative of the regression family the paper generalises with
+// XGBoost.
+package mlp
+
+import (
+	"math"
+	"math/rand"
+
+	"github.com/navarchos/pdm/internal/detector"
+	"github.com/navarchos/pdm/internal/mat"
+	"github.com/navarchos/pdm/internal/nn"
+)
+
+// Config parametrises the regressor.
+type Config struct {
+	// Target is the feature index the MLP predicts from the others.
+	Target int
+	// Hidden is the hidden-layer width (default 16).
+	Hidden int
+	// Epochs is the number of training passes (default 60).
+	Epochs int
+	// LR is the Adam learning rate (default 0.01).
+	LR float64
+	// Seed drives initialisation and shuffling (default 1).
+	Seed int64
+}
+
+func (c *Config) defaults() {
+	if c.Hidden <= 0 {
+		c.Hidden = 16
+	}
+	if c.Epochs <= 0 {
+		c.Epochs = 60
+	}
+	if c.LR <= 0 {
+		c.LR = 0.01
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+}
+
+// Detector is the MLP regression detector. It emits a single channel:
+// the absolute prediction error on the target feature.
+type Detector struct {
+	cfg  Config
+	name string
+
+	dim     int
+	net     *nn.Sequential
+	inMeans []float64
+	inStds  []float64
+	outMean float64
+	outStd  float64
+}
+
+// New returns an MLP detector predicting the configured target channel.
+// targetName labels the channel in alarms (may be empty).
+func New(cfg Config, targetName string) *Detector {
+	cfg.defaults()
+	if targetName == "" {
+		targetName = "target"
+	}
+	return &Detector{cfg: cfg, name: targetName}
+}
+
+// Name implements detector.Detector.
+func (d *Detector) Name() string { return "mlp" }
+
+// Channels implements detector.Detector.
+func (d *Detector) Channels() int { return 1 }
+
+// ChannelNames implements detector.Detector.
+func (d *Detector) ChannelNames() []string { return []string{"pred(" + d.name + ")"} }
+
+// Fit implements detector.Detector: standardise the reference profile
+// and train the MLP to regress the target feature from the rest.
+func (d *Detector) Fit(ref [][]float64) error {
+	if len(ref) == 0 {
+		return detector.ErrEmptyReference
+	}
+	dim := len(ref[0])
+	for _, row := range ref {
+		if len(row) != dim {
+			return detector.ErrDimension
+		}
+	}
+	if d.cfg.Target < 0 || d.cfg.Target >= dim {
+		d.cfg.Target = dim - 1
+	}
+	d.dim = dim
+
+	// Standardisation statistics for inputs and target.
+	refM, err := mat.FromRows(ref)
+	if err != nil {
+		return err
+	}
+	means := refM.ColMeans()
+	stds := refM.ColStds()
+	d.inMeans = make([]float64, 0, dim-1)
+	d.inStds = make([]float64, 0, dim-1)
+	for c := 0; c < dim; c++ {
+		if c == d.cfg.Target {
+			d.outMean = means[c]
+			d.outStd = stds[c]
+			continue
+		}
+		d.inMeans = append(d.inMeans, means[c])
+		d.inStds = append(d.inStds, stds[c])
+	}
+	if d.outStd == 0 {
+		d.outStd = 1
+	}
+
+	rng := rand.New(rand.NewSource(d.cfg.Seed))
+	d.net = nn.NewSequential(
+		nn.NewLinear(dim-1, d.cfg.Hidden, rng),
+		nn.NewTanh(),
+		nn.NewLinear(d.cfg.Hidden, d.cfg.Hidden, rng),
+		nn.NewTanh(),
+		nn.NewLinear(d.cfg.Hidden, 1, rng),
+	)
+	opt := nn.NewAdam(d.net.Params(), d.cfg.LR)
+
+	const batch = 16
+	order := make([]int, len(ref))
+	for i := range order {
+		order[i] = i
+	}
+	for epoch := 0; epoch < d.cfg.Epochs; epoch++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for start := 0; start < len(order); start += batch {
+			end := start + batch
+			if end > len(order) {
+				end = len(order)
+			}
+			x := mat.NewMatrix(end-start, dim-1)
+			y := mat.NewMatrix(end-start, 1)
+			for bi, oi := range order[start:end] {
+				d.fillInput(x.Row(bi), ref[oi])
+				y.Set(bi, 0, (ref[oi][d.cfg.Target]-d.outMean)/d.outStd)
+			}
+			pred := d.net.Forward(x)
+			_, grad := nn.MSELoss(pred, y)
+			d.net.Backward(grad)
+			opt.Step()
+		}
+	}
+	return nil
+}
+
+// fillInput writes the standardised non-target features of row into dst.
+func (d *Detector) fillInput(dst []float64, row []float64) {
+	j := 0
+	for c := 0; c < d.dim; c++ {
+		if c == d.cfg.Target {
+			continue
+		}
+		dst[j] = row[c] - d.inMeans[j]
+		if d.inStds[j] > 0 {
+			dst[j] /= d.inStds[j]
+		}
+		j++
+	}
+}
+
+// Score implements detector.Detector: the absolute error of the target
+// prediction, in the target's original units.
+func (d *Detector) Score(x []float64) ([]float64, error) {
+	if d.net == nil {
+		return nil, detector.ErrNotFitted
+	}
+	if len(x) != d.dim {
+		return nil, detector.ErrDimension
+	}
+	in := mat.NewMatrix(1, d.dim-1)
+	d.fillInput(in.Row(0), x)
+	pred := d.net.Forward(in).At(0, 0)*d.outStd + d.outMean
+	return []float64{math.Abs(pred - x[d.cfg.Target])}, nil
+}

@@ -1,0 +1,108 @@
+package mlp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/navarchos/pdm/internal/detector"
+)
+
+// coupledRef: target (index 2) = x0 + 2*x1 with small noise.
+func coupledRef(n int, seed int64) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([][]float64, n)
+	for i := range out {
+		a, b := rng.NormFloat64(), rng.NormFloat64()
+		out[i] = []float64{a, b, a + 2*b + 0.02*rng.NormFloat64()}
+	}
+	return out
+}
+
+func TestLifecycle(t *testing.T) {
+	d := New(Config{Target: 2, Epochs: 5}, "load")
+	if d.Name() != "mlp" || d.Channels() != 1 || d.ChannelNames()[0] != "pred(load)" {
+		t.Errorf("metadata wrong: %v", d.ChannelNames())
+	}
+	if _, err := d.Score([]float64{1, 2, 3}); err != detector.ErrNotFitted {
+		t.Error("unfitted Score should error")
+	}
+	if err := d.Fit(nil); err != detector.ErrEmptyReference {
+		t.Error("empty ref should error")
+	}
+	if err := d.Fit([][]float64{{1, 2}, {3}}); err != detector.ErrDimension {
+		t.Error("ragged ref should error")
+	}
+	if err := d.Fit(coupledRef(200, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Score([]float64{1}); err != detector.ErrDimension {
+		t.Error("dim mismatch should error")
+	}
+}
+
+func TestLearnsCouplingAndDetectsBreak(t *testing.T) {
+	d := New(Config{Target: 2, Epochs: 80, Seed: 2}, "x2")
+	if err := d.Fit(coupledRef(400, 2)); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	var healthy, broken float64
+	n := 40
+	for i := 0; i < n; i++ {
+		a, b := rng.NormFloat64(), rng.NormFloat64()
+		s, err := d.Score([]float64{a, b, a + 2*b})
+		if err != nil {
+			t.Fatal(err)
+		}
+		healthy += s[0]
+		s, _ = d.Score([]float64{a, b, a + 2*b + 3})
+		broken += s[0]
+	}
+	healthy /= float64(n)
+	broken /= float64(n)
+	if healthy > 0.5 {
+		t.Errorf("healthy prediction error = %v, want small", healthy)
+	}
+	if broken < healthy+2 {
+		t.Errorf("broken-coupling error %v should exceed healthy %v by ~3", broken, healthy)
+	}
+}
+
+func TestDefaultTargetAndDeterminism(t *testing.T) {
+	// Out-of-range target falls back to the last channel.
+	d1 := New(Config{Target: 99, Epochs: 8, Seed: 5}, "")
+	if err := d1.Fit(coupledRef(150, 4)); err != nil {
+		t.Fatal(err)
+	}
+	d2 := New(Config{Target: 99, Epochs: 8, Seed: 5}, "")
+	if err := d2.Fit(coupledRef(150, 4)); err != nil {
+		t.Fatal(err)
+	}
+	q := []float64{0.5, -0.5, -0.5}
+	s1, _ := d1.Score(q)
+	s2, _ := d2.Score(q)
+	if s1[0] != s2[0] {
+		t.Error("same seed should give identical models")
+	}
+	if math.IsNaN(s1[0]) {
+		t.Error("score is NaN")
+	}
+}
+
+func TestConstantTarget(t *testing.T) {
+	// A constant target must not produce NaN (outStd guards).
+	var ref [][]float64
+	rng := rand.New(rand.NewSource(6))
+	for i := 0; i < 100; i++ {
+		ref = append(ref, []float64{rng.NormFloat64(), rng.NormFloat64(), 7})
+	}
+	d := New(Config{Target: 2, Epochs: 10}, "const")
+	if err := d.Fit(ref); err != nil {
+		t.Fatal(err)
+	}
+	s, err := d.Score([]float64{0, 0, 7})
+	if err != nil || math.IsNaN(s[0]) {
+		t.Errorf("constant-target score = %v err=%v", s, err)
+	}
+}

@@ -1,0 +1,99 @@
+// Package regress implements the paper's regression-based detector
+// (Section 3.6): one gradient-boosted regressor per feature, each
+// trained on the reference profile to predict its target feature from
+// the remaining ones. At inference the absolute prediction error of each
+// regressor is that feature's anomaly score, so alarms carry the same
+// per-feature explanations as closest-pair detection.
+package regress
+
+import (
+	"math"
+
+	"github.com/navarchos/pdm/internal/detector"
+	"github.com/navarchos/pdm/internal/gbt"
+)
+
+// Detector is the per-feature regression detector ("xgboost" in the
+// paper's result tables).
+type Detector struct {
+	cfg    gbt.Config
+	names  []string
+	models []*gbt.Regressor
+	dim    int
+}
+
+// New returns a regression detector. featureNames labels the channels
+// (pass the transformer's FeatureNames; nil falls back to numbered
+// labels). cfg parametrises every per-feature booster; the zero Config
+// takes the gbt defaults.
+func New(featureNames []string, cfg gbt.Config) *Detector {
+	return &Detector{cfg: cfg, names: featureNames}
+}
+
+// Name implements detector.Detector.
+func (d *Detector) Name() string { return "xgboost" }
+
+// Fit implements detector.Detector: it trains dim regressors, the c-th
+// one predicting feature c from all others.
+func (d *Detector) Fit(ref [][]float64) error {
+	if len(ref) == 0 {
+		return detector.ErrEmptyReference
+	}
+	dim := len(ref[0])
+	for _, row := range ref {
+		if len(row) != dim {
+			return detector.ErrDimension
+		}
+	}
+	d.dim = dim
+	d.models = make([]*gbt.Regressor, dim)
+	X := make([][]float64, len(ref))
+	y := make([]float64, len(ref))
+	for c := 0; c < dim; c++ {
+		for i, row := range ref {
+			X[i] = dropColumn(row, c)
+			y[i] = row[c]
+		}
+		cfg := d.cfg
+		cfg.Seed = d.cfg.Seed + int64(c) + 1
+		m, err := gbt.Train(X, y, cfg)
+		if err != nil {
+			return err
+		}
+		d.models[c] = m
+	}
+	if d.names == nil || len(d.names) != dim {
+		d.names = detector.NumberedChannels(dim)
+	}
+	return nil
+}
+
+// Score implements detector.Detector: per channel, the absolute error of
+// predicting that feature from the others.
+func (d *Detector) Score(x []float64) ([]float64, error) {
+	if d.models == nil {
+		return nil, detector.ErrNotFitted
+	}
+	if len(x) != d.dim {
+		return nil, detector.ErrDimension
+	}
+	out := make([]float64, d.dim)
+	for c := 0; c < d.dim; c++ {
+		pred := d.models[c].Predict(dropColumn(x, c))
+		out[c] = math.Abs(pred - x[c])
+	}
+	return out, nil
+}
+
+// Channels implements detector.Detector.
+func (d *Detector) Channels() int { return d.dim }
+
+// ChannelNames implements detector.Detector.
+func (d *Detector) ChannelNames() []string { return d.names }
+
+// dropColumn returns row without its c-th entry (fresh slice).
+func dropColumn(row []float64, c int) []float64 {
+	out := make([]float64, 0, len(row)-1)
+	out = append(out, row[:c]...)
+	return append(out, row[c+1:]...)
+}

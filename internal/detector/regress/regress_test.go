@@ -1,0 +1,104 @@
+package regress
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/navarchos/pdm/internal/detector"
+	"github.com/navarchos/pdm/internal/gbt"
+	"github.com/navarchos/pdm/internal/mat"
+)
+
+// coupledRef: x2 = x0 + x1 (learnable), x3 independent.
+func coupledRef(n int, seed int64) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([][]float64, n)
+	for i := range out {
+		a, b := rng.NormFloat64(), rng.NormFloat64()
+		out[i] = []float64{a, b, a + b + 0.05*rng.NormFloat64(), rng.NormFloat64()}
+	}
+	return out
+}
+
+func TestLifecycleAndErrors(t *testing.T) {
+	d := New([]string{"a", "b", "c", "d"}, gbt.Config{NumTrees: 10})
+	if d.Name() != "xgboost" {
+		t.Error("name wrong")
+	}
+	if _, err := d.Score([]float64{1, 2, 3, 4}); err != detector.ErrNotFitted {
+		t.Error("unfitted Score should error")
+	}
+	if err := d.Fit(nil); err != detector.ErrEmptyReference {
+		t.Error("empty ref should error")
+	}
+	if err := d.Fit([][]float64{{1, 2}, {3}}); err != detector.ErrDimension {
+		t.Error("ragged ref should error")
+	}
+	if err := d.Fit(coupledRef(150, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if d.Channels() != 4 {
+		t.Errorf("Channels = %d", d.Channels())
+	}
+	if names := d.ChannelNames(); names[2] != "c" {
+		t.Errorf("names = %v", names)
+	}
+	if _, err := d.Score([]float64{1}); err != detector.ErrDimension {
+		t.Error("dim mismatch should error")
+	}
+}
+
+func TestDetectsBrokenCouplingOnRightChannel(t *testing.T) {
+	d := New(nil, gbt.Config{NumTrees: 40, MaxDepth: 4})
+	if err := d.Fit(coupledRef(400, 2)); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	// Healthy samples: channel 2 (the coupled one) scores low.
+	var healthy2 []float64
+	for i := 0; i < 50; i++ {
+		a, b := rng.NormFloat64(), rng.NormFloat64()
+		s, err := d.Score([]float64{a, b, a + b, rng.NormFloat64()})
+		if err != nil {
+			t.Fatal(err)
+		}
+		healthy2 = append(healthy2, s[2])
+	}
+	// Broken coupling: x2 no longer equals x0+x1.
+	var broken2 []float64
+	for i := 0; i < 50; i++ {
+		a, b := rng.NormFloat64(), rng.NormFloat64()
+		s, _ := d.Score([]float64{a, b, a + b + 4, rng.NormFloat64()})
+		broken2 = append(broken2, s[2])
+	}
+	hm, bm := mat.Mean(healthy2), mat.Mean(broken2)
+	if bm < hm+2 {
+		t.Errorf("broken-coupling channel-2 score %v not clearly above healthy %v", bm, hm)
+	}
+	// Fallback channel names.
+	if d.ChannelNames()[0] != "feature-0" {
+		t.Errorf("fallback names = %v", d.ChannelNames())
+	}
+}
+
+func TestScoreIsAbsoluteError(t *testing.T) {
+	// With a perfectly learnable deterministic relation the score on a
+	// shifted sample is approximately the shift magnitude.
+	var ref [][]float64
+	for i := 0; i < 200; i++ {
+		v := float64(i%20) - 10
+		ref = append(ref, []float64{v, 2 * v})
+	}
+	d := New(nil, gbt.Config{NumTrees: 60, MaxDepth: 4})
+	if err := d.Fit(ref); err != nil {
+		t.Fatal(err)
+	}
+	s, _ := d.Score([]float64{5, 10})
+	if s[1] > 0.5 {
+		t.Errorf("on-manifold score = %v, want ≈ 0", s[1])
+	}
+	s, _ = d.Score([]float64{5, 13}) // channel 1 off by 3
+	if s[1] < 2 || s[1] > 4 {
+		t.Errorf("shifted score = %v, want ≈ 3", s[1])
+	}
+}

@@ -1,0 +1,109 @@
+// Package dsp provides the minimal signal-processing kernel behind the
+// frequency-domain data transformation the paper lists among its "key
+// alternatives" (Section 3.1): an iterative radix-2 FFT and band-energy
+// summarisation.
+package dsp
+
+import (
+	"errors"
+	"math"
+	"math/bits"
+	"math/cmplx"
+)
+
+// ErrNotPowerOfTwo is returned when an FFT input length is not a power
+// of two.
+var ErrNotPowerOfTwo = errors.New("dsp: FFT length must be a power of two")
+
+// FFT computes the in-place iterative radix-2 Cooley–Tukey transform of
+// x and returns it. len(x) must be a power of two (and may be 0 or 1, in
+// which case x is returned unchanged).
+func FFT(x []complex128) ([]complex128, error) {
+	n := len(x)
+	if n <= 1 {
+		return x, nil
+	}
+	if n&(n-1) != 0 {
+		return nil, ErrNotPowerOfTwo
+	}
+	// Bit-reversal permutation.
+	shift := 64 - uint(bits.Len(uint(n-1)))
+	for i := 0; i < n; i++ {
+		j := int(bits.Reverse64(uint64(i)) >> shift)
+		if j > i {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	for size := 2; size <= n; size *= 2 {
+		half := size / 2
+		step := cmplx.Exp(complex(0, -2*math.Pi/float64(size)))
+		for start := 0; start < n; start += size {
+			w := complex(1, 0)
+			for k := 0; k < half; k++ {
+				a := x[start+k]
+				b := x[start+k+half] * w
+				x[start+k] = a + b
+				x[start+k+half] = a - b
+				w *= step
+			}
+		}
+	}
+	return x, nil
+}
+
+// FFTReal transforms a real signal, zero-padding it up to the next power
+// of two, and returns the complex spectrum.
+func FFTReal(x []float64) ([]complex128, error) {
+	n := nextPow2(len(x))
+	buf := make([]complex128, n)
+	for i, v := range x {
+		buf[i] = complex(v, 0)
+	}
+	return FFT(buf)
+}
+
+// nextPow2 returns the smallest power of two ≥ n (and ≥ 1).
+func nextPow2(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	return 1 << bits.Len(uint(n-1))
+}
+
+// BandEnergies splits the positive-frequency half of the spectrum of a
+// real signal into nb contiguous bands and returns each band's mean
+// power, normalised by total power so the features are amplitude
+// invariant (the DC bin is excluded — signal level is what the mean
+// transform already captures). A zero-power signal yields all zeros.
+func BandEnergies(x []float64, nb int) ([]float64, error) {
+	if nb < 1 {
+		return nil, errors.New("dsp: BandEnergies needs at least one band")
+	}
+	spec, err := FFTReal(x)
+	if err != nil {
+		return nil, err
+	}
+	half := len(spec) / 2
+	out := make([]float64, nb)
+	if half <= 1 {
+		return out, nil
+	}
+	var total float64
+	power := make([]float64, half-1)
+	for i := 1; i < half; i++ {
+		p := real(spec[i])*real(spec[i]) + imag(spec[i])*imag(spec[i])
+		power[i-1] = p
+		total += p
+	}
+	if total == 0 {
+		return out, nil
+	}
+	for i, p := range power {
+		band := i * nb / len(power)
+		out[band] += p
+	}
+	for i := range out {
+		out[i] /= total
+	}
+	return out, nil
+}

@@ -1,0 +1,139 @@
+package dsp
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+)
+
+func TestFFTKnownValues(t *testing.T) {
+	// FFT of [1, 0, 0, 0] is [1, 1, 1, 1].
+	x := []complex128{1, 0, 0, 0}
+	got, err := FFT(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if cmplx.Abs(v-1) > 1e-12 {
+			t.Errorf("bin %d = %v, want 1", i, v)
+		}
+	}
+	// FFT of a constant is a DC spike.
+	x = []complex128{2, 2, 2, 2}
+	got, _ = FFT(x)
+	if cmplx.Abs(got[0]-8) > 1e-12 {
+		t.Errorf("DC bin = %v, want 8", got[0])
+	}
+	for i := 1; i < 4; i++ {
+		if cmplx.Abs(got[i]) > 1e-12 {
+			t.Errorf("bin %d = %v, want 0", i, got[i])
+		}
+	}
+}
+
+func TestFFTSinusoidPeak(t *testing.T) {
+	// A pure sinusoid at bin k concentrates energy at bins k and n-k.
+	n := 64
+	k := 5
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = math.Sin(2 * math.Pi * float64(k) * float64(i) / float64(n))
+	}
+	spec, err := FFTReal(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		mag := cmplx.Abs(spec[i])
+		if i == k || i == n-k {
+			if mag < float64(n)/2-1e-6 {
+				t.Errorf("bin %d magnitude = %v, want ~%v", i, mag, n/2)
+			}
+		} else if mag > 1e-6 {
+			t.Errorf("bin %d magnitude = %v, want ~0", i, mag)
+		}
+	}
+}
+
+func TestFFTParseval(t *testing.T) {
+	// Parseval: sum |x|^2 == (1/n) sum |X|^2.
+	x := []float64{3, 1, -2, 0.5, 7, -1, 0, 2}
+	var tdom float64
+	for _, v := range x {
+		tdom += v * v
+	}
+	spec, err := FFTReal(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fdom float64
+	for _, v := range spec {
+		fdom += real(v)*real(v) + imag(v)*imag(v)
+	}
+	fdom /= float64(len(spec))
+	if math.Abs(tdom-fdom) > 1e-9 {
+		t.Errorf("Parseval violated: %v vs %v", tdom, fdom)
+	}
+}
+
+func TestFFTErrorsAndEdges(t *testing.T) {
+	if _, err := FFT(make([]complex128, 3)); err != ErrNotPowerOfTwo {
+		t.Error("length 3 should error")
+	}
+	if out, err := FFT(nil); err != nil || len(out) != 0 {
+		t.Error("empty FFT should be a no-op")
+	}
+	if out, err := FFT([]complex128{5}); err != nil || out[0] != 5 {
+		t.Error("length-1 FFT should be identity")
+	}
+	// FFTReal pads 5 -> 8.
+	spec, err := FFTReal(make([]float64, 5))
+	if err != nil || len(spec) != 8 {
+		t.Errorf("FFTReal padding: len=%d err=%v", len(spec), err)
+	}
+}
+
+func TestBandEnergies(t *testing.T) {
+	n := 64
+	// Low-frequency sinusoid: energy in the first band.
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = math.Sin(2 * math.Pi * 2 * float64(i) / float64(n))
+	}
+	be, err := BandEnergies(x, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if be[0] < 0.95 {
+		t.Errorf("low-freq energy in band 0 = %v, want ~1", be[0])
+	}
+	// High-frequency sinusoid: energy in the last band.
+	for i := range x {
+		x[i] = math.Sin(2 * math.Pi * 28 * float64(i) / float64(n))
+	}
+	be, _ = BandEnergies(x, 4)
+	if be[3] < 0.95 {
+		t.Errorf("high-freq energy in band 3 = %v, want ~1 (%v)", be[3], be)
+	}
+	// Energies sum to 1 for non-degenerate signals.
+	var sum float64
+	for _, v := range be {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("band energies sum = %v", sum)
+	}
+	// Constant signal: zero AC power -> all zeros.
+	for i := range x {
+		x[i] = 3
+	}
+	be, _ = BandEnergies(x, 4)
+	for _, v := range be {
+		if v != 0 {
+			t.Errorf("constant signal band energies = %v, want zeros", be)
+		}
+	}
+	if _, err := BandEnergies(x, 0); err == nil {
+		t.Error("zero bands should error")
+	}
+}

@@ -1,0 +1,52 @@
+package eval
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/navarchos/pdm/internal/core"
+	"github.com/navarchos/pdm/internal/fleetsim"
+	"github.com/navarchos/pdm/internal/thresholds"
+	"github.com/navarchos/pdm/internal/timeseries"
+	"github.com/navarchos/pdm/internal/transform"
+)
+
+// TestDiagnoseAlarmDistribution is a diagnostic aid, normally skipped;
+// run with -run TestDiagnoseAlarmDistribution -v to inspect where
+// closest-pair/correlation alarms fall relative to ground truth.
+func TestDiagnoseAlarmDistribution(t *testing.T) {
+	if testing.Short() {
+		t.Skip()
+	}
+	cfg := fleetsim.SmallConfig()
+	f := fleetsim.Generate(cfg)
+	byVehicle := timeseries.SplitByVehicle(f.Records)
+	for i := range f.Vehicles {
+		v := &f.Vehicles[i]
+		if !v.Recorded {
+			continue
+		}
+		tr := &core.Trace{}
+		makeCfg := func() core.Config {
+			tt, _ := transform.New(transform.Correlation, 15)
+			det, _ := NewDetector(ClosestPair, tt.FeatureNames(), 1)
+			return core.Config{
+				Transformer: tt, Detector: det,
+				Thresholder: thresholds.NewSelfTuning(3), ProfileLength: 25, Trace: tr,
+			}
+		}
+		if _, err := core.RunVehicle(v.ID, byVehicle[v.ID], f.Events, makeCfg); err != nil {
+			t.Fatal(err)
+		}
+		alarms := replayAlarms([]vehicleTrace{{v.ID, tr}}, 6, false)
+		alarms = ConsolidateDaily(alarms)
+		var days []string
+		for _, a := range alarms {
+			days = append(days, fmt.Sprintf("%d", int(a.Time.Sub(cfg.Start).Hours()/24)))
+		}
+		t.Logf("%s fault=%v failDay=%d drift=%d segs=%d scored=%d alarmDays=%v",
+			v.ID, v.Fault, v.FailureDay, v.DriftDay, len(tr.SegCalib), len(tr.Times), days)
+		_ = time.Hour
+	}
+}

@@ -1,0 +1,382 @@
+package eval
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"github.com/navarchos/pdm/internal/core"
+	"github.com/navarchos/pdm/internal/detector"
+	"github.com/navarchos/pdm/internal/obd"
+	"github.com/navarchos/pdm/internal/thresholds"
+	"github.com/navarchos/pdm/internal/timeseries"
+	"github.com/navarchos/pdm/internal/transform"
+)
+
+// GridSpec describes a full comparative evaluation over technique ×
+// transformation × prediction horizon × setting, with a threshold sweep
+// per cell (the paper's Figures 4 and 5 protocol).
+type GridSpec struct {
+	Records []timeseries.Record
+	Events  []obd.Event
+
+	// Settings maps a setting name ("setting40", "setting26") to the
+	// vehicle IDs it evaluates.
+	Settings map[string][]string
+
+	Techniques []Technique
+	Transforms []transform.Kind
+	PHs        []time.Duration
+
+	// Factors is the self-tuning threshold sweep (closest-pair, TranAD,
+	// XGBoost).
+	Factors []float64
+	// ConstThresholds is the constant-threshold sweep for Grand's
+	// bounded deviation score.
+	ConstThresholds []float64
+
+	// Window is the tumbling-window length (records) for windowed
+	// transforms.
+	Window int
+	// ProfileWindowed / ProfileRaw are Ref sizes in transformed samples
+	// for windowed and per-record transforms respectively.
+	ProfileWindowed int
+	ProfileRaw      int
+
+	// DensityM / DensityK implement density-based alarm persistence: an
+	// alarm fires when at least M of the last K scored samples violate
+	// their thresholds (defaults 4 of 12). Degradation preceding a
+	// failure violates frequently but not strictly consecutively —
+	// windows alternate between ride regimes with different fault
+	// visibility — while healthy excursions are isolated; a density
+	// criterion separates the two where strict consecutive-run rules
+	// fail both.
+	DensityM int
+	DensityK int
+
+	// AbsFloor is an absolute per-unit-of-factor floor added under the
+	// calibration std when replaying self-tuning thresholds, i.e.
+	// threshold = mean + factor·max(std, floors..., AbsFloor). For
+	// bounded feature spaces (correlations in [-1, 1]) it encodes the
+	// minimum deviation considered physically meaningful; 0 disables it.
+	// When negative or unset it defaults per transform kind (0.01 for
+	// correlation/histogram/spectral, 0 otherwise).
+	AbsFloor float64
+
+	ResetPolicy core.ResetPolicy
+	Seed        int64
+	// Parallelism caps concurrent per-vehicle runs (default: NumCPU).
+	Parallelism int
+}
+
+func (s *GridSpec) defaults() {
+	if len(s.Techniques) == 0 {
+		s.Techniques = PaperTechniques()
+	}
+	if len(s.Transforms) == 0 {
+		s.Transforms = transform.PaperKinds()
+	}
+	if len(s.PHs) == 0 {
+		s.PHs = []time.Duration{15 * 24 * time.Hour, 30 * 24 * time.Hour}
+	}
+	if len(s.Factors) == 0 {
+		s.Factors = []float64{2, 3, 4, 5, 7, 10, 14, 20, 28, 40, 60}
+	}
+	if len(s.ConstThresholds) == 0 {
+		s.ConstThresholds = []float64{0.6, 0.8, 0.9, 0.95, 0.99, 0.999}
+	}
+	if s.Window <= 0 {
+		s.Window = 12
+	}
+	if s.ProfileWindowed <= 0 {
+		s.ProfileWindowed = 45
+	}
+	if s.ProfileRaw <= 0 {
+		s.ProfileRaw = 900
+	}
+	if s.DensityM <= 0 {
+		s.DensityM = 5
+	}
+	if s.DensityK < s.DensityM {
+		s.DensityK = 15
+		if s.DensityK < s.DensityM {
+			s.DensityK = s.DensityM
+		}
+	}
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+	if s.Parallelism <= 0 {
+		s.Parallelism = runtime.NumCPU()
+	}
+}
+
+// profileFor returns the Ref size for a transform kind.
+func (s *GridSpec) profileFor(k transform.Kind) int {
+	switch k {
+	case transform.Raw, transform.Delta:
+		return s.ProfileRaw
+	default:
+		return s.ProfileWindowed
+	}
+}
+
+// Cell is one bar of Figures 4/5: the best threshold's metrics for a
+// (technique, transform, PH, setting) combination.
+type Cell struct {
+	Technique Technique
+	Transform transform.Kind
+	PH        time.Duration
+	Setting   string
+	Best      Metrics
+	BestParam float64 // the winning threshold factor / constant
+}
+
+// TimingKey identifies a technique × transform timing entry (Table 1).
+type TimingKey struct {
+	Technique Technique
+	Transform transform.Kind
+}
+
+// GridResult is the full outcome of RunGrid.
+type GridResult struct {
+	Cells []Cell
+	// Timing holds the wall-clock duration of the full scoring pass
+	// (all vehicles, fit + score) per technique × transform — the
+	// repository's Table 1 equivalent.
+	Timing map[TimingKey]time.Duration
+}
+
+// Cell returns the cell for the given coordinates, or nil.
+func (g *GridResult) Cell(t Technique, k transform.Kind, ph time.Duration, setting string) *Cell {
+	for i := range g.Cells {
+		c := &g.Cells[i]
+		if c.Technique == t && c.Transform == k && c.PH == ph && c.Setting == setting {
+			return c
+		}
+	}
+	return nil
+}
+
+// vehicleTrace pairs a vehicle with its scored trace.
+type vehicleTrace struct {
+	vehicleID string
+	trace     *core.Trace
+}
+
+// RunGrid executes the full comparative grid. For every technique ×
+// transform it runs each vehicle's stream once, recording score traces,
+// then replays the threshold sweep offline and keeps the best-F0.5
+// configuration per (PH, setting) cell — mirroring the paper's use of
+// "multiple factors regarding the thresholding technique".
+func RunGrid(spec GridSpec) (*GridResult, error) {
+	spec.defaults()
+	// The union of all settings is the vehicle universe to run.
+	union := map[string]bool{}
+	for _, vs := range spec.Settings {
+		for _, v := range vs {
+			union[v] = true
+		}
+	}
+	if len(union) == 0 {
+		return nil, fmt.Errorf("eval: RunGrid: no vehicles in any setting")
+	}
+	vehicles := make([]string, 0, len(union))
+	for v := range union {
+		vehicles = append(vehicles, v)
+	}
+	byVehicle := timeseries.SplitByVehicle(spec.Records)
+
+	result := &GridResult{Timing: map[TimingKey]time.Duration{}}
+	for _, tech := range spec.Techniques {
+		for _, kind := range spec.Transforms {
+			start := time.Now()
+			traces, err := collectTraces(&spec, tech, kind, vehicles, byVehicle)
+			if err != nil {
+				return nil, err
+			}
+			result.Timing[TimingKey{tech, kind}] = time.Since(start)
+
+			sweep := spec.Factors
+			if tech.UsesConstantThreshold() {
+				sweep = spec.ConstThresholds
+			}
+			cells, err := bestCells(&spec, tech, kind, traces, sweep, absFloorFor(spec.AbsFloor, kind))
+			if err != nil {
+				return nil, err
+			}
+			result.Cells = append(result.Cells, cells...)
+		}
+	}
+	return result, nil
+}
+
+// collectTraces runs one technique × transform over every vehicle,
+// in parallel, returning per-vehicle score traces.
+func collectTraces(spec *GridSpec, tech Technique, kind transform.Kind, vehicles []string, byVehicle map[string][]timeseries.Record) ([]vehicleTrace, error) {
+	traces := make([]vehicleTrace, len(vehicles))
+	errs := make([]error, len(vehicles))
+	sem := make(chan struct{}, spec.Parallelism)
+	var wg sync.WaitGroup
+	for i, v := range vehicles {
+		wg.Add(1)
+		go func(i int, vehicleID string) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			tr := &core.Trace{}
+			makeCfg := func() core.Config {
+				t, err := transform.New(kind, spec.Window)
+				if err != nil {
+					panic(err) // kind comes from a validated enum
+				}
+				det, err := NewDetector(tech, t.FeatureNames(), spec.Seed)
+				if err != nil {
+					panic(err)
+				}
+				return core.Config{
+					Transformer:   t,
+					Detector:      det,
+					Thresholder:   thresholds.NewSelfTuning(3), // placeholder; sweep is replayed offline
+					ProfileLength: spec.profileFor(kind),
+					ResetPolicy:   spec.ResetPolicy,
+					Filter:        timeseries.NewWarmupFilter(5, 20*time.Minute),
+					Trace:         tr,
+				}
+			}
+			_, err := core.RunVehicle(vehicleID, byVehicle[vehicleID], spec.Events, makeCfg)
+			traces[i] = vehicleTrace{vehicleID: vehicleID, trace: tr}
+			errs[i] = err
+		}(i, v)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return traces, nil
+}
+
+// bestCells replays the threshold sweep over the traces and returns the
+// best cell per (PH, setting).
+// absFloorFor resolves the absolute std floor for a transform kind.
+func absFloorFor(requested float64, kind transform.Kind) float64 {
+	if requested > 0 {
+		return requested
+	}
+	switch kind {
+	case transform.Correlation, transform.Histogram, transform.Spectral:
+		return 0.01
+	default:
+		return 0
+	}
+}
+
+func bestCells(spec *GridSpec, tech Technique, kind transform.Kind, traces []vehicleTrace, sweep []float64, absFloor float64) ([]Cell, error) {
+	type cellKey struct {
+		ph      time.Duration
+		setting string
+	}
+	best := map[cellKey]*Cell{}
+	for _, param := range sweep {
+		alarms := replayAlarmsDensity(traces, param, tech.UsesConstantThreshold(), spec.DensityM, spec.DensityK, absFloor)
+		alarms = ConsolidateDaily(alarms)
+		for setting, vehicles := range spec.Settings {
+			settingAlarms := FilterByVehicles(alarms, vehicles)
+			failures := FilterEventsByVehicles(spec.Events, vehicles)
+			for _, ph := range spec.PHs {
+				m := Evaluate(settingAlarms, failures, ph)
+				k := cellKey{ph, setting}
+				cur := best[k]
+				if cur == nil || m.F05 > cur.Best.F05 {
+					best[k] = &Cell{
+						Technique: tech, Transform: kind, PH: ph, Setting: setting,
+						Best: m, BestParam: param,
+					}
+				}
+			}
+		}
+	}
+	out := make([]Cell, 0, len(best))
+	for _, c := range best {
+		out = append(out, *c)
+	}
+	return out, nil
+}
+
+// replayAlarms converts traces into alarms under one threshold
+// parameter: self-tuning (mean + factor·std from the segment's
+// calibration stats) or constant.
+func replayAlarms(traces []vehicleTrace, param float64, constant bool) []detector.Alarm {
+	return replayAlarmsDensity(traces, param, constant, 1, 1, 0)
+}
+
+// replayAlarmsDensity is replayAlarms with density persistence: an alarm
+// fires on samples where at least m of the vehicle's last k scored
+// samples (including the current one) violate their thresholds.
+func replayAlarmsDensity(traces []vehicleTrace, param float64, constant bool, m, k int, absFloor float64) []detector.Alarm {
+	if m < 1 {
+		m = 1
+	}
+	if k < m {
+		k = m
+	}
+	var out []detector.Alarm
+	ring := make([]bool, k)
+	for _, vt := range traces {
+		tr := vt.trace
+		for i := range ring {
+			ring[i] = false
+		}
+		pos, count := 0, 0
+		for i, scores := range tr.Scores {
+			seg := tr.Segments[i]
+			if seg < 0 || seg >= len(tr.SegCalib) {
+				continue
+			}
+			calib := tr.SegCalib[seg]
+			violChan := -1
+			var violScore, violTh float64
+			for c, s := range scores {
+				var th float64
+				if constant {
+					th = param
+				} else {
+					if c >= len(calib.Means) {
+						continue
+					}
+					sd := thresholds.FloorStd(calib.Stds[c], calib.Means[c])
+					if sd < absFloor {
+						sd = absFloor
+					}
+					th = calib.Means[c] + param*sd
+				}
+				if s > th {
+					violChan, violScore, violTh = c, s, th
+					break
+				}
+			}
+			viol := violChan >= 0
+			if ring[pos] {
+				count--
+			}
+			ring[pos] = viol
+			if viol {
+				count++
+			}
+			pos = (pos + 1) % k
+			if viol && count >= m {
+				out = append(out, detector.Alarm{
+					VehicleID: vt.vehicleID,
+					Time:      tr.Times[i],
+					Channel:   violChan,
+					Score:     violScore,
+					Threshold: violTh,
+				})
+			}
+		}
+	}
+	return out
+}

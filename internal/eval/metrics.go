@@ -1,0 +1,139 @@
+// Package eval implements the paper's evaluation protocol (Section 4):
+// prediction-horizon-based true/false-positive accounting, the F0.5
+// headline metric, daily alarm consolidation, and the grid runner that
+// sweeps technique × transformation × threshold × setting and reproduces
+// Figures 4–7 and Tables 1–3.
+package eval
+
+import (
+	"time"
+
+	"github.com/navarchos/pdm/internal/detector"
+	"github.com/navarchos/pdm/internal/obd"
+)
+
+// Metrics aggregates detection quality over a set of vehicles.
+type Metrics struct {
+	TP            int // failures with at least one alarm inside PH
+	FP            int // alarms (after consolidation) outside every PH
+	TotalFailures int
+
+	Precision float64
+	Recall    float64
+	F1        float64
+	F05       float64
+}
+
+// FBeta computes the Fβ score from precision and recall (0 when both are
+// 0).
+func FBeta(precision, recall, beta float64) float64 {
+	b2 := beta * beta
+	den := b2*precision + recall
+	if den == 0 {
+		return 0
+	}
+	return (1 + b2) * precision * recall / den
+}
+
+// Evaluate scores alarms against recorded failures using the paper's
+// protocol: a prediction horizon PH ends at each repair event; one or
+// more alarms inside a failure's PH count as a single true positive, and
+// every alarm outside every PH counts as one false positive. Alarms and
+// failures are matched per vehicle. Callers normally consolidate alarms
+// (see ConsolidateDaily) first, mirroring the day-level alarm row at the
+// bottom of the paper's Figure 8.
+func Evaluate(alarms []detector.Alarm, failures []obd.Event, ph time.Duration) Metrics {
+	failuresByVehicle := map[string][]time.Time{}
+	for _, ev := range failures {
+		if ev.Type == obd.EventRepair {
+			failuresByVehicle[ev.VehicleID] = append(failuresByVehicle[ev.VehicleID], ev.Time)
+		}
+	}
+	var m Metrics
+	for _, fs := range failuresByVehicle {
+		m.TotalFailures += len(fs)
+	}
+	detected := map[string]map[int]bool{}
+	for _, a := range alarms {
+		fs := failuresByVehicle[a.VehicleID]
+		hit := -1
+		for i, ft := range fs {
+			if !a.Time.After(ft) && a.Time.After(ft.Add(-ph)) {
+				hit = i
+				break
+			}
+		}
+		if hit < 0 {
+			m.FP++
+			continue
+		}
+		if detected[a.VehicleID] == nil {
+			detected[a.VehicleID] = map[int]bool{}
+		}
+		detected[a.VehicleID][hit] = true
+	}
+	for _, hits := range detected {
+		m.TP += len(hits)
+	}
+	if m.TP+m.FP > 0 {
+		m.Precision = float64(m.TP) / float64(m.TP+m.FP)
+	}
+	if m.TotalFailures > 0 {
+		m.Recall = float64(m.TP) / float64(m.TotalFailures)
+	}
+	m.F1 = FBeta(m.Precision, m.Recall, 1)
+	m.F05 = FBeta(m.Precision, m.Recall, 0.5)
+	return m
+}
+
+// ConsolidateDaily collapses alarms to at most one per vehicle per UTC
+// day, keeping the first. Streaming detectors can fire on many
+// consecutive samples for one behavioural change; operationally (and in
+// the paper's Figure 8) those are one day-level alert.
+func ConsolidateDaily(alarms []detector.Alarm) []detector.Alarm {
+	type key struct {
+		vehicle string
+		day     int64
+	}
+	seen := map[key]bool{}
+	var out []detector.Alarm
+	for _, a := range alarms {
+		k := key{a.VehicleID, a.Time.UTC().Truncate(24 * time.Hour).Unix()}
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, a)
+	}
+	return out
+}
+
+// FilterByVehicles keeps only alarms from the given vehicle set.
+func FilterByVehicles(alarms []detector.Alarm, vehicles []string) []detector.Alarm {
+	keep := map[string]bool{}
+	for _, v := range vehicles {
+		keep[v] = true
+	}
+	var out []detector.Alarm
+	for _, a := range alarms {
+		if keep[a.VehicleID] {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// FilterEventsByVehicles keeps only events from the given vehicle set.
+func FilterEventsByVehicles(events []obd.Event, vehicles []string) []obd.Event {
+	keep := map[string]bool{}
+	for _, v := range vehicles {
+		keep[v] = true
+	}
+	var out []obd.Event
+	for _, ev := range events {
+		if keep[ev.VehicleID] {
+			out = append(out, ev)
+		}
+	}
+	return out
+}

@@ -1,0 +1,164 @@
+package eval
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"github.com/navarchos/pdm/internal/detector"
+	"github.com/navarchos/pdm/internal/obd"
+)
+
+var base = time.Date(2023, 6, 1, 0, 0, 0, 0, time.UTC)
+
+const day = 24 * time.Hour
+
+func alarm(vehicle string, daysIn float64) detector.Alarm {
+	return detector.Alarm{VehicleID: vehicle, Time: base.Add(time.Duration(daysIn * float64(day)))}
+}
+
+func failure(vehicle string, daysIn float64) obd.Event {
+	return obd.Event{VehicleID: vehicle, Time: base.Add(time.Duration(daysIn * float64(day))), Type: obd.EventRepair}
+}
+
+func TestFBeta(t *testing.T) {
+	if got := FBeta(0, 0, 0.5); got != 0 {
+		t.Errorf("FBeta(0,0) = %v", got)
+	}
+	// Paper's headline: P=0.78, R=0.44 → F0.5 ≈ 0.68.
+	got := FBeta(0.78, 0.44, 0.5)
+	if math.Abs(got-0.68) > 0.01 {
+		t.Errorf("F0.5(0.78, 0.44) = %v, want ≈ 0.68", got)
+	}
+	// F1 is symmetric in P and R.
+	if FBeta(0.3, 0.7, 1) != FBeta(0.7, 0.3, 1) {
+		t.Error("F1 should be symmetric")
+	}
+	// F0.5 weighs precision more: raising precision helps more than
+	// raising recall by the same amount.
+	if FBeta(0.8, 0.4, 0.5) <= FBeta(0.4, 0.8, 0.5) {
+		t.Error("F0.5 should favour precision")
+	}
+}
+
+func TestEvaluateBasicTPFP(t *testing.T) {
+	failures := []obd.Event{failure("v1", 100)}
+	// Two alarms inside PH=30d (one TP total), one outside (FP).
+	alarms := []detector.Alarm{
+		alarm("v1", 80),
+		alarm("v1", 95),
+		alarm("v1", 20),
+	}
+	m := Evaluate(alarms, failures, 30*day)
+	if m.TP != 1 || m.FP != 1 || m.TotalFailures != 1 {
+		t.Fatalf("TP=%d FP=%d total=%d", m.TP, m.FP, m.TotalFailures)
+	}
+	if m.Precision != 0.5 || m.Recall != 1 {
+		t.Errorf("P=%v R=%v", m.Precision, m.Recall)
+	}
+	if math.Abs(m.F05-(1.25*0.5*1)/(0.25*0.5+1)) > 1e-12 {
+		t.Errorf("F05 = %v", m.F05)
+	}
+}
+
+func TestEvaluatePHBoundary(t *testing.T) {
+	failures := []obd.Event{failure("v1", 100)}
+	// Exactly PH days before: inside (interval is (failure-PH, failure]).
+	m := Evaluate([]detector.Alarm{alarm("v1", 70.001)}, failures, 30*day)
+	if m.TP != 1 {
+		t.Errorf("alarm just inside PH not counted: %+v", m)
+	}
+	// Exactly at the failure time: inside.
+	m = Evaluate([]detector.Alarm{alarm("v1", 100)}, failures, 30*day)
+	if m.TP != 1 {
+		t.Errorf("alarm at failure time not counted: %+v", m)
+	}
+	// After the failure: FP.
+	m = Evaluate([]detector.Alarm{alarm("v1", 100.5)}, failures, 30*day)
+	if m.TP != 0 || m.FP != 1 {
+		t.Errorf("alarm after failure should be FP: %+v", m)
+	}
+	// Way before: FP.
+	m = Evaluate([]detector.Alarm{alarm("v1", 60)}, failures, 30*day)
+	if m.FP != 1 {
+		t.Errorf("alarm before PH should be FP: %+v", m)
+	}
+}
+
+func TestEvaluatePerVehicleMatching(t *testing.T) {
+	failures := []obd.Event{failure("v1", 50), failure("v2", 50)}
+	// v1's alarm must not detect v2's failure.
+	m := Evaluate([]detector.Alarm{alarm("v1", 45)}, failures, 30*day)
+	if m.TP != 1 || m.TotalFailures != 2 {
+		t.Fatalf("TP=%d total=%d", m.TP, m.TotalFailures)
+	}
+	if m.Recall != 0.5 {
+		t.Errorf("recall = %v, want 0.5", m.Recall)
+	}
+}
+
+func TestEvaluateMultipleFailuresSameVehicle(t *testing.T) {
+	failures := []obd.Event{failure("v1", 50), failure("v1", 200)}
+	alarms := []detector.Alarm{
+		alarm("v1", 45),  // inside first PH
+		alarm("v1", 190), // inside second PH
+		alarm("v1", 120), // between failures: FP
+	}
+	m := Evaluate(alarms, failures, 30*day)
+	if m.TP != 2 || m.FP != 1 {
+		t.Errorf("TP=%d FP=%d, want 2, 1", m.TP, m.FP)
+	}
+	if m.Recall != 1 {
+		t.Errorf("recall = %v", m.Recall)
+	}
+}
+
+func TestEvaluateNonRepairEventsIgnored(t *testing.T) {
+	events := []obd.Event{
+		{VehicleID: "v1", Time: base.Add(50 * day), Type: obd.EventService},
+		failure("v1", 100),
+	}
+	m := Evaluate([]detector.Alarm{alarm("v1", 45)}, events, 30*day)
+	// The alarm is not within 30d of the repair; the service must not
+	// count as a failure.
+	if m.TotalFailures != 1 || m.TP != 0 || m.FP != 1 {
+		t.Errorf("%+v", m)
+	}
+}
+
+func TestEvaluateEmpty(t *testing.T) {
+	m := Evaluate(nil, nil, 30*day)
+	if m.TP != 0 || m.FP != 0 || m.Precision != 0 || m.Recall != 0 || m.F05 != 0 {
+		t.Errorf("empty evaluation = %+v", m)
+	}
+}
+
+func TestConsolidateDaily(t *testing.T) {
+	alarms := []detector.Alarm{
+		alarm("v1", 10.1),
+		alarm("v1", 10.5), // same vehicle, same day -> dropped
+		alarm("v1", 11.1),
+		alarm("v2", 10.2), // different vehicle -> kept
+	}
+	got := ConsolidateDaily(alarms)
+	if len(got) != 3 {
+		t.Fatalf("consolidated to %d alarms, want 3", len(got))
+	}
+	// First alarm of the day wins.
+	if !got[0].Time.Equal(alarms[0].Time) {
+		t.Error("should keep the first alarm of the day")
+	}
+}
+
+func TestFilters(t *testing.T) {
+	alarms := []detector.Alarm{alarm("v1", 1), alarm("v2", 2)}
+	got := FilterByVehicles(alarms, []string{"v2"})
+	if len(got) != 1 || got[0].VehicleID != "v2" {
+		t.Errorf("FilterByVehicles = %v", got)
+	}
+	events := []obd.Event{failure("v1", 1), failure("v3", 2)}
+	gotE := FilterEventsByVehicles(events, []string{"v3"})
+	if len(gotE) != 1 || gotE[0].VehicleID != "v3" {
+		t.Errorf("FilterEventsByVehicles = %v", gotE)
+	}
+}

@@ -1,0 +1,100 @@
+package eval
+
+import (
+	"time"
+
+	"github.com/navarchos/pdm/internal/detector"
+	"github.com/navarchos/pdm/internal/obd"
+	"github.com/navarchos/pdm/internal/timeseries"
+	"github.com/navarchos/pdm/internal/transform"
+)
+
+// TraceSet holds the score traces of one technique × transform across a
+// vehicle set, enabling repeated threshold evaluations (Tables 2 and 3)
+// without re-running the detectors.
+type TraceSet struct {
+	spec   GridSpec
+	tech   Technique
+	kind   transform.Kind
+	traces []vehicleTrace
+}
+
+// CollectTraceSet runs the technique × transform over every vehicle in
+// the union of spec.Settings and returns the score traces.
+func CollectTraceSet(spec GridSpec, tech Technique, kind transform.Kind) (*TraceSet, error) {
+	spec.defaults()
+	union := map[string]bool{}
+	for _, vs := range spec.Settings {
+		for _, v := range vs {
+			union[v] = true
+		}
+	}
+	vehicles := make([]string, 0, len(union))
+	for v := range union {
+		vehicles = append(vehicles, v)
+	}
+	byVehicle := timeseries.SplitByVehicle(spec.Records)
+	traces, err := collectTraces(&spec, tech, kind, vehicles, byVehicle)
+	if err != nil {
+		return nil, err
+	}
+	return &TraceSet{spec: spec, tech: tech, kind: kind, traces: traces}, nil
+}
+
+// Alarms replays the traces under one threshold parameter, applying the
+// spec's density persistence, the transform's absolute floor, and daily
+// consolidation.
+func (ts *TraceSet) Alarms(param float64) []detector.Alarm {
+	alarms := replayAlarmsDensity(ts.traces, param, ts.tech.UsesConstantThreshold(),
+		ts.spec.DensityM, ts.spec.DensityK, absFloorFor(ts.spec.AbsFloor, ts.kind))
+	return ConsolidateDaily(alarms)
+}
+
+// Evaluate scores one threshold parameter against the recorded failures
+// of the given vehicle subset at the given prediction horizon.
+func (ts *TraceSet) Evaluate(param float64, vehicles []string, ph time.Duration) Metrics {
+	alarms := FilterByVehicles(ts.Alarms(param), vehicles)
+	failures := FilterEventsByVehicles(ts.spec.Events, vehicles)
+	return Evaluate(alarms, failures, ph)
+}
+
+// BestJointParam returns the sweep parameter maximising the mean F0.5
+// across all (setting, PH) combinations — the paper's Table 2 uses "the
+// same method parameters for all depicted results".
+func (ts *TraceSet) BestJointParam() (float64, []Metrics) {
+	sweep := ts.spec.Factors
+	if ts.tech.UsesConstantThreshold() {
+		sweep = ts.spec.ConstThresholds
+	}
+	bestParam := sweep[0]
+	var bestMean float64 = -1
+	var bestMetrics []Metrics
+	for _, p := range sweep {
+		var sum float64
+		var all []Metrics
+		for _, vehicles := range ts.spec.Settings {
+			for _, ph := range ts.spec.PHs {
+				m := ts.Evaluate(p, vehicles, ph)
+				sum += m.F05
+				all = append(all, m)
+			}
+		}
+		if sum > bestMean {
+			bestMean = sum
+			bestParam = p
+			bestMetrics = all
+		}
+	}
+	return bestParam, bestMetrics
+}
+
+// Failures returns the recorded repair events among the given vehicles.
+func (ts *TraceSet) Failures(vehicles []string) []obd.Event {
+	var out []obd.Event
+	for _, ev := range FilterEventsByVehicles(ts.spec.Events, vehicles) {
+		if ev.Type == obd.EventRepair {
+			out = append(out, ev)
+		}
+	}
+	return out
+}

@@ -1,0 +1,71 @@
+package eval
+
+import (
+	"testing"
+	"time"
+
+	"github.com/navarchos/pdm/internal/fleetsim"
+	"github.com/navarchos/pdm/internal/transform"
+)
+
+func TestCollectTraceSetAndEvaluate(t *testing.T) {
+	f := fleetsim.Generate(fleetsim.SmallConfig())
+	spec := GridSpec{
+		Records:  f.Records,
+		Events:   f.Events,
+		Settings: map[string][]string{"s": f.EventVehicleIDs()},
+	}
+	ts, err := CollectTraceSet(spec, ClosestPair, transform.Correlation)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Alarms are daily-consolidated: at most one per vehicle-day.
+	alarms := ts.Alarms(10)
+	seen := map[string]bool{}
+	for _, a := range alarms {
+		key := a.VehicleID + a.Time.UTC().Truncate(24*time.Hour).String()
+		if seen[key] {
+			t.Fatal("Alarms not daily-consolidated")
+		}
+		seen[key] = true
+	}
+	// Higher factor never yields more alarms.
+	if len(ts.Alarms(40)) > len(alarms) {
+		t.Error("alarm count should be non-increasing in the factor")
+	}
+	m := ts.Evaluate(10, f.EventVehicleIDs(), 30*24*time.Hour)
+	if m.TotalFailures == 0 {
+		t.Fatal("no failures in evaluation universe")
+	}
+	// Failures helper matches the evaluation universe.
+	fails := ts.Failures(f.EventVehicleIDs())
+	if len(fails) != m.TotalFailures {
+		t.Errorf("Failures() = %d, Evaluate saw %d", len(fails), m.TotalFailures)
+	}
+}
+
+func TestBestJointParamIsSharedOptimum(t *testing.T) {
+	f := fleetsim.Generate(fleetsim.SmallConfig())
+	spec := GridSpec{
+		Records:  f.Records,
+		Events:   f.Events,
+		Settings: map[string][]string{"s": f.EventVehicleIDs()},
+		Factors:  []float64{5, 10, 20},
+		PHs:      []time.Duration{30 * 24 * time.Hour},
+	}
+	ts, err := CollectTraceSet(spec, ClosestPair, transform.Correlation)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, metrics := ts.BestJointParam()
+	if len(metrics) != 1 {
+		t.Fatalf("expected 1 cell metric, got %d", len(metrics))
+	}
+	// No other sweep value may beat the chosen one on mean F0.5.
+	bestScore := metrics[0].F05
+	for _, p := range spec.Factors {
+		if m := ts.Evaluate(p, f.EventVehicleIDs(), 30*24*time.Hour); m.F05 > bestScore+1e-12 {
+			t.Errorf("param %v (F05=%v) beats chosen %v (F05=%v)", p, m.F05, best, bestScore)
+		}
+	}
+}

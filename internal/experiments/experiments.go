@@ -1,0 +1,87 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation on the synthetic fleet: Figure 1 (DTC/event timelines),
+// Figure 2 (clustering + LOF outlier analysis), Figures 4–5 (the
+// technique × transformation grid), Figures 6–7 (critical diagrams),
+// Table 1 (execution time), Table 2 (the complete solution's analytic
+// results), Table 3 (the reset-policy ablation) and Figure 8 (one
+// vehicle's score traces).
+//
+// Each experiment returns a typed result and can render itself as text
+// in the layout of the corresponding paper exhibit.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/navarchos/pdm/internal/eval"
+	"github.com/navarchos/pdm/internal/fleetsim"
+)
+
+// Options configures an experiment run.
+type Options struct {
+	// FleetConfig selects the synthetic dataset (default BenchConfig).
+	FleetConfig fleetsim.Config
+	// Fleet, when non-nil, reuses an already generated fleet (so one
+	// generation serves all experiments).
+	Fleet *fleetsim.Fleet
+	// Grid, when non-nil, reuses an already computed comparison grid
+	// (Figures 4–7 and Table 1 all derive from it).
+	Grid *eval.GridResult
+}
+
+func (o *Options) fleet() *fleetsim.Fleet {
+	if o.Fleet == nil {
+		cfg := o.FleetConfig
+		if cfg.NumVehicles == 0 {
+			cfg = fleetsim.BenchConfig()
+		}
+		o.Fleet = fleetsim.Generate(cfg)
+	}
+	return o.Fleet
+}
+
+// gridSpec builds the standard evaluation grid for a fleet.
+func gridSpec(f *fleetsim.Fleet) eval.GridSpec {
+	return eval.GridSpec{
+		Records: f.Records,
+		Events:  f.Events,
+		Settings: map[string][]string{
+			Setting26: f.EventVehicleIDs(),
+			Setting40: f.AllVehicleIDs(),
+		},
+	}
+}
+
+// Setting names, matching the paper.
+const (
+	Setting26 = "setting26"
+	Setting40 = "setting40"
+)
+
+// grid computes (or reuses) the full comparison grid.
+func (o *Options) grid() (*eval.GridResult, error) {
+	if o.Grid != nil {
+		return o.Grid, nil
+	}
+	f := o.fleet()
+	res, err := eval.RunGrid(gridSpec(f))
+	if err != nil {
+		return nil, err
+	}
+	o.Grid = res
+	return res, nil
+}
+
+// PH15 and PH30 are the paper's two prediction horizons.
+const (
+	PH15 = 15 * 24 * time.Hour
+	PH30 = 30 * 24 * time.Hour
+)
+
+// fprintf writes formatted output, ignoring errors (render helpers write
+// to in-memory buffers or stdout where failures are not actionable).
+func fprintf(w io.Writer, format string, args ...interface{}) {
+	fmt.Fprintf(w, format, args...)
+}

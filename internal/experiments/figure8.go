@@ -1,0 +1,194 @@
+package experiments
+
+import (
+	"io"
+	"time"
+
+	"github.com/navarchos/pdm/internal/core"
+	"github.com/navarchos/pdm/internal/detector/closestpair"
+	"github.com/navarchos/pdm/internal/eval"
+	"github.com/navarchos/pdm/internal/obd"
+	"github.com/navarchos/pdm/internal/thresholds"
+	"github.com/navarchos/pdm/internal/timeseries"
+	"github.com/navarchos/pdm/internal/transform"
+)
+
+// Figure8Result reproduces Figure 8: the per-feature anomaly scores of
+// the complete solution on one vehicle over its whole monitored life,
+// with self-tuning thresholds, profile resets, alarms, and TP/FP
+// classification at PH=30 days.
+type Figure8Result struct {
+	VehicleID    string
+	FeatureNames []string
+	Trace        *core.Trace
+	Alarms       []core.AlarmMark
+	Events       []obd.Event
+}
+
+// Figure8 runs the complete solution on the chosen vehicle (empty = the
+// first recorded failing vehicle) and classifies alarm days against the
+// 30-day horizon.
+func Figure8(opts *Options, vehicleID string) (*Figure8Result, error) {
+	f := opts.fleet()
+	if vehicleID == "" {
+		for i := range f.Vehicles {
+			v := &f.Vehicles[i]
+			if v.Recorded && v.FailureDay >= 0 {
+				vehicleID = v.ID
+				break
+			}
+		}
+	}
+	byVehicle := timeseries.SplitByVehicle(f.Records)
+	tr := &core.Trace{}
+	makeCfg := func() core.Config {
+		t, err := transform.New(transform.Correlation, 20)
+		if err != nil {
+			panic(err)
+		}
+		return core.Config{
+			Transformer:   t,
+			Detector:      closestpair.New(t.FeatureNames()),
+			Thresholder:   thresholds.NewSelfTuning(10),
+			ProfileLength: 60,
+			Filter:        timeseries.NewWarmupFilter(5, 20*time.Minute),
+			Trace:         tr,
+		}
+	}
+	alarms, err := core.RunVehicle(vehicleID, byVehicle[vehicleID], f.Events, makeCfg)
+	if err != nil {
+		return nil, err
+	}
+	t, _ := transform.New(transform.Correlation, 20)
+
+	var events []obd.Event
+	for _, ev := range f.Events {
+		if ev.VehicleID == vehicleID && ev.Type != obd.EventDTC {
+			events = append(events, ev)
+		}
+	}
+	// Classify consolidated alarm days vs PH=30d.
+	cons := eval.ConsolidateDaily(alarms)
+	failures := eval.FilterEventsByVehicles(f.Events, []string{vehicleID})
+	var marks []core.AlarmMark
+	for _, a := range cons {
+		mark := core.AlarmMark{Time: a.Time, Feature: a.Feature, Score: a.Score}
+		for _, ev := range failures {
+			if ev.Type == obd.EventRepair && !a.Time.After(ev.Time) && a.Time.After(ev.Time.Add(-PH30)) {
+				mark.TruePositive = true
+				break
+			}
+		}
+		marks = append(marks, mark)
+	}
+	return &Figure8Result{
+		VehicleID:    vehicleID,
+		FeatureNames: t.FeatureNames(),
+		Trace:        tr,
+		Alarms:       marks,
+		Events:       events,
+	}, nil
+}
+
+// Render writes a day-resolution strip chart per feature: '.' quiet,
+// digits 1-9 scale of score/threshold ratio, '!' violation; below, the
+// event and alarm rows.
+func (r *Figure8Result) Render(w io.Writer) {
+	fprintf(w, "Figure 8 — closest-pair scores on correlation features, vehicle %s\n", r.VehicleID)
+	fprintf(w, "--------------------------------------------------------------------\n")
+	if len(r.Trace.Times) == 0 {
+		fprintf(w, "(no scored samples — profile never filled)\n")
+		return
+	}
+	start := r.Trace.Times[0].Truncate(24 * time.Hour)
+	end := r.Trace.Times[len(r.Trace.Times)-1]
+	days := int(end.Sub(start).Hours()/24) + 1
+	if days < 1 {
+		days = 1
+	}
+	// Per feature per day: max score/threshold ratio.
+	nf := len(r.FeatureNames)
+	grid := make([][]float64, nf)
+	for c := range grid {
+		grid[c] = make([]float64, days)
+	}
+	for i, ts := range r.Trace.Times {
+		d := int(ts.Sub(start).Hours() / 24)
+		if d < 0 || d >= days {
+			continue
+		}
+		for c, s := range r.Trace.Scores[i] {
+			th := r.Trace.Thresholds[i][c]
+			if th <= 0 {
+				continue
+			}
+			ratio := s / th
+			if ratio > grid[c][d] {
+				grid[c][d] = ratio
+			}
+		}
+	}
+	for c := 0; c < nf; c++ {
+		fprintf(w, "%-32s ", r.FeatureNames[c])
+		for d := 0; d < days; d++ {
+			ratio := grid[c][d]
+			switch {
+			case ratio == 0:
+				fprintf(w, " ")
+			case ratio > 1:
+				fprintf(w, "!")
+			case ratio > 0.66:
+				fprintf(w, "+")
+			case ratio > 0.33:
+				fprintf(w, "-")
+			default:
+				fprintf(w, ".")
+			}
+		}
+		fprintf(w, "\n")
+	}
+	// Event row.
+	fprintf(w, "%-32s ", "events (S service, R repair)")
+	evDay := map[int]byte{}
+	for _, ev := range r.Events {
+		d := int(ev.Time.Sub(start).Hours() / 24)
+		if d < 0 || d >= days {
+			continue
+		}
+		if ev.Type == obd.EventRepair {
+			evDay[d] = 'R'
+		} else if evDay[d] == 0 {
+			evDay[d] = 'S'
+		}
+	}
+	for d := 0; d < days; d++ {
+		if b, ok := evDay[d]; ok {
+			fprintf(w, "%c", b)
+		} else {
+			fprintf(w, " ")
+		}
+	}
+	fprintf(w, "\n")
+	// Alarm row with TP/FP classification.
+	fprintf(w, "%-32s ", "alarms (T in PH30, F outside)")
+	alarmDay := map[int]byte{}
+	for _, a := range r.Alarms {
+		d := int(a.Time.Sub(start).Hours() / 24)
+		if d < 0 || d >= days {
+			continue
+		}
+		if a.TruePositive {
+			alarmDay[d] = 'T'
+		} else if alarmDay[d] == 0 {
+			alarmDay[d] = 'F'
+		}
+	}
+	for d := 0; d < days; d++ {
+		if b, ok := alarmDay[d]; ok {
+			fprintf(w, "%c", b)
+		} else {
+			fprintf(w, " ")
+		}
+	}
+	fprintf(w, "\n")
+}

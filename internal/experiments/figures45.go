@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"io"
+	"time"
+
+	"github.com/navarchos/pdm/internal/eval"
+	"github.com/navarchos/pdm/internal/transform"
+)
+
+// Figures45Result reproduces Figures 4 and 5: the F0.5 of every
+// technique × transformation for both prediction horizons, per setting.
+type Figures45Result struct {
+	Grid *eval.GridResult
+}
+
+// Figures45 runs (or reuses) the full comparison grid.
+func Figures45(opts *Options) (*Figures45Result, error) {
+	g, err := opts.grid()
+	if err != nil {
+		return nil, err
+	}
+	return &Figures45Result{Grid: g}, nil
+}
+
+// Render writes one paper-figure-like block per setting: rows are
+// transformations, columns techniques, each cell "F05@PH15 / F05@PH30".
+func (r *Figures45Result) Render(w io.Writer, setting string) {
+	figure := "Figure 4 (setting40)"
+	if setting == Setting26 {
+		figure = "Figure 5 (setting26)"
+	}
+	fprintf(w, "%s — F0.5 per data transformation and technique (PH15 / PH30)\n", figure)
+	fprintf(w, "--------------------------------------------------------------------------\n")
+	fprintf(w, "%-14s", "transform")
+	for _, tech := range eval.PaperTechniques() {
+		fprintf(w, " %22s", tech.String())
+	}
+	fprintf(w, "\n")
+	for _, kind := range transform.PaperKinds() {
+		fprintf(w, "%-14s", kind.String())
+		for _, tech := range eval.PaperTechniques() {
+			c15 := r.Grid.Cell(tech, kind, PH15, setting)
+			c30 := r.Grid.Cell(tech, kind, PH30, setting)
+			if c15 == nil || c30 == nil {
+				fprintf(w, " %22s", "-")
+				continue
+			}
+			fprintf(w, "          %5.2f / %5.2f", c15.Best.F05, c30.Best.F05)
+		}
+		fprintf(w, "\n")
+	}
+	best := r.BestCell(setting, PH30)
+	if best != nil {
+		fprintf(w, "best @PH30: %s on %s — F05=%.2f (P=%.2f R=%.2f)\n",
+			best.Technique, best.Transform, best.Best.F05, best.Best.Precision, best.Best.Recall)
+	}
+}
+
+// BestCell returns the strongest cell for a setting and PH.
+func (r *Figures45Result) BestCell(setting string, ph time.Duration) *eval.Cell {
+	var best *eval.Cell
+	for i := range r.Grid.Cells {
+		c := &r.Grid.Cells[i]
+		if c.Setting != setting || c.PH != ph {
+			continue
+		}
+		if best == nil || c.Best.F05 > best.Best.F05 {
+			best = c
+		}
+	}
+	return best
+}

@@ -1,0 +1,141 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/navarchos/pdm/internal/eval"
+	"github.com/navarchos/pdm/internal/stats"
+	"github.com/navarchos/pdm/internal/transform"
+)
+
+// CriticalDiagrams holds the three critical diagrams of Figure 6
+// (ranking transformations) or Figure 7 (ranking techniques).
+type CriticalDiagrams struct {
+	Title    string
+	Diagrams []LabeledDiagram
+}
+
+// LabeledDiagram is one sub-figure.
+type LabeledDiagram struct {
+	Label   string
+	Diagram *stats.CriticalDiagram
+}
+
+// Figure6 ranks the four data transformations with the Friedman +
+// Wilcoxon (Holm-corrected) procedure at the paper's three
+// granularities: (a) all techniques, (b) similarity-based only
+// (closest-pair, Grand), (c) XGBoost and TranAD only. Blocks are every
+// (technique, setting, PH) combination; scores are the best F0.5 of each
+// transformation in that block.
+func Figure6(opts *Options) (*CriticalDiagrams, error) {
+	g, err := opts.grid()
+	if err != nil {
+		return nil, err
+	}
+	sim := []eval.Technique{eval.ClosestPair, eval.Grand}
+	learn := []eval.Technique{eval.XGBoost, eval.TranAD}
+	out := &CriticalDiagrams{Title: "Figure 6 — critical diagrams for data transformation choices"}
+	for _, gran := range []struct {
+		label string
+		techs []eval.Technique
+	}{
+		{"(a) all techniques", eval.PaperTechniques()},
+		{"(b) similarity-based (closest-pair, grand)", sim},
+		{"(c) XGBoost and TranAD", learn},
+	} {
+		names := make([]string, 0, 4)
+		for _, k := range transform.PaperKinds() {
+			names = append(names, k.String())
+		}
+		var blocks [][]float64
+		for _, tech := range gran.techs {
+			for _, setting := range []string{Setting40, Setting26} {
+				for _, ph := range []string{"15", "30"} {
+					row := make([]float64, 0, len(names))
+					for _, k := range transform.PaperKinds() {
+						phd := PH15
+						if ph == "30" {
+							phd = PH30
+						}
+						c := g.Cell(tech, k, phd, setting)
+						if c == nil {
+							return nil, fmt.Errorf("experiments: Figure6: missing cell %v/%v/%s/%s", tech, k, ph, setting)
+						}
+						row = append(row, c.Best.F05)
+					}
+					blocks = append(blocks, row)
+				}
+			}
+		}
+		cd, err := stats.RankTreatments(names, blocks, 0.05)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: Figure6 %s: %w", gran.label, err)
+		}
+		out.Diagrams = append(out.Diagrams, LabeledDiagram{Label: gran.label, Diagram: cd})
+	}
+	return out, nil
+}
+
+// Figure7 ranks the four techniques at the paper's three granularities:
+// (a) over all transformations, (b) over correlation and raw only,
+// (c) over all transformations except raw. Blocks are (transform,
+// setting, PH) combinations.
+func Figure7(opts *Options) (*CriticalDiagrams, error) {
+	g, err := opts.grid()
+	if err != nil {
+		return nil, err
+	}
+	all := transform.PaperKinds()
+	corrRaw := []transform.Kind{transform.Correlation, transform.Raw}
+	noRaw := []transform.Kind{transform.Correlation, transform.MeanAgg, transform.Delta}
+	out := &CriticalDiagrams{Title: "Figure 7 — critical diagrams for anomaly detection techniques"}
+	for _, gran := range []struct {
+		label string
+		kinds []transform.Kind
+	}{
+		{"(a) all data transformations", all},
+		{"(b) correlation and raw data", corrRaw},
+		{"(c) all transformations except raw", noRaw},
+	} {
+		names := make([]string, 0, 4)
+		for _, t := range eval.PaperTechniques() {
+			names = append(names, t.String())
+		}
+		var blocks [][]float64
+		for _, kind := range gran.kinds {
+			for _, setting := range []string{Setting40, Setting26} {
+				for _, phd := range []int{15, 30} {
+					ph := PH15
+					if phd == 30 {
+						ph = PH30
+					}
+					row := make([]float64, 0, len(names))
+					for _, tech := range eval.PaperTechniques() {
+						c := g.Cell(tech, kind, ph, setting)
+						if c == nil {
+							return nil, fmt.Errorf("experiments: Figure7: missing cell %v/%v/%d/%s", tech, kind, phd, setting)
+						}
+						row = append(row, c.Best.F05)
+					}
+					blocks = append(blocks, row)
+				}
+			}
+		}
+		cd, err := stats.RankTreatments(names, blocks, 0.05)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: Figure7 %s: %w", gran.label, err)
+		}
+		out.Diagrams = append(out.Diagrams, LabeledDiagram{Label: gran.label, Diagram: cd})
+	}
+	return out, nil
+}
+
+// Render writes all diagrams.
+func (c *CriticalDiagrams) Render(w io.Writer) {
+	fprintf(w, "%s\n", c.Title)
+	fprintf(w, "--------------------------------------------------------------\n")
+	for _, d := range c.Diagrams {
+		fprintf(w, "\n%s\n%s", d.Label, d.Diagram.String())
+	}
+}

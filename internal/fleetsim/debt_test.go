@@ -1,0 +1,49 @@
+package fleetsim
+
+import "testing"
+
+func TestDebtAccumulatesAndResets(t *testing.T) {
+	v := Vehicle{maintDays: []int{50, 120}}
+	if got := v.debt(0); got != 0 {
+		t.Errorf("debt at day 0 = %v, want 0", got)
+	}
+	// Day 40: 40 days since (virtual) day-0 baseline.
+	if got := v.debt(40); got != 0.2 {
+		t.Errorf("debt(40) = %v, want 0.2", got)
+	}
+	// Day 50: service day resets.
+	if got := v.debt(50); got != 0 {
+		t.Errorf("debt(50) = %v, want 0 (service day)", got)
+	}
+	// Day 100: 50 days after the day-50 service.
+	if got := v.debt(100); got != 0.25 {
+		t.Errorf("debt(100) = %v, want 0.25", got)
+	}
+	// Day 130: 10 days after the day-120 service.
+	if got := v.debt(130); got != 0.05 {
+		t.Errorf("debt(130) = %v, want 0.05", got)
+	}
+	// Saturates at 1.
+	v2 := Vehicle{}
+	if got := v2.debt(10_000); got != 1 {
+		t.Errorf("debt should saturate at 1, got %v", got)
+	}
+}
+
+func TestGeneratedFleetTracksMaintDays(t *testing.T) {
+	f := Generate(SmallConfig())
+	for i := range f.Vehicles {
+		v := &f.Vehicles[i]
+		// Every physical service/repair in HiddenEvents appears in
+		// maintDays (debt is physical, independent of recording).
+		count := 0
+		for _, ev := range f.HiddenEvents {
+			if ev.VehicleID == v.ID && ev.Type != 2 /* not DTC */ {
+				count++
+			}
+		}
+		if len(v.maintDays) != count {
+			t.Errorf("%s: maintDays=%d, hidden maintenance events=%d", v.ID, len(v.maintDays), count)
+		}
+	}
+}

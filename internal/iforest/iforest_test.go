@@ -1,0 +1,134 @@
+package iforest
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func cluster(n int, seed int64) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([][]float64, n)
+	for i := range out {
+		out[i] = []float64{rng.NormFloat64(), rng.NormFloat64()}
+	}
+	return out
+}
+
+func TestFitErrors(t *testing.T) {
+	if _, err := Fit(nil, Config{}); err != ErrNoData {
+		t.Error("empty data should error")
+	}
+	if _, err := Fit([][]float64{{1, 2}, {3}}, Config{}); err != ErrDimension {
+		t.Error("ragged data should error")
+	}
+}
+
+func TestScoreSeparatesOutliers(t *testing.T) {
+	data := cluster(500, 1)
+	f, err := Fit(data, Config{Trees: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inlier, err := f.Score([]float64{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	outlier, err := f.Score([]float64{9, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outlier <= inlier {
+		t.Errorf("outlier score %v not above inlier %v", outlier, inlier)
+	}
+	if outlier < 0.65 {
+		t.Errorf("far outlier score = %v, want > 0.65", outlier)
+	}
+	if inlier > 0.55 {
+		t.Errorf("dense inlier score = %v, want < 0.55", inlier)
+	}
+}
+
+func TestScoreRangeAndDim(t *testing.T) {
+	data := cluster(200, 2)
+	f, _ := Fit(data, Config{Trees: 50})
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 200; i++ {
+		s, err := f.Score([]float64{rng.NormFloat64() * 5, rng.NormFloat64() * 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s <= 0 || s >= 1 || math.IsNaN(s) {
+			t.Fatalf("score out of (0,1): %v", s)
+		}
+	}
+	if _, err := f.Score([]float64{1}); err != ErrDimension {
+		t.Error("dim mismatch should error")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	data := cluster(300, 4)
+	f1, _ := Fit(data, Config{Seed: 7})
+	f2, _ := Fit(data, Config{Seed: 7})
+	f3, _ := Fit(data, Config{Seed: 8})
+	q := []float64{2, -1}
+	s1, _ := f1.Score(q)
+	s2, _ := f2.Score(q)
+	s3, _ := f3.Score(q)
+	if s1 != s2 {
+		t.Error("same seed should give identical forests")
+	}
+	if s1 == s3 {
+		t.Error("different seeds should differ")
+	}
+}
+
+func TestConstantData(t *testing.T) {
+	// All-identical points: no split possible; scores must stay sane.
+	data := make([][]float64, 50)
+	for i := range data {
+		data[i] = []float64{3, 3}
+	}
+	f, err := Fit(data, Config{Trees: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := f.Score([]float64{3, 3})
+	if err != nil || math.IsNaN(s) || s <= 0 || s >= 1 {
+		t.Errorf("constant-data score = %v err=%v", s, err)
+	}
+}
+
+func TestAvgPathLength(t *testing.T) {
+	if avgPathLength(0) != 0 || avgPathLength(1) != 0 {
+		t.Error("c(<=1) should be 0")
+	}
+	if avgPathLength(2) != 1 {
+		t.Error("c(2) should be 1")
+	}
+	// c(n) grows ~ 2 ln(n); monotone.
+	prev := 0.0
+	for n := 2; n < 1000; n *= 2 {
+		c := avgPathLength(n)
+		if c <= prev {
+			t.Fatalf("c(%d) = %v not increasing", n, c)
+		}
+		prev = c
+	}
+	// Reference value: c(256) ≈ 10.244.
+	if got := avgPathLength(256); math.Abs(got-10.244) > 0.01 {
+		t.Errorf("c(256) = %v, want ≈ 10.244", got)
+	}
+}
+
+func TestSampleSizeClamp(t *testing.T) {
+	data := cluster(20, 5)
+	f, err := Fit(data, Config{Trees: 10, SampleSize: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.cfg.SampleSize != 20 {
+		t.Errorf("sample size not clamped: %d", f.cfg.SampleSize)
+	}
+}

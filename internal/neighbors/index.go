@@ -1,0 +1,127 @@
+// Package neighbors implements the nearest-neighbour machinery the
+// detectors build on: a brute-force index, a KD-tree index, k-NN
+// distance queries and the Local Outlier Factor (Breunig et al.,
+// SIGMOD 2000) both for in-sample outlier mining (the paper's Section 2
+// exploration) and for scoring new samples against a reference set (the
+// Grand detector's non-conformity measure).
+package neighbors
+
+import (
+	"container/heap"
+	"errors"
+	"math"
+	"sort"
+
+	"github.com/navarchos/pdm/internal/mat"
+)
+
+// Index answers k-nearest-neighbour queries over a fixed point set.
+type Index interface {
+	// KNN returns the indices and Euclidean distances of the k points
+	// nearest to q, ordered by increasing distance. Fewer than k results
+	// are returned when the index holds fewer points.
+	KNN(q []float64, k int) (idx []int, dist []float64)
+	// Len returns the number of indexed points.
+	Len() int
+	// Point returns the indexed point with the given index.
+	Point(i int) []float64
+}
+
+// ErrNoData is returned when an index is built over an empty point set.
+var ErrNoData = errors.New("neighbors: empty point set")
+
+// BruteIndex is the exact O(n) linear-scan index. For the reference
+// profile sizes in this library (hundreds to a few thousand points) it
+// is often faster than the tree thanks to its simplicity.
+type BruteIndex struct {
+	data [][]float64
+}
+
+// NewBrute builds a brute-force index over data (which is retained, not
+// copied).
+func NewBrute(data [][]float64) (*BruteIndex, error) {
+	if len(data) == 0 {
+		return nil, ErrNoData
+	}
+	return &BruteIndex{data: data}, nil
+}
+
+// Len implements Index.
+func (b *BruteIndex) Len() int { return len(b.data) }
+
+// Point implements Index.
+func (b *BruteIndex) Point(i int) []float64 { return b.data[i] }
+
+// KNN implements Index.
+func (b *BruteIndex) KNN(q []float64, k int) ([]int, []float64) {
+	if k > len(b.data) {
+		k = len(b.data)
+	}
+	if k <= 0 {
+		return nil, nil
+	}
+	h := newMaxHeap(k)
+	for i, p := range b.data {
+		d, err := mat.SquaredEuclidean(q, p)
+		if err != nil {
+			continue
+		}
+		h.offer(i, d)
+	}
+	return h.sorted()
+}
+
+// maxHeap keeps the k smallest squared distances seen so far, with the
+// largest of them on top for O(log k) replacement.
+type maxHeap struct {
+	k    int
+	idx  []int
+	dist []float64
+}
+
+func newMaxHeap(k int) *maxHeap { return &maxHeap{k: k} }
+
+func (h *maxHeap) Len() int           { return len(h.idx) }
+func (h *maxHeap) Less(i, j int) bool { return h.dist[i] > h.dist[j] }
+func (h *maxHeap) Swap(i, j int) {
+	h.idx[i], h.idx[j] = h.idx[j], h.idx[i]
+	h.dist[i], h.dist[j] = h.dist[j], h.dist[i]
+}
+func (h *maxHeap) Push(x interface{}) { panic("use offer") }
+func (h *maxHeap) Pop() interface{}   { panic("use offer") }
+func (h *maxHeap) worst() float64     { return h.dist[0] }
+func (h *maxHeap) full() bool         { return len(h.idx) == h.k }
+
+// offer considers point i at squared distance d.
+func (h *maxHeap) offer(i int, d float64) {
+	if !h.full() {
+		h.idx = append(h.idx, i)
+		h.dist = append(h.dist, d)
+		if h.full() {
+			heap.Init(h)
+		}
+		return
+	}
+	if d >= h.worst() {
+		return
+	}
+	h.idx[0], h.dist[0] = i, d
+	heap.Fix(h, 0)
+}
+
+// sorted returns indices and TRUE (non-squared) distances ascending.
+func (h *maxHeap) sorted() ([]int, []float64) {
+	n := len(h.idx)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return h.dist[order[a]] < h.dist[order[b]] })
+	idx := make([]int, n)
+	dist := make([]float64, n)
+	for pos, o := range order {
+		idx[pos] = h.idx[o]
+		dist[pos] = math.Sqrt(h.dist[o])
+	}
+	return idx, dist
+}

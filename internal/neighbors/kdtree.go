@@ -1,0 +1,124 @@
+package neighbors
+
+import (
+	"sort"
+)
+
+// KDTree is a balanced k-d tree over a fixed point set, built by median
+// splits on the axis of greatest spread. Exact k-NN via bounded
+// branch-and-bound search.
+type KDTree struct {
+	data  [][]float64
+	nodes []kdNode
+	root  int
+	dim   int
+}
+
+type kdNode struct {
+	point       int // index into data
+	axis        int
+	left, right int // node indices; -1 = leaf edge
+}
+
+// NewKDTree builds a tree over data (retained, not copied). All points
+// must share the same dimensionality.
+func NewKDTree(data [][]float64) (*KDTree, error) {
+	if len(data) == 0 {
+		return nil, ErrNoData
+	}
+	t := &KDTree{data: data, dim: len(data[0])}
+	idx := make([]int, len(data))
+	for i := range idx {
+		idx[i] = i
+	}
+	t.nodes = make([]kdNode, 0, len(data))
+	t.root = t.build(idx, 0)
+	return t, nil
+}
+
+// Len implements Index.
+func (t *KDTree) Len() int { return len(t.data) }
+
+// Point implements Index.
+func (t *KDTree) Point(i int) []float64 { return t.data[i] }
+
+// build recursively constructs the subtree over idx and returns its node
+// index, or -1 for an empty set.
+func (t *KDTree) build(idx []int, depth int) int {
+	if len(idx) == 0 {
+		return -1
+	}
+	axis := t.bestAxis(idx)
+	sort.Slice(idx, func(a, b int) bool { return t.data[idx[a]][axis] < t.data[idx[b]][axis] })
+	mid := len(idx) / 2
+	nodeIdx := len(t.nodes)
+	t.nodes = append(t.nodes, kdNode{point: idx[mid], axis: axis, left: -1, right: -1})
+	// Children are built after the parent is appended so the slice index
+	// stays stable.
+	left := t.build(idx[:mid], depth+1)
+	right := t.build(idx[mid+1:], depth+1)
+	t.nodes[nodeIdx].left = left
+	t.nodes[nodeIdx].right = right
+	return nodeIdx
+}
+
+// bestAxis picks the coordinate with the widest range over idx.
+func (t *KDTree) bestAxis(idx []int) int {
+	best, bestSpread := 0, -1.0
+	for a := 0; a < t.dim; a++ {
+		lo, hi := t.data[idx[0]][a], t.data[idx[0]][a]
+		for _, i := range idx[1:] {
+			v := t.data[i][a]
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		if s := hi - lo; s > bestSpread {
+			bestSpread = s
+			best = a
+		}
+	}
+	return best
+}
+
+// KNN implements Index.
+func (t *KDTree) KNN(q []float64, k int) ([]int, []float64) {
+	if k > len(t.data) {
+		k = len(t.data)
+	}
+	if k <= 0 || len(q) != t.dim {
+		return nil, nil
+	}
+	h := newMaxHeap(k)
+	t.search(t.root, q, h)
+	return h.sorted()
+}
+
+func (t *KDTree) search(node int, q []float64, h *maxHeap) {
+	if node < 0 {
+		return
+	}
+	n := &t.nodes[node]
+	p := t.data[n.point]
+	var d float64
+	for i := range q {
+		diff := q[i] - p[i]
+		d += diff * diff
+	}
+	h.offer(n.point, d)
+
+	diff := q[n.axis] - p[n.axis]
+	near, far := n.left, n.right
+	if diff > 0 {
+		near, far = n.right, n.left
+	}
+	t.search(near, q, h)
+	// Prune the far side unless the splitting plane is closer than the
+	// current k-th best.
+	if !h.full() || diff*diff < h.worst() {
+		t.search(far, q, h)
+	}
+}

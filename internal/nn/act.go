@@ -1,0 +1,109 @@
+package nn
+
+import (
+	"math"
+
+	"github.com/navarchos/pdm/internal/mat"
+)
+
+// ReLU is the rectified linear activation.
+type ReLU struct {
+	mask []bool
+}
+
+// NewReLU returns a ReLU layer.
+func NewReLU() *ReLU { return &ReLU{} }
+
+// Forward implements Layer.
+func (r *ReLU) Forward(x *mat.Matrix) *mat.Matrix {
+	out := x.Clone()
+	if cap(r.mask) < len(out.Data) {
+		r.mask = make([]bool, len(out.Data))
+	}
+	r.mask = r.mask[:len(out.Data)]
+	for i, v := range out.Data {
+		if v < 0 {
+			out.Data[i] = 0
+			r.mask[i] = false
+		} else {
+			r.mask[i] = true
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (r *ReLU) Backward(grad *mat.Matrix) *mat.Matrix {
+	out := grad.Clone()
+	for i := range out.Data {
+		if !r.mask[i] {
+			out.Data[i] = 0
+		}
+	}
+	return out
+}
+
+// Params implements Layer.
+func (r *ReLU) Params() []*Param { return nil }
+
+// Sigmoid is the logistic activation.
+type Sigmoid struct {
+	y *mat.Matrix
+}
+
+// NewSigmoid returns a Sigmoid layer.
+func NewSigmoid() *Sigmoid { return &Sigmoid{} }
+
+// Forward implements Layer.
+func (s *Sigmoid) Forward(x *mat.Matrix) *mat.Matrix {
+	out := x.Clone()
+	for i, v := range out.Data {
+		out.Data[i] = 1 / (1 + math.Exp(-v))
+	}
+	s.y = out
+	return out
+}
+
+// Backward implements Layer.
+func (s *Sigmoid) Backward(grad *mat.Matrix) *mat.Matrix {
+	out := grad.Clone()
+	for i := range out.Data {
+		y := s.y.Data[i]
+		out.Data[i] *= y * (1 - y)
+	}
+	return out
+}
+
+// Params implements Layer.
+func (s *Sigmoid) Params() []*Param { return nil }
+
+// Tanh is the hyperbolic-tangent activation.
+type Tanh struct {
+	y *mat.Matrix
+}
+
+// NewTanh returns a Tanh layer.
+func NewTanh() *Tanh { return &Tanh{} }
+
+// Forward implements Layer.
+func (t *Tanh) Forward(x *mat.Matrix) *mat.Matrix {
+	out := x.Clone()
+	for i, v := range out.Data {
+		out.Data[i] = math.Tanh(v)
+	}
+	t.y = out
+	return out
+}
+
+// Backward implements Layer.
+func (t *Tanh) Backward(grad *mat.Matrix) *mat.Matrix {
+	out := grad.Clone()
+	for i := range out.Data {
+		y := t.y.Data[i]
+		out.Data[i] *= 1 - y*y
+	}
+	return out
+}
+
+// Params implements Layer.
+func (t *Tanh) Params() []*Param { return nil }

@@ -1,0 +1,62 @@
+package nn
+
+import (
+	"math"
+
+	"github.com/navarchos/pdm/internal/mat"
+)
+
+// Adam is the Adam optimiser (Kingma & Ba) over a parameter set.
+type Adam struct {
+	LR, Beta1, Beta2, Eps float64
+	params                []*Param
+	m, v                  [][]float64
+	t                     int
+}
+
+// NewAdam builds an optimiser for params with the given learning rate
+// and standard defaults β1=0.9, β2=0.999, ε=1e-8.
+func NewAdam(params []*Param, lr float64) *Adam {
+	a := &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8, params: params}
+	a.m = make([][]float64, len(params))
+	a.v = make([][]float64, len(params))
+	for i, p := range params {
+		a.m[i] = make([]float64, len(p.W))
+		a.v[i] = make([]float64, len(p.W))
+	}
+	return a
+}
+
+// Step applies one update from the accumulated gradients and clears
+// them.
+func (a *Adam) Step() {
+	a.t++
+	bc1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	bc2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	for i, p := range a.params {
+		m, v := a.m[i], a.v[i]
+		for j := range p.W {
+			g := p.G[j]
+			m[j] = a.Beta1*m[j] + (1-a.Beta1)*g
+			v[j] = a.Beta2*v[j] + (1-a.Beta2)*g*g
+			mh := m[j] / bc1
+			vh := v[j] / bc2
+			p.W[j] -= a.LR * mh / (math.Sqrt(vh) + a.Eps)
+		}
+		p.ZeroGrad()
+	}
+}
+
+// MSELoss returns the mean squared error between pred and target along
+// with the gradient dL/dpred (already divided by the element count).
+func MSELoss(pred, target *mat.Matrix) (float64, *mat.Matrix) {
+	grad := mat.NewMatrix(pred.Rows, pred.Cols)
+	n := float64(len(pred.Data))
+	var loss float64
+	for i := range pred.Data {
+		d := pred.Data[i] - target.Data[i]
+		loss += d * d
+		grad.Data[i] = 2 * d / n
+	}
+	return loss / n, grad
+}

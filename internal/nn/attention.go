@@ -1,0 +1,241 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+
+	"github.com/navarchos/pdm/internal/mat"
+)
+
+// SelfAttention is multi-head scaled dot-product self-attention over a
+// sequence: the input matrix's rows are sequence positions, its columns
+// the model dimension. Dim must be divisible by Heads.
+type SelfAttention struct {
+	Dim, Heads, dk int
+	wq, wk, wv, wo *Linear
+
+	// caches
+	x       *mat.Matrix
+	q, k, v *mat.Matrix
+	attn    []*mat.Matrix // per head: seq×seq softmax weights
+	concat  *mat.Matrix
+}
+
+// NewSelfAttention builds a multi-head self-attention block.
+func NewSelfAttention(dim, heads int, rng *rand.Rand) *SelfAttention {
+	if heads < 1 || dim%heads != 0 {
+		panic("nn: SelfAttention dim must be divisible by heads")
+	}
+	return &SelfAttention{
+		Dim:   dim,
+		Heads: heads,
+		dk:    dim / heads,
+		wq:    NewLinear(dim, dim, rng),
+		wk:    NewLinear(dim, dim, rng),
+		wv:    NewLinear(dim, dim, rng),
+		wo:    NewLinear(dim, dim, rng),
+	}
+}
+
+// Forward implements Layer.
+func (a *SelfAttention) Forward(x *mat.Matrix) *mat.Matrix {
+	a.x = x
+	a.q = a.wq.Forward(x)
+	a.k = a.wk.Forward(x)
+	a.v = a.wv.Forward(x)
+	seq := x.Rows
+	a.attn = make([]*mat.Matrix, a.Heads)
+	a.concat = mat.NewMatrix(seq, a.Dim)
+	scale := 1 / math.Sqrt(float64(a.dk))
+	for h := 0; h < a.Heads; h++ {
+		off := h * a.dk
+		// scores = Qh Kh^T * scale, softmax per row.
+		attn := mat.NewMatrix(seq, seq)
+		for i := 0; i < seq; i++ {
+			qi := a.q.Row(i)[off : off+a.dk]
+			srow := attn.Row(i)
+			maxv := math.Inf(-1)
+			for j := 0; j < seq; j++ {
+				kj := a.k.Row(j)[off : off+a.dk]
+				var s float64
+				for t := 0; t < a.dk; t++ {
+					s += qi[t] * kj[t]
+				}
+				s *= scale
+				srow[j] = s
+				if s > maxv {
+					maxv = s
+				}
+			}
+			var sum float64
+			for j := range srow {
+				srow[j] = math.Exp(srow[j] - maxv)
+				sum += srow[j]
+			}
+			inv := 1 / sum
+			for j := range srow {
+				srow[j] *= inv
+			}
+		}
+		a.attn[h] = attn
+		// out_h = attn · Vh, written into the concat slot.
+		for i := 0; i < seq; i++ {
+			orow := a.concat.Row(i)[off : off+a.dk]
+			arow := attn.Row(i)
+			for j := 0; j < seq; j++ {
+				w := arow[j]
+				if w == 0 {
+					continue
+				}
+				vj := a.v.Row(j)[off : off+a.dk]
+				for t := 0; t < a.dk; t++ {
+					orow[t] += w * vj[t]
+				}
+			}
+		}
+	}
+	return a.wo.Forward(a.concat)
+}
+
+// Backward implements Layer.
+func (a *SelfAttention) Backward(grad *mat.Matrix) *mat.Matrix {
+	seq := a.x.Rows
+	dConcat := a.wo.Backward(grad)
+	dQ := mat.NewMatrix(seq, a.Dim)
+	dK := mat.NewMatrix(seq, a.Dim)
+	dV := mat.NewMatrix(seq, a.Dim)
+	scale := 1 / math.Sqrt(float64(a.dk))
+
+	for h := 0; h < a.Heads; h++ {
+		off := h * a.dk
+		attn := a.attn[h]
+		// dV += attn^T · dOut_h ; dAttn = dOut_h · Vh^T.
+		dAttn := mat.NewMatrix(seq, seq)
+		for i := 0; i < seq; i++ {
+			doi := dConcat.Row(i)[off : off+a.dk]
+			arow := attn.Row(i)
+			darow := dAttn.Row(i)
+			for j := 0; j < seq; j++ {
+				vj := a.v.Row(j)[off : off+a.dk]
+				dvj := dV.Row(j)[off : off+a.dk]
+				var dot float64
+				for t := 0; t < a.dk; t++ {
+					dvj[t] += arow[j] * doi[t]
+					dot += doi[t] * vj[t]
+				}
+				darow[j] = dot
+			}
+		}
+		// Softmax backward per row: dS = attn ⊙ (dAttn - rowsum(dAttn ⊙ attn)).
+		for i := 0; i < seq; i++ {
+			arow := attn.Row(i)
+			darow := dAttn.Row(i)
+			var dot float64
+			for j := 0; j < seq; j++ {
+				dot += darow[j] * arow[j]
+			}
+			for j := 0; j < seq; j++ {
+				darow[j] = arow[j] * (darow[j] - dot)
+			}
+		}
+		// dQ += dS · Kh * scale ; dK += dS^T · Qh * scale.
+		for i := 0; i < seq; i++ {
+			darow := dAttn.Row(i)
+			qi := a.q.Row(i)[off : off+a.dk]
+			dqi := dQ.Row(i)[off : off+a.dk]
+			for j := 0; j < seq; j++ {
+				ds := darow[j] * scale
+				if ds == 0 {
+					continue
+				}
+				kj := a.k.Row(j)[off : off+a.dk]
+				dkj := dK.Row(j)[off : off+a.dk]
+				for t := 0; t < a.dk; t++ {
+					dqi[t] += ds * kj[t]
+					dkj[t] += ds * qi[t]
+				}
+			}
+		}
+	}
+
+	dx := a.wq.Backward(dQ)
+	dxk := a.wk.Backward(dK)
+	dxv := a.wv.Backward(dV)
+	for i := range dx.Data {
+		dx.Data[i] += dxk.Data[i] + dxv.Data[i]
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (a *SelfAttention) Params() []*Param {
+	var out []*Param
+	out = append(out, a.wq.Params()...)
+	out = append(out, a.wk.Params()...)
+	out = append(out, a.wv.Params()...)
+	out = append(out, a.wo.Params()...)
+	return out
+}
+
+// PositionalEncoding adds fixed sinusoidal position information to a
+// sequence (rows = positions). It has no parameters.
+type PositionalEncoding struct {
+	Dim int
+}
+
+// NewPositionalEncoding returns the standard sinusoidal encoder.
+func NewPositionalEncoding(dim int) *PositionalEncoding { return &PositionalEncoding{Dim: dim} }
+
+// Forward implements Layer.
+func (p *PositionalEncoding) Forward(x *mat.Matrix) *mat.Matrix {
+	out := x.Clone()
+	for pos := 0; pos < out.Rows; pos++ {
+		row := out.Row(pos)
+		for j := 0; j < out.Cols; j++ {
+			angle := float64(pos) / math.Pow(10000, float64(2*(j/2))/float64(p.Dim))
+			if j%2 == 0 {
+				row[j] += math.Sin(angle)
+			} else {
+				row[j] += math.Cos(angle)
+			}
+		}
+	}
+	return out
+}
+
+// Backward implements Layer (identity gradient).
+func (p *PositionalEncoding) Backward(grad *mat.Matrix) *mat.Matrix { return grad }
+
+// Params implements Layer.
+func (p *PositionalEncoding) Params() []*Param { return nil }
+
+// Residual wraps a layer with a skip connection: y = x + f(x).
+type Residual struct {
+	Inner Layer
+}
+
+// NewResidual wraps inner with a skip connection.
+func NewResidual(inner Layer) *Residual { return &Residual{Inner: inner} }
+
+// Forward implements Layer.
+func (r *Residual) Forward(x *mat.Matrix) *mat.Matrix {
+	y := r.Inner.Forward(x)
+	out := y.Clone()
+	for i := range out.Data {
+		out.Data[i] += x.Data[i]
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (r *Residual) Backward(grad *mat.Matrix) *mat.Matrix {
+	dInner := r.Inner.Backward(grad)
+	out := dInner.Clone()
+	for i := range out.Data {
+		out.Data[i] += grad.Data[i]
+	}
+	return out
+}
+
+// Params implements Layer.
+func (r *Residual) Params() []*Param { return r.Inner.Params() }

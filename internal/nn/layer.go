@@ -1,0 +1,86 @@
+// Package nn is a small pure-Go neural-network kernel with explicit
+// backpropagation: dense layers, activations, layer normalisation,
+// multi-head self-attention and the Adam optimiser. It exists to support
+// the TranAD-style transformer reconstruction detector without any
+// external numerical dependency.
+//
+// Layers operate on mat.Matrix values whose rows are either batch
+// samples (dense nets) or sequence positions (attention). Forward caches
+// whatever Backward needs; a layer therefore handles one
+// forward/backward pair at a time and is not safe for concurrent use.
+package nn
+
+import (
+	"math"
+	"math/rand"
+
+	"github.com/navarchos/pdm/internal/mat"
+)
+
+// Param is one learnable tensor with its gradient accumulator, flattened
+// row-major.
+type Param struct {
+	W []float64 // weights
+	G []float64 // gradient, same length
+}
+
+func newParam(n int) *Param { return &Param{W: make([]float64, n), G: make([]float64, n)} }
+
+// ZeroGrad clears the gradient accumulator.
+func (p *Param) ZeroGrad() {
+	for i := range p.G {
+		p.G[i] = 0
+	}
+}
+
+// Layer is a differentiable module.
+type Layer interface {
+	// Forward maps input to output, caching intermediates for Backward.
+	Forward(x *mat.Matrix) *mat.Matrix
+	// Backward receives dL/d(output) and returns dL/d(input), adding
+	// parameter gradients into Params.
+	Backward(grad *mat.Matrix) *mat.Matrix
+	// Params returns the layer's learnable parameters (may be empty).
+	Params() []*Param
+}
+
+// Sequential chains layers.
+type Sequential struct {
+	Layers []Layer
+}
+
+// NewSequential builds a Sequential from the given layers.
+func NewSequential(layers ...Layer) *Sequential { return &Sequential{Layers: layers} }
+
+// Forward implements Layer.
+func (s *Sequential) Forward(x *mat.Matrix) *mat.Matrix {
+	for _, l := range s.Layers {
+		x = l.Forward(x)
+	}
+	return x
+}
+
+// Backward implements Layer.
+func (s *Sequential) Backward(grad *mat.Matrix) *mat.Matrix {
+	for i := len(s.Layers) - 1; i >= 0; i-- {
+		grad = s.Layers[i].Backward(grad)
+	}
+	return grad
+}
+
+// Params implements Layer.
+func (s *Sequential) Params() []*Param {
+	var out []*Param
+	for _, l := range s.Layers {
+		out = append(out, l.Params()...)
+	}
+	return out
+}
+
+// xavierInit fills w with Glorot-uniform values scaled by fan-in/out.
+func xavierInit(rng *rand.Rand, w []float64, fanIn, fanOut int) {
+	scale := math.Sqrt(6 / float64(fanIn+fanOut))
+	for i := range w {
+		w[i] = (rng.Float64()*2 - 1) * scale
+	}
+}

@@ -1,0 +1,80 @@
+package nn
+
+import (
+	"math"
+
+	"github.com/navarchos/pdm/internal/mat"
+)
+
+// LayerNorm normalises each row to zero mean and unit variance and
+// applies a learned per-feature gain and bias.
+type LayerNorm struct {
+	Dim   int
+	Eps   float64
+	gain  *Param
+	bias  *Param
+	xhat  *mat.Matrix
+	isdev []float64 // 1/std per row
+}
+
+// NewLayerNorm returns a layer norm over rows of width dim.
+func NewLayerNorm(dim int) *LayerNorm {
+	l := &LayerNorm{Dim: dim, Eps: 1e-5, gain: newParam(dim), bias: newParam(dim)}
+	for i := range l.gain.W {
+		l.gain.W[i] = 1
+	}
+	return l
+}
+
+// Forward implements Layer.
+func (l *LayerNorm) Forward(x *mat.Matrix) *mat.Matrix {
+	out := mat.NewMatrix(x.Rows, x.Cols)
+	l.xhat = mat.NewMatrix(x.Rows, x.Cols)
+	l.isdev = make([]float64, x.Rows)
+	for i := 0; i < x.Rows; i++ {
+		row := x.Row(i)
+		m := mat.Mean(row)
+		v := mat.Variance(row)
+		inv := 1 / math.Sqrt(v+l.Eps)
+		l.isdev[i] = inv
+		xh := l.xhat.Row(i)
+		o := out.Row(i)
+		for j, xv := range row {
+			xh[j] = (xv - m) * inv
+			o[j] = xh[j]*l.gain.W[j] + l.bias.W[j]
+		}
+	}
+	return out
+}
+
+// Backward implements Layer.
+func (l *LayerNorm) Backward(grad *mat.Matrix) *mat.Matrix {
+	dx := mat.NewMatrix(grad.Rows, grad.Cols)
+	n := float64(l.Dim)
+	for i := 0; i < grad.Rows; i++ {
+		g := grad.Row(i)
+		xh := l.xhat.Row(i)
+		// Param grads.
+		for j := 0; j < l.Dim; j++ {
+			l.gain.G[j] += g[j] * xh[j]
+			l.bias.G[j] += g[j]
+		}
+		// dxhat = g * gain; standard layer-norm input gradient.
+		var sumDx, sumDxXh float64
+		dxhat := make([]float64, l.Dim)
+		for j := 0; j < l.Dim; j++ {
+			dxhat[j] = g[j] * l.gain.W[j]
+			sumDx += dxhat[j]
+			sumDxXh += dxhat[j] * xh[j]
+		}
+		inv := l.isdev[i]
+		d := dx.Row(i)
+		for j := 0; j < l.Dim; j++ {
+			d[j] = (dxhat[j] - sumDx/n - xh[j]*sumDxXh/n) * inv
+		}
+	}
+	return dx
+}
+
+// Params implements Layer.
+func (l *LayerNorm) Params() []*Param { return []*Param{l.gain, l.bias} }

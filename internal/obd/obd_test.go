@@ -1,0 +1,89 @@
+package obd
+
+import (
+	"testing"
+	"time"
+)
+
+func TestPIDNames(t *testing.T) {
+	names := PIDNames()
+	if len(names) != int(NumPIDs) {
+		t.Fatalf("got %d names, want %d", len(names), NumPIDs)
+	}
+	want := []string{"rpm", "speed", "coolantTemp", "intakeTemp", "mapIntake", "MAFairFlowRate"}
+	for i, w := range want {
+		if names[i] != w {
+			t.Errorf("names[%d] = %q, want %q", i, names[i], w)
+		}
+	}
+	if PID(99).String() != "PID(99)" {
+		t.Errorf("out-of-range PID String = %q", PID(99).String())
+	}
+	if len(AllPIDs()) != int(NumPIDs) {
+		t.Error("AllPIDs wrong length")
+	}
+}
+
+func TestEnvelope(t *testing.T) {
+	if !InEnvelope(EngineRPM, 800) {
+		t.Error("idle rpm should be plausible")
+	}
+	if InEnvelope(EngineRPM, 20000) {
+		t.Error("20000 rpm should be implausible")
+	}
+	if InEnvelope(CoolantTemp, -40) {
+		t.Error("-40C coolant should be implausible")
+	}
+	if !InEnvelope(Speed, 0) {
+		t.Error("0 km/h must be in envelope")
+	}
+	if InEnvelope(MAFAirFlowRate, -5) {
+		t.Error("negative MAF should be implausible")
+	}
+	r := Envelope(PID(99))
+	if r.Min != 0 || r.Max != 0 {
+		t.Error("unknown PID should have empty envelope")
+	}
+}
+
+func TestDTCKindString(t *testing.T) {
+	if DTCPending.String() != "pending" || DTCStored.String() != "stored" {
+		t.Error("DTCKind names wrong")
+	}
+	if DTCKind(9).String() != "DTCKind(9)" {
+		t.Error("unknown kind format wrong")
+	}
+	if len(KnownDTCs()) < 5 {
+		t.Error("expected several known DTCs")
+	}
+}
+
+func TestEventString(t *testing.T) {
+	ts := time.Date(2023, 4, 1, 12, 0, 0, 0, time.UTC)
+	e := Event{VehicleID: "veh-01", Time: ts, Type: EventRepair, Note: "thermostat"}
+	got := e.String()
+	want := "2023-04-01 veh-01 repair (thermostat)"
+	if got != want {
+		t.Errorf("Event.String = %q, want %q", got, want)
+	}
+	d := DTCThermostat
+	e2 := Event{VehicleID: "veh-02", Time: ts, Type: EventDTC, DTC: &d}
+	if got := e2.String(); got != "2023-04-01 veh-02 dtc P0128" {
+		t.Errorf("DTC event string = %q", got)
+	}
+	if EventType(7).String() != "EventType(7)" {
+		t.Error("unknown event type format wrong")
+	}
+}
+
+func TestEventIsReset(t *testing.T) {
+	if !(Event{Type: EventService}).IsReset() {
+		t.Error("service should reset")
+	}
+	if !(Event{Type: EventRepair}).IsReset() {
+		t.Error("repair should reset")
+	}
+	if (Event{Type: EventDTC}).IsReset() {
+		t.Error("DTC should not reset")
+	}
+}

@@ -1,0 +1,169 @@
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// CriticalDiagram is the textual equivalent of the autorank critical
+// diagrams in the paper's Figures 6 and 7: treatments ordered by mean
+// rank, with cliques of treatments whose pairwise differences are NOT
+// statistically significant connected into groups.
+type CriticalDiagram struct {
+	Names     []string  // treatment names ordered best (lowest mean rank) first
+	MeanRanks []float64 // mean ranks in the same order
+	Friedman  *FriedmanResult
+	Alpha     float64
+	// PairwiseP[i][j] holds the Holm-corrected significance decision
+	// between ordered treatments i and j (i < j): true = significantly
+	// different.
+	Significant [][]bool
+	// Cliques lists maximal runs of adjacent treatments that are not
+	// significantly different from one another (the horizontal bars in a
+	// critical diagram). Each clique is a pair of inclusive indices into
+	// Names.
+	Cliques [][2]int
+}
+
+// RankTreatments runs the full autorank-style procedure on a score table
+// where scores[i][j] is treatment j's performance on block i (larger is
+// better): Friedman omnibus test, then pairwise Wilcoxon signed-rank
+// tests with Holm correction, then clique construction.
+func RankTreatments(names []string, scores [][]float64, alpha float64) (*CriticalDiagram, error) {
+	if len(names) == 0 {
+		return nil, fmt.Errorf("stats: RankTreatments: no treatments")
+	}
+	for i, row := range scores {
+		if len(row) != len(names) {
+			return nil, fmt.Errorf("stats: RankTreatments: block %d has %d scores, want %d", i, len(row), len(names))
+		}
+	}
+	fr, err := Friedman(scores)
+	if err != nil {
+		return nil, err
+	}
+	k := len(names)
+	// Order treatments by mean rank ascending (best first).
+	order := make([]int, k)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return fr.MeanRanks[order[a]] < fr.MeanRanks[order[b]] })
+
+	ordNames := make([]string, k)
+	ordRanks := make([]float64, k)
+	for pos, idx := range order {
+		ordNames[pos] = names[idx]
+		ordRanks[pos] = fr.MeanRanks[idx]
+	}
+
+	// Pairwise Wilcoxon on the ordered treatments, then Holm across all
+	// pairs (the autorank default for post-hoc analysis).
+	type pair struct{ a, b int }
+	var pairs []pair
+	var pvals []float64
+	for a := 0; a < k; a++ {
+		for b := a + 1; b < k; b++ {
+			xa := column(scores, order[a])
+			xb := column(scores, order[b])
+			res, err := Wilcoxon(xa, xb)
+			p := 1.0
+			if err == nil {
+				p = res.PValue
+			}
+			pairs = append(pairs, pair{a, b})
+			pvals = append(pvals, p)
+		}
+	}
+	rejected := HolmBonferroni(pvals, alpha)
+	sig := make([][]bool, k)
+	for i := range sig {
+		sig[i] = make([]bool, k)
+	}
+	for i, pr := range pairs {
+		sig[pr.a][pr.b] = rejected[i]
+		sig[pr.b][pr.a] = rejected[i]
+	}
+
+	cd := &CriticalDiagram{
+		Names:       ordNames,
+		MeanRanks:   ordRanks,
+		Friedman:    fr,
+		Alpha:       alpha,
+		Significant: sig,
+	}
+	cd.Cliques = buildCliques(sig)
+	return cd, nil
+}
+
+// buildCliques finds maximal intervals [a, b] of ordered treatments in
+// which no pair is significantly different, dropping intervals contained
+// in larger ones — the horizontal connector bars of a critical diagram.
+func buildCliques(sig [][]bool) [][2]int {
+	k := len(sig)
+	var cliques [][2]int
+	for a := 0; a < k; a++ {
+		b := a
+		for b+1 < k && intervalClean(sig, a, b+1) {
+			b++
+		}
+		if b > a {
+			// Drop if contained in the previous clique.
+			if len(cliques) > 0 {
+				last := cliques[len(cliques)-1]
+				if last[0] <= a && b <= last[1] {
+					continue
+				}
+			}
+			cliques = append(cliques, [2]int{a, b})
+		}
+	}
+	return cliques
+}
+
+func intervalClean(sig [][]bool, a, b int) bool {
+	for i := a; i <= b; i++ {
+		for j := i + 1; j <= b; j++ {
+			if sig[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func column(scores [][]float64, j int) []float64 {
+	out := make([]float64, len(scores))
+	for i, row := range scores {
+		out[i] = row[j]
+	}
+	return out
+}
+
+// String renders the diagram as text, e.g.:
+//
+//	Friedman chi2=14.20 p=0.0027 (n=16 blocks, k=4 treatments)
+//	 1.53  correlation ──┐
+//	 2.09  raw         ──┤
+//	 2.88  mean        ──┘
+//	 3.50  delta
+//	groups (α=0.05): {correlation raw mean}
+func (cd *CriticalDiagram) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Friedman chi2=%.3f p=%.4g (n=%d blocks, k=%d treatments)\n",
+		cd.Friedman.Statistic, cd.Friedman.PValue, cd.Friedman.N, cd.Friedman.K)
+	for i, name := range cd.Names {
+		fmt.Fprintf(&b, " %5.2f  %s\n", cd.MeanRanks[i], name)
+	}
+	if len(cd.Cliques) == 0 {
+		fmt.Fprintf(&b, "groups (alpha=%g): all pairwise differences significant\n", cd.Alpha)
+		return b.String()
+	}
+	fmt.Fprintf(&b, "groups (alpha=%g):", cd.Alpha)
+	for _, cl := range cd.Cliques {
+		fmt.Fprintf(&b, " {%s}", strings.Join(cd.Names[cl[0]:cl[1]+1], " "))
+	}
+	b.WriteByte('\n')
+	return b.String()
+}

@@ -1,0 +1,77 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRankTreatmentsOrdering(t *testing.T) {
+	// Treatment "good" always wins, "bad" always loses, mid in between.
+	names := []string{"mid", "good", "bad"}
+	var scores [][]float64
+	for i := 0; i < 12; i++ {
+		f := float64(i)
+		scores = append(scores, []float64{0.5 + f/100, 0.9 + f/100, 0.1 + f/100})
+	}
+	cd, err := RankTreatments(names, scores, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cd.Names[0] != "good" || cd.Names[1] != "mid" || cd.Names[2] != "bad" {
+		t.Errorf("order = %v, want [good mid bad]", cd.Names)
+	}
+	if cd.MeanRanks[0] != 1 || cd.MeanRanks[2] != 3 {
+		t.Errorf("mean ranks = %v", cd.MeanRanks)
+	}
+	if cd.Friedman.PValue > 0.01 {
+		t.Errorf("omnibus p = %v, want significant", cd.Friedman.PValue)
+	}
+	// With 12 consistent blocks, every pairwise difference is
+	// significant: no cliques.
+	if len(cd.Cliques) != 0 {
+		t.Errorf("cliques = %v, want none", cd.Cliques)
+	}
+	s := cd.String()
+	if !strings.Contains(s, "good") || !strings.Contains(s, "Friedman") {
+		t.Errorf("String() missing content: %q", s)
+	}
+}
+
+func TestRankTreatmentsCliques(t *testing.T) {
+	// Two statistically indistinguishable treatments plus one clear loser.
+	names := []string{"a", "b", "loser"}
+	var scores [][]float64
+	alt := []float64{0.8, 0.81}
+	for i := 0; i < 14; i++ {
+		a, b := alt[i%2], alt[(i+1)%2]
+		scores = append(scores, []float64{a, b, 0.1})
+	}
+	cd, err := RankTreatments(names, scores, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a and b should form a clique; the loser should be outside it.
+	found := false
+	for _, cl := range cd.Cliques {
+		members := cd.Names[cl[0] : cl[1]+1]
+		has := map[string]bool{}
+		for _, m := range members {
+			has[m] = true
+		}
+		if has["a"] && has["b"] && !has["loser"] {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("expected clique {a b}; got %v (names %v)", cd.Cliques, cd.Names)
+	}
+}
+
+func TestRankTreatmentsErrors(t *testing.T) {
+	if _, err := RankTreatments(nil, nil, 0.05); err == nil {
+		t.Error("no treatments should error")
+	}
+	if _, err := RankTreatments([]string{"a", "b"}, [][]float64{{1}}, 0.05); err == nil {
+		t.Error("ragged scores should error")
+	}
+}

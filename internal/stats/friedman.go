@@ -1,0 +1,77 @@
+package stats
+
+import (
+	"errors"
+	"fmt"
+)
+
+// FriedmanResult holds the outcome of a Friedman test across k treatments
+// (methods) measured on n blocks (datasets / configurations).
+type FriedmanResult struct {
+	Statistic float64   // chi-square statistic (tie-corrected)
+	PValue    float64   // upper-tail chi-square p-value, k-1 dof
+	MeanRanks []float64 // average rank per treatment (rank 1 = best)
+	N         int       // number of blocks
+	K         int       // number of treatments
+}
+
+// Friedman runs the Friedman rank-sum test on a score table where
+// scores[i][j] is the performance of treatment j on block i, with LARGER
+// scores being better (treatments are ranked descending within each
+// block). It applies the standard tie correction. Requires at least 2
+// treatments and 2 blocks.
+func Friedman(scores [][]float64) (*FriedmanResult, error) {
+	n := len(scores)
+	if n < 2 {
+		return nil, errors.New("stats: Friedman needs at least 2 blocks")
+	}
+	k := len(scores[0])
+	if k < 2 {
+		return nil, errors.New("stats: Friedman needs at least 2 treatments")
+	}
+	rankSums := make([]float64, k)
+	// Tie correction term: sum over blocks of sum(t^3 - t) for tie
+	// groups of size t.
+	var tieSum float64
+	for i, row := range scores {
+		if len(row) != k {
+			return nil, fmt.Errorf("stats: Friedman: block %d has %d treatments, want %d", i, len(row), k)
+		}
+		ranks := RankDescending(row)
+		for j, r := range ranks {
+			rankSums[j] += r
+		}
+		tieSum += tieCorrection(row)
+	}
+	meanRanks := make([]float64, k)
+	for j := range rankSums {
+		meanRanks[j] = rankSums[j] / float64(n)
+	}
+	nf, kf := float64(n), float64(k)
+	var ssq float64
+	for _, rs := range rankSums {
+		ssq += rs * rs
+	}
+	chi := 12/(nf*kf*(kf+1))*ssq - 3*nf*(kf+1)
+	// Tie correction (Conover): divide by 1 - tieSum / (n k (k^2-1)).
+	denom := 1 - tieSum/(nf*kf*(kf*kf-1))
+	if denom > 0 {
+		chi /= denom
+	}
+	p := ChiSquareSurvival(chi, k-1)
+	return &FriedmanResult{Statistic: chi, PValue: p, MeanRanks: meanRanks, N: n, K: k}, nil
+}
+
+// tieCorrection returns sum(t^3 - t) over groups of tied values in row.
+func tieCorrection(row []float64) float64 {
+	counts := map[float64]int{}
+	for _, v := range row {
+		counts[v]++
+	}
+	var s float64
+	for _, t := range counts {
+		tf := float64(t)
+		s += tf*tf*tf - tf
+	}
+	return s
+}

@@ -1,0 +1,91 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestFriedmanKnownValue(t *testing.T) {
+	// Perfectly consistent ordering t0 > t2 > t1 in every block: rank
+	// sums 8, 24, 16; chi2 = 12/(8*3*4)*(64+576+256) - 3*8*4 = 16,
+	// the maximum n*(k-1) for k=3, n=8 (matches
+	// scipy.stats.friedmanchisquare, which is rank-direction invariant
+	// without ties).
+	scores := [][]float64{
+		{4, 2, 3},
+		{4, 2, 3},
+		{3, 1, 2},
+		{5, 3, 4},
+		{6, 4, 5},
+		{5, 2, 3},
+		{6, 3, 4},
+		{4, 1, 2},
+	}
+	res, err := Friedman(scores)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(res.Statistic, 16, 1e-9) {
+		t.Errorf("chi2 = %v, want 16", res.Statistic)
+	}
+	// Treatment 0 is always best => mean rank 1; treatment 1 always
+	// worst => mean rank 3.
+	if res.MeanRanks[0] != 1 || res.MeanRanks[1] != 3 || res.MeanRanks[2] != 2 {
+		t.Errorf("mean ranks = %v, want [1 3 2]", res.MeanRanks)
+	}
+	if res.PValue >= 0.01 {
+		t.Errorf("p = %v, want < 0.01 for perfectly consistent ordering", res.PValue)
+	}
+}
+
+func TestFriedmanNoDifference(t *testing.T) {
+	// Identical scores in every block: chi-square statistic 0, p = 1.
+	scores := [][]float64{
+		{1, 1, 1},
+		{2, 2, 2},
+		{3, 3, 3},
+	}
+	res, err := Friedman(scores)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Statistic != 0 {
+		t.Errorf("chi2 = %v, want 0", res.Statistic)
+	}
+	if !approx(res.PValue, 1, 1e-9) {
+		t.Errorf("p = %v, want 1", res.PValue)
+	}
+	for _, r := range res.MeanRanks {
+		if r != 2 {
+			t.Errorf("mean ranks = %v, want all 2", res.MeanRanks)
+		}
+	}
+}
+
+func TestFriedmanErrors(t *testing.T) {
+	if _, err := Friedman([][]float64{{1, 2}}); err == nil {
+		t.Error("single block should error")
+	}
+	if _, err := Friedman([][]float64{{1}, {2}}); err == nil {
+		t.Error("single treatment should error")
+	}
+	if _, err := Friedman([][]float64{{1, 2}, {1}}); err == nil {
+		t.Error("ragged table should error")
+	}
+}
+
+func TestFriedmanPValueRange(t *testing.T) {
+	scores := [][]float64{
+		{0.1, 0.9, 0.5, 0.3},
+		{0.2, 0.8, 0.6, 0.1},
+		{0.9, 0.2, 0.4, 0.3},
+		{0.5, 0.5, 0.5, 0.5},
+	}
+	res, err := Friedman(scores)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PValue < 0 || res.PValue > 1 || math.IsNaN(res.PValue) {
+		t.Errorf("p out of range: %v", res.PValue)
+	}
+}

@@ -1,0 +1,41 @@
+package stats
+
+import "sort"
+
+// RankData assigns ranks 1..n to the values of x, averaging the ranks of
+// ties (fractional ranks), matching scipy.stats.rankdata's "average"
+// method. Smaller values receive smaller ranks.
+func RankData(x []float64) []float64 {
+	n := len(x)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return x[idx[a]] < x[idx[b]] })
+	ranks := make([]float64, n)
+	i := 0
+	for i < n {
+		j := i
+		for j+1 < n && x[idx[j+1]] == x[idx[i]] {
+			j++
+		}
+		// Positions i..j (0-based) share the average rank.
+		avg := float64(i+j)/2 + 1
+		for k := i; k <= j; k++ {
+			ranks[idx[k]] = avg
+		}
+		i = j + 1
+	}
+	return ranks
+}
+
+// RankDescending assigns rank 1 to the LARGEST value (ties averaged).
+// This is the convention of classifier-ranking critical diagrams where
+// "rank 1" means "best" and larger scores are better.
+func RankDescending(x []float64) []float64 {
+	neg := make([]float64, len(x))
+	for i, v := range x {
+		neg[i] = -v
+	}
+	return RankData(neg)
+}

@@ -1,0 +1,56 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestRankData(t *testing.T) {
+	got := RankData([]float64{3, 1, 4, 1, 5})
+	want := []float64{3, 1.5, 4, 1.5, 5}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("RankData[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestRankDataAllTied(t *testing.T) {
+	got := RankData([]float64{7, 7, 7})
+	for _, r := range got {
+		if r != 2 {
+			t.Errorf("all-tied ranks = %v, want all 2", got)
+		}
+	}
+}
+
+func TestRankDescending(t *testing.T) {
+	got := RankDescending([]float64{0.9, 0.5, 0.7})
+	want := []float64{1, 3, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("RankDescending[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestRankSumInvariant(t *testing.T) {
+	// Sum of ranks must always be n(n+1)/2 regardless of ties.
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(30)
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = float64(rng.Intn(5)) // force ties
+		}
+		ranks := RankData(x)
+		var s float64
+		for _, r := range ranks {
+			s += r
+		}
+		want := float64(n*(n+1)) / 2
+		if s != want {
+			t.Fatalf("rank sum = %v, want %v (x=%v)", s, want, x)
+		}
+	}
+}

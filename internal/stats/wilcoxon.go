@@ -1,0 +1,137 @@
+package stats
+
+import (
+	"errors"
+	"math"
+)
+
+// WilcoxonResult holds the outcome of a Wilcoxon signed-rank test.
+type WilcoxonResult struct {
+	W      float64 // min(W+, W-) statistic
+	PValue float64 // two-sided p-value
+	N      int     // effective sample size after dropping zero differences
+	Exact  bool    // whether the exact null distribution was used
+}
+
+// exactThreshold is the largest effective n for which the exact signed
+// rank null distribution is enumerated; above it the normal
+// approximation with tie correction is used (scipy switches at n=25 by
+// default as well).
+const exactThreshold = 25
+
+// Wilcoxon runs the two-sided Wilcoxon signed-rank test on paired samples
+// x and y, testing the null hypothesis that the median of x-y is zero.
+// Zero differences are discarded (Wilcoxon's original treatment). It
+// errors when the slices differ in length or fewer than one nonzero
+// difference remains.
+func Wilcoxon(x, y []float64) (*WilcoxonResult, error) {
+	if len(x) != len(y) {
+		return nil, errors.New("stats: Wilcoxon: length mismatch")
+	}
+	diffs := make([]float64, 0, len(x))
+	for i := range x {
+		d := x[i] - y[i]
+		if d != 0 {
+			diffs = append(diffs, d)
+		}
+	}
+	n := len(diffs)
+	if n < 1 {
+		return nil, errors.New("stats: Wilcoxon: all differences are zero")
+	}
+	abs := make([]float64, n)
+	for i, d := range diffs {
+		abs[i] = math.Abs(d)
+	}
+	ranks := RankData(abs)
+	var wPlus, wMinus float64
+	hasTies := false
+	seen := map[float64]bool{}
+	for i, d := range diffs {
+		if seen[abs[i]] {
+			hasTies = true
+		}
+		seen[abs[i]] = true
+		if d > 0 {
+			wPlus += ranks[i]
+		} else {
+			wMinus += ranks[i]
+		}
+	}
+	w := math.Min(wPlus, wMinus)
+
+	if n <= exactThreshold && !hasTies {
+		p := exactSignedRankP(w, n)
+		return &WilcoxonResult{W: w, PValue: p, N: n, Exact: true}, nil
+	}
+	// Normal approximation with tie correction and continuity correction.
+	nf := float64(n)
+	mean := nf * (nf + 1) / 4
+	varW := nf * (nf + 1) * (2*nf + 1) / 24
+	varW -= tieCorrection(abs) / 48
+	if varW <= 0 {
+		return &WilcoxonResult{W: w, PValue: 1, N: n, Exact: false}, nil
+	}
+	z := (w - mean + 0.5) / math.Sqrt(varW)
+	p := 2 * NormalCDF(z)
+	if p > 1 {
+		p = 1
+	}
+	return &WilcoxonResult{W: w, PValue: p, N: n, Exact: false}, nil
+}
+
+// exactSignedRankP returns the exact two-sided p-value
+// P(W ≤ w) * 2 under the signed-rank null distribution for n untied
+// observations, computed by dynamic programming over the 2^n sign
+// assignments: counts[s] = number of subsets of {1..n} summing to s.
+func exactSignedRankP(w float64, n int) float64 {
+	maxSum := n * (n + 1) / 2
+	counts := make([]float64, maxSum+1)
+	counts[0] = 1
+	for r := 1; r <= n; r++ {
+		for s := maxSum; s >= r; s-- {
+			counts[s] += counts[s-r]
+		}
+	}
+	var cum float64
+	limit := int(math.Floor(w))
+	for s := 0; s <= limit && s <= maxSum; s++ {
+		cum += counts[s]
+	}
+	total := math.Pow(2, float64(n))
+	p := 2 * cum / total
+	if p > 1 {
+		p = 1
+	}
+	return p
+}
+
+// HolmBonferroni applies the Holm step-down correction to a slice of
+// p-values at significance level alpha. It returns, for each hypothesis,
+// whether it is rejected (significant) after correction, preserving the
+// input order.
+func HolmBonferroni(pvalues []float64, alpha float64) []bool {
+	m := len(pvalues)
+	order := make([]int, m)
+	for i := range order {
+		order[i] = i
+	}
+	// Sort ascending by p-value (insertion sort: m is tiny here).
+	for i := 1; i < m; i++ {
+		j := i
+		for j > 0 && pvalues[order[j-1]] > pvalues[order[j]] {
+			order[j-1], order[j] = order[j], order[j-1]
+			j--
+		}
+	}
+	rejected := make([]bool, m)
+	for k, idx := range order {
+		threshold := alpha / float64(m-k)
+		if pvalues[idx] <= threshold {
+			rejected[idx] = true
+		} else {
+			break // step-down: once we fail to reject, stop
+		}
+	}
+	return rejected
+}

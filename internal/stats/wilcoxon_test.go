@@ -1,0 +1,179 @@
+package stats
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestWilcoxonExactKnown(t *testing.T) {
+	// scipy.stats.wilcoxon(x, y, mode='exact') on these pairs gives
+	// W = 1.5? — avoid ties: use differences 1..6 all positive except one.
+	x := []float64{10, 20, 30, 40, 50, 60}
+	y := []float64{9, 18, 27, 36, 45, 66} // diffs: 1,2,3,4,5,-6
+	res, err := Wilcoxon(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Exact {
+		t.Error("n=6 without ties should use the exact distribution")
+	}
+	// |diffs| = 1..6 -> ranks 1..6; W- = 6, W+ = 15, W = 6.
+	if res.W != 6 {
+		t.Errorf("W = %v, want 6", res.W)
+	}
+	// Exact two-sided p: 2*P(W<=6) with n=6. Number of subsets of
+	// {1..6} with sum<=6: sums 0..6 -> counts 1,1,1,2,2,3,4 = 14.
+	// p = 2*14/64 = 0.4375 (matches scipy).
+	if !approx(res.PValue, 0.4375, 1e-12) {
+		t.Errorf("p = %v, want 0.4375", res.PValue)
+	}
+}
+
+func TestWilcoxonAllSameSign(t *testing.T) {
+	// Distinct |differences| 1..5 so the exact path is used.
+	x := []float64{2, 4, 6, 8, 10}
+	y := []float64{1, 2, 3, 4, 5}
+	res, err := Wilcoxon(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.W != 0 {
+		t.Errorf("W = %v, want 0 for one-sided dominance", res.W)
+	}
+	// p = 2 * P(W <= 0) = 2 * 1/2^5 = 0.0625
+	if !approx(res.PValue, 0.0625, 1e-12) {
+		t.Errorf("p = %v, want 0.0625", res.PValue)
+	}
+}
+
+func TestWilcoxonZeroDiffsDropped(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	y := []float64{1, 2, 2, 5} // two zero diffs dropped -> n=2
+	res, err := Wilcoxon(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.N != 2 {
+		t.Errorf("N = %d, want 2", res.N)
+	}
+	if _, err := Wilcoxon([]float64{1, 2}, []float64{1, 2}); err == nil {
+		t.Error("all-zero differences should error")
+	}
+	if _, err := Wilcoxon([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch should error")
+	}
+}
+
+func TestWilcoxonApproxLargeN(t *testing.T) {
+	// n > exactThreshold forces the normal approximation; a strongly
+	// one-sided difference must give a small p, a symmetric one a large p.
+	rng := rand.New(rand.NewSource(5))
+	n := 40
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		base := rng.NormFloat64()
+		x[i] = base + 2
+		y[i] = base + rng.NormFloat64()*0.1
+	}
+	res, err := Wilcoxon(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Exact {
+		t.Error("n=40 should use normal approximation")
+	}
+	if res.PValue > 1e-4 {
+		t.Errorf("strong shift: p = %v, want tiny", res.PValue)
+	}
+	// Symmetric noise: p should not be extreme.
+	for i := 0; i < n; i++ {
+		x[i] = rng.NormFloat64()
+		y[i] = rng.NormFloat64()
+	}
+	res, err = Wilcoxon(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PValue < 0.001 {
+		t.Errorf("pure noise: p = %v, suspiciously small", res.PValue)
+	}
+}
+
+func TestHolmBonferroni(t *testing.T) {
+	// Example: p = [0.01, 0.04, 0.03, 0.005], alpha = 0.05.
+	// Sorted: 0.005 (m=4: 0.0125 ok), 0.01 (m-1=3: 0.0167 ok),
+	// 0.03 (2: 0.025 FAIL) -> stop. Rejected: 0.005, 0.01 only.
+	p := []float64{0.01, 0.04, 0.03, 0.005}
+	rej := HolmBonferroni(p, 0.05)
+	want := []bool{true, false, false, true}
+	for i := range want {
+		if rej[i] != want[i] {
+			t.Errorf("Holm[%d] = %v, want %v", i, rej[i], want[i])
+		}
+	}
+}
+
+func TestHolmBonferroniEdge(t *testing.T) {
+	if got := HolmBonferroni(nil, 0.05); len(got) != 0 {
+		t.Error("empty input should give empty output")
+	}
+	rej := HolmBonferroni([]float64{1, 1, 1}, 0.05)
+	for _, r := range rej {
+		if r {
+			t.Error("p=1 must never be rejected")
+		}
+	}
+	rej = HolmBonferroni([]float64{0, 0}, 0.05)
+	for _, r := range rej {
+		if !r {
+			t.Error("p=0 must always be rejected")
+		}
+	}
+}
+
+func TestWilcoxonScipyReference(t *testing.T) {
+	// scipy.stats.wilcoxon([1,2,3,4,5,6,7,8], [2,4,6,8,10,12,14,16],
+	// mode='exact') -> statistic 0, p = 2/2^8 = 0.0078125.
+	x := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	y := []float64{2, 4, 6, 8, 10, 12, 14, 16}
+	res, err := Wilcoxon(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Exact || res.W != 0 {
+		t.Fatalf("W=%v exact=%v", res.W, res.Exact)
+	}
+	if !approx(res.PValue, 0.0078125, 1e-12) {
+		t.Errorf("p = %v, want 0.0078125", res.PValue)
+	}
+}
+
+func TestFriedmanWithTies(t *testing.T) {
+	// Ties within blocks exercise the tie-corrected statistic; the
+	// p-value must stay in range and the statistic finite.
+	scores := [][]float64{
+		{1, 1, 2},
+		{2, 2, 3},
+		{1, 2, 2},
+		{3, 3, 3},
+		{2, 1, 1},
+	}
+	res, err := Friedman(scores)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Statistic < 0 || res.PValue < 0 || res.PValue > 1 {
+		t.Errorf("tie-corrected Friedman out of range: chi2=%v p=%v", res.Statistic, res.PValue)
+	}
+	// All-tied block contributes rank 2 to everyone; rank sums still
+	// total n*k*(k+1)/2.
+	var total float64
+	for _, r := range res.MeanRanks {
+		total += r * float64(res.N)
+	}
+	want := float64(res.N*res.K*(res.K+1)) / 2
+	if !approx(total, want, 1e-9) {
+		t.Errorf("rank mass = %v, want %v", total, want)
+	}
+}

@@ -1,0 +1,83 @@
+package timeseries
+
+import (
+	"sort"
+	"time"
+
+	"github.com/navarchos/pdm/internal/mat"
+	"github.com/navarchos/pdm/internal/obd"
+)
+
+// DailyAggregate is one vehicle-day summarised by the mean and standard
+// deviation of each PID — the 12-dimensional feature space of the
+// paper's Section 2 exploration (6 means followed by 6 stds).
+type DailyAggregate struct {
+	VehicleID string
+	Date      time.Time // midnight UTC of the day
+	Count     int       // records aggregated
+	Means     [obd.NumPIDs]float64
+	Stds      [obd.NumPIDs]float64
+}
+
+// FeatureVector returns the 12-dimensional [means..., stds...] vector.
+func (d *DailyAggregate) FeatureVector() []float64 {
+	out := make([]float64, 2*obd.NumPIDs)
+	copy(out, d.Means[:])
+	copy(out[obd.NumPIDs:], d.Stds[:])
+	return out
+}
+
+// AggregateDaily groups records by (vehicle, UTC day) and produces one
+// DailyAggregate per group, sorted by vehicle then date. Days with fewer
+// than minRecords records are dropped (short stubs of driving produce
+// meaningless statistics; the paper aggregates full operating days).
+func AggregateDaily(recs []Record, minRecords int) []DailyAggregate {
+	type key struct {
+		vehicle string
+		day     int64
+	}
+	groups := map[key][]*Record{}
+	for i := range recs {
+		r := &recs[i]
+		day := r.Time.UTC().Truncate(24 * time.Hour).Unix()
+		k := key{r.VehicleID, day}
+		groups[k] = append(groups[k], r)
+	}
+	out := make([]DailyAggregate, 0, len(groups))
+	for k, rs := range groups {
+		if len(rs) < minRecords {
+			continue
+		}
+		agg := DailyAggregate{
+			VehicleID: k.vehicle,
+			Date:      time.Unix(k.day, 0).UTC(),
+			Count:     len(rs),
+		}
+		col := make([]float64, len(rs))
+		for p := 0; p < int(obd.NumPIDs); p++ {
+			for i, r := range rs {
+				col[i] = r.Values[p]
+			}
+			agg.Means[p] = mat.Mean(col)
+			agg.Stds[p] = mat.Std(col)
+		}
+		out = append(out, agg)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].VehicleID != out[j].VehicleID {
+			return out[i].VehicleID < out[j].VehicleID
+		}
+		return out[i].Date.Before(out[j].Date)
+	})
+	return out
+}
+
+// SplitByVehicle partitions records by vehicle ID, preserving the input
+// order within each vehicle.
+func SplitByVehicle(recs []Record) map[string][]Record {
+	out := map[string][]Record{}
+	for _, r := range recs {
+		out[r.VehicleID] = append(out[r.VehicleID], r)
+	}
+	return out
+}

@@ -1,0 +1,102 @@
+// Package timeseries provides the record, window and aggregation
+// machinery shared by the data transformations and the detection
+// pipeline: timestamped multivariate samples, sliding windows over them,
+// per-day aggregates for the exploratory analysis, and the
+// stationary-state / sensor-fault filters the paper applies before every
+// transformation (Section 3.2).
+package timeseries
+
+import (
+	"time"
+
+	"github.com/navarchos/pdm/internal/obd"
+)
+
+// Record is one multivariate PID measurement from one vehicle, sampled
+// at one-minute frequency while the vehicle operates.
+type Record struct {
+	VehicleID string
+	Time      time.Time
+	Values    [obd.NumPIDs]float64
+}
+
+// Value returns the measurement for PID p.
+func (r *Record) Value(p obd.PID) float64 { return r.Values[p] }
+
+// Slice returns the values as a freshly allocated []float64 in PID order.
+func (r *Record) Slice() []float64 {
+	out := make([]float64, obd.NumPIDs)
+	copy(out, r.Values[:])
+	return out
+}
+
+// IsStationary reports whether the record corresponds to the stationary
+// state of the vehicle: engine off or idling with no road speed. The
+// paper filters these out before transforming data because correlations
+// computed over idle periods carry no information about driving
+// behaviour.
+func (r *Record) IsStationary() bool {
+	return r.Values[obd.Speed] < 3 && r.Values[obd.EngineRPM] < 950
+}
+
+// HasSensorFault reports whether any PID value is outside its physically
+// plausible envelope, indicating a sensor or transmission fault that
+// must be dropped rather than scored.
+func (r *Record) HasSensorFault() bool {
+	for p := obd.PID(0); p < obd.NumPIDs; p++ {
+		if !obd.InEnvelope(p, r.Values[p]) {
+			return true
+		}
+	}
+	return false
+}
+
+// CleanFilter reports whether the record should be kept for analysis:
+// non-stationary and free of sensor faults.
+func CleanFilter(r *Record) bool {
+	return !r.IsStationary() && !r.HasSensorFault()
+}
+
+// NewWarmupFilter returns a STATEFUL filter that combines CleanFilter
+// with cold-start suppression: after any gap longer than tripGap in the
+// kept stream, the next skip records are dropped. Engine warm-up
+// transients (coolant climbing to its setpoint, heat-soaked intake air)
+// dominate cross-signal correlations for the first minutes of a trip and
+// would otherwise pollute both the reference profile and the scored
+// stream. The filter is per-vehicle state; build a fresh one per
+// pipeline.
+func NewWarmupFilter(skip int, tripGap time.Duration) func(*Record) bool {
+	var last time.Time
+	remaining := skip
+	return func(r *Record) bool {
+		if !CleanFilter(r) {
+			return false
+		}
+		if last.IsZero() || r.Time.Sub(last) > tripGap {
+			remaining = skip
+		}
+		last = r.Time
+		if remaining > 0 {
+			remaining--
+			return false
+		}
+		return true
+	}
+}
+
+// FilterRecords returns the subset of records for which keep returns
+// true, preserving order. A nil keep function keeps everything.
+func FilterRecords(recs []Record, keep func(*Record) bool) []Record {
+	if keep == nil {
+		out := make([]Record, len(recs))
+		copy(out, recs)
+		return out
+	}
+	out := make([]Record, 0, len(recs))
+	for i := range recs {
+		if keep(&recs[i]) {
+			out = append(out, recs[i])
+		}
+	}
+	return out
+}

@@ -1,0 +1,63 @@
+package timeseries
+
+import (
+	"testing"
+	"time"
+)
+
+func TestWarmupFilterSkipsColdStarts(t *testing.T) {
+	f := NewWarmupFilter(3, 20*time.Minute)
+	start := time.Date(2023, 2, 1, 8, 0, 0, 0, time.UTC)
+	kept := 0
+	// First trip: 10 contiguous driving minutes; the first 3 are skipped.
+	for i := 0; i < 10; i++ {
+		r := drivingRecord("v1", start.Add(time.Duration(i)*time.Minute))
+		if f(&r) {
+			kept++
+		}
+	}
+	if kept != 7 {
+		t.Errorf("first trip kept %d of 10, want 7", kept)
+	}
+	// Second trip after a 2-hour gap: warm-up skip applies again.
+	second := start.Add(2 * time.Hour)
+	kept = 0
+	for i := 0; i < 5; i++ {
+		r := drivingRecord("v1", second.Add(time.Duration(i)*time.Minute))
+		if f(&r) {
+			kept++
+		}
+	}
+	if kept != 2 {
+		t.Errorf("second trip kept %d of 5, want 2", kept)
+	}
+}
+
+func TestWarmupFilterNoGapNoSkip(t *testing.T) {
+	f := NewWarmupFilter(3, 20*time.Minute)
+	start := time.Date(2023, 2, 1, 8, 0, 0, 0, time.UTC)
+	for i := 0; i < 5; i++ {
+		r := drivingRecord("v1", start.Add(time.Duration(i)*time.Minute))
+		f(&r)
+	}
+	// A 15-minute pause (under the 20-minute trip gap) does NOT retrigger
+	// the warm-up skip.
+	resume := start.Add(5*time.Minute + 15*time.Minute)
+	r := drivingRecord("v1", resume)
+	if !f(&r) {
+		t.Error("sub-gap pause should not retrigger warm-up skipping")
+	}
+}
+
+func TestWarmupFilterStillCleans(t *testing.T) {
+	f := NewWarmupFilter(0, 20*time.Minute)
+	idle := mkRecord("v1", t0, 700, 0, 85, 25, 35, 3)
+	if f(&idle) {
+		t.Error("stationary record must still be dropped")
+	}
+	bad := drivingRecord("v1", t0)
+	bad.Values[3] = -40 // implausible intake temp
+	if f(&bad) {
+		t.Error("sensor-fault record must still be dropped")
+	}
+}

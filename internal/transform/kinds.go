@@ -1,0 +1,348 @@
+package transform
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/navarchos/pdm/internal/dsp"
+	"github.com/navarchos/pdm/internal/mat"
+	"github.com/navarchos/pdm/internal/obd"
+	"github.com/navarchos/pdm/internal/timeseries"
+)
+
+// maxGap is the largest time gap between consecutive records that a
+// stateful transformer will bridge. Records further apart belong to
+// different trips (or different days, with different weather and driver
+// behaviour); correlating or differencing across such a gap produces
+// artefacts — e.g. an overnight −60 °C coolant "delta" — so the buffer
+// is restarted instead.
+const maxGap = 45 * time.Minute
+
+// gapGuard tracks the last accepted record time and reports whether a
+// new record is separated from it by more than maxGap.
+type gapGuard struct {
+	last time.Time
+}
+
+func (g *gapGuard) broken(t time.Time) bool {
+	defer func() { g.last = t }()
+	return !g.last.IsZero() && t.Sub(g.last) > maxGap
+}
+
+func (g *gapGuard) reset() { g.last = time.Time{} }
+
+// corrTransformer emits, for each tumbling window of records, the
+// f·(f−1)/2 pairwise Pearson correlations between the PID signals — the
+// paper's winning transformation. Tumbling (non-overlapping) windows
+// match the paper's execution-time profile: the correlation stream is
+// roughly window-times smaller than the raw stream (Table 1).
+type corrTransformer struct {
+	win *timeseries.Window
+	gap gapGuard
+}
+
+func newCorrelation(window int) *corrTransformer {
+	return &corrTransformer{win: timeseries.NewWindow(window)}
+}
+
+func (c *corrTransformer) Name() string { return Correlation.String() }
+
+func (c *corrTransformer) Dim() int {
+	n := int(obd.NumPIDs)
+	return n * (n - 1) / 2
+}
+
+func (c *corrTransformer) FeatureNames() []string {
+	names := obd.PIDNames()
+	out := make([]string, 0, c.Dim())
+	for i := 0; i < len(names); i++ {
+		for j := i + 1; j < len(names); j++ {
+			out = append(out, fmt.Sprintf("corr(%s,%s)", names[i], names[j]))
+		}
+	}
+	return out
+}
+
+func (c *corrTransformer) Collect(r timeseries.Record) {
+	if c.gap.broken(r.Time) {
+		c.win.Reset()
+	}
+	c.win.Push(r)
+}
+
+func (c *corrTransformer) Ready() bool { return c.win.Full() }
+
+func (c *corrTransformer) Emit() []float64 {
+	cols := c.win.Columns()
+	out := make([]float64, 0, c.Dim())
+	for i := 0; i < len(cols); i++ {
+		for j := i + 1; j < len(cols); j++ {
+			r, err := mat.Pearson(cols[i], cols[j])
+			if err != nil {
+				r = 0
+			}
+			out = append(out, r)
+		}
+	}
+	c.win.Reset()
+	return out
+}
+
+func (c *corrTransformer) Reset() {
+	c.win.Reset()
+	c.gap.reset()
+}
+
+// rawTransformer passes each record's six PID values straight through.
+type rawTransformer struct {
+	cur  [obd.NumPIDs]float64
+	have bool
+}
+
+func newRaw() *rawTransformer { return &rawTransformer{} }
+
+func (t *rawTransformer) Name() string           { return Raw.String() }
+func (t *rawTransformer) Dim() int               { return int(obd.NumPIDs) }
+func (t *rawTransformer) FeatureNames() []string { return obd.PIDNames() }
+
+func (t *rawTransformer) Collect(r timeseries.Record) {
+	t.cur = r.Values
+	t.have = true
+}
+
+func (t *rawTransformer) Ready() bool { return t.have }
+
+func (t *rawTransformer) Emit() []float64 {
+	t.have = false
+	out := make([]float64, obd.NumPIDs)
+	copy(out, t.cur[:])
+	return out
+}
+
+func (t *rawTransformer) Reset() { t.have = false }
+
+// deltaTransformer emits the first difference of consecutive records —
+// the discrete derivative transformation of Giobergia et al. that the
+// paper includes as a candidate.
+type deltaTransformer struct {
+	prev    [obd.NumPIDs]float64
+	cur     [obd.NumPIDs]float64
+	n       int
+	pending bool
+	gap     gapGuard
+}
+
+func newDelta() *deltaTransformer { return &deltaTransformer{} }
+
+func (t *deltaTransformer) Name() string { return Delta.String() }
+func (t *deltaTransformer) Dim() int     { return int(obd.NumPIDs) }
+
+func (t *deltaTransformer) FeatureNames() []string {
+	names := obd.PIDNames()
+	out := make([]string, len(names))
+	for i, n := range names {
+		out[i] = "d(" + n + ")"
+	}
+	return out
+}
+
+func (t *deltaTransformer) Collect(r timeseries.Record) {
+	if t.gap.broken(r.Time) {
+		t.n = 0
+		t.pending = false
+	}
+	if t.n > 0 {
+		t.prev = t.cur
+	}
+	t.cur = r.Values
+	t.n++
+	t.pending = t.n >= 2
+}
+
+func (t *deltaTransformer) Ready() bool { return t.pending }
+
+func (t *deltaTransformer) Emit() []float64 {
+	t.pending = false
+	out := make([]float64, obd.NumPIDs)
+	for i := range out {
+		out[i] = t.cur[i] - t.prev[i]
+	}
+	return out
+}
+
+func (t *deltaTransformer) Reset() {
+	t.n = 0
+	t.pending = false
+	t.gap.reset()
+}
+
+// meanTransformer emits per-PID means over tumbling windows (the same
+// windows as the correlation transform, per Section 3.2).
+type meanTransformer struct {
+	win *timeseries.Window
+	gap gapGuard
+}
+
+func newMeanAgg(window int) *meanTransformer {
+	return &meanTransformer{win: timeseries.NewWindow(window)}
+}
+
+func (t *meanTransformer) Name() string { return MeanAgg.String() }
+func (t *meanTransformer) Dim() int     { return int(obd.NumPIDs) }
+
+func (t *meanTransformer) FeatureNames() []string {
+	names := obd.PIDNames()
+	out := make([]string, len(names))
+	for i, n := range names {
+		out[i] = "mean(" + n + ")"
+	}
+	return out
+}
+
+func (t *meanTransformer) Collect(r timeseries.Record) {
+	if t.gap.broken(r.Time) {
+		t.win.Reset()
+	}
+	t.win.Push(r)
+}
+
+func (t *meanTransformer) Ready() bool { return t.win.Full() }
+
+func (t *meanTransformer) Emit() []float64 {
+	cols := t.win.Columns()
+	out := make([]float64, len(cols))
+	for i, col := range cols {
+		out[i] = mat.Mean(col)
+	}
+	t.win.Reset()
+	return out
+}
+
+func (t *meanTransformer) Reset() {
+	t.win.Reset()
+	t.gap.reset()
+}
+
+// histTransformer emits, per tumbling window, a normalised occupancy
+// histogram of each PID over its physical envelope — the "histograms"
+// alternative of Section 3.1 and a step toward the paper's future-work
+// idea of discretising signals into artificial events.
+type histTransformer struct {
+	win  *timeseries.Window
+	bins int
+	gap  gapGuard
+}
+
+func newHistogram(window, bins int) *histTransformer {
+	return &histTransformer{win: timeseries.NewWindow(window), bins: bins}
+}
+
+func (t *histTransformer) Name() string { return Histogram.String() }
+func (t *histTransformer) Dim() int     { return int(obd.NumPIDs) * t.bins }
+
+func (t *histTransformer) FeatureNames() []string {
+	names := obd.PIDNames()
+	out := make([]string, 0, t.Dim())
+	for _, n := range names {
+		for b := 0; b < t.bins; b++ {
+			out = append(out, fmt.Sprintf("hist(%s)[%d]", n, b))
+		}
+	}
+	return out
+}
+
+func (t *histTransformer) Collect(r timeseries.Record) {
+	if t.gap.broken(r.Time) {
+		t.win.Reset()
+	}
+	t.win.Push(r)
+}
+
+func (t *histTransformer) Ready() bool { return t.win.Full() }
+
+func (t *histTransformer) Emit() []float64 {
+	cols := t.win.Columns()
+	out := make([]float64, 0, t.Dim())
+	for p, col := range cols {
+		env := obd.Envelope(obd.PID(p))
+		counts := make([]float64, t.bins)
+		for _, v := range col {
+			frac := (v - env.Min) / (env.Max - env.Min)
+			b := int(frac * float64(t.bins))
+			if b < 0 {
+				b = 0
+			}
+			if b >= t.bins {
+				b = t.bins - 1
+			}
+			counts[b]++
+		}
+		inv := 1 / float64(len(col))
+		for i := range counts {
+			counts[i] *= inv
+		}
+		out = append(out, counts...)
+	}
+	t.win.Reset()
+	return out
+}
+
+func (t *histTransformer) Reset() {
+	t.win.Reset()
+	t.gap.reset()
+}
+
+// spectralTransformer emits, per tumbling window, normalised FFT band
+// energies of each PID — the frequency-domain alternative of
+// Section 3.1.
+type spectralTransformer struct {
+	win   *timeseries.Window
+	bands int
+	gap   gapGuard
+}
+
+func newSpectral(window, bands int) *spectralTransformer {
+	return &spectralTransformer{win: timeseries.NewWindow(window), bands: bands}
+}
+
+func (t *spectralTransformer) Name() string { return Spectral.String() }
+func (t *spectralTransformer) Dim() int     { return int(obd.NumPIDs) * t.bands }
+
+func (t *spectralTransformer) FeatureNames() []string {
+	names := obd.PIDNames()
+	out := make([]string, 0, t.Dim())
+	for _, n := range names {
+		for b := 0; b < t.bands; b++ {
+			out = append(out, fmt.Sprintf("spec(%s)[%d]", n, b))
+		}
+	}
+	return out
+}
+
+func (t *spectralTransformer) Collect(r timeseries.Record) {
+	if t.gap.broken(r.Time) {
+		t.win.Reset()
+	}
+	t.win.Push(r)
+}
+
+func (t *spectralTransformer) Ready() bool { return t.win.Full() }
+
+func (t *spectralTransformer) Emit() []float64 {
+	cols := t.win.Columns()
+	out := make([]float64, 0, t.Dim())
+	for _, col := range cols {
+		be, err := dsp.BandEnergies(col, t.bands)
+		if err != nil {
+			be = make([]float64, t.bands)
+		}
+		out = append(out, be...)
+	}
+	t.win.Reset()
+	return out
+}
+
+func (t *spectralTransformer) Reset() {
+	t.win.Reset()
+	t.gap.reset()
+}
