@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: ci vet build test race bench-smoke
+
+## ci: the full gate — vet, build, race-enabled tests, bench smoke.
+ci: vet build race bench-smoke
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+## bench-smoke: one iteration of the throughput + allocation benchmarks,
+## enough to catch a benchmark that no longer compiles or crashes.
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'BenchmarkFleetThroughput|BenchmarkScoreInto|BenchmarkPipelineSteadyState' -benchtime 1x \
+		./internal/fleet/ ./internal/detector/closestpair/ ./internal/core/

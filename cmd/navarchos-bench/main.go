@@ -8,10 +8,15 @@
 //	navarchos-bench -scale small         # quick pass
 //
 // Experiments: fig1 fig2 fig4 fig5 fig6 fig7 table1 table2 table3 fig8
-// baselines all.
+// baselines perf all.
+//
+// With -json, the perf experiment additionally writes its
+// throughput/latency results to BENCH_<n>.json (smallest unused n), so
+// the performance trajectory stays machine-readable across PRs.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -29,6 +34,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "generator seed")
 	experiment := flag.String("experiment", "all", "which exhibit to regenerate")
 	vehicle := flag.String("vehicle", "", "vehicle for fig8 (default: first failing)")
+	jsonOut := flag.Bool("json", false, "write perf results to BENCH_<n>.json")
 	flag.Parse()
 
 	var cfg fleetsim.Config
@@ -149,7 +155,41 @@ func main() {
 		r.Render(out)
 		fmt.Fprintln(out)
 	}
+	if has("perf") || *jsonOut {
+		ran = true
+		r, err := experiments.Perf(opts, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		r.Render(out)
+		fmt.Fprintln(out)
+		if *jsonOut {
+			path, err := writeBenchJSON(r)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Fprintf(out, "perf results written to %s\n", path)
+		}
+	}
 	if !ran {
-		log.Fatalf("unknown experiment %q (want fig1 fig2 fig4 fig5 fig6 fig7 table1 table2 table3 fig8 baselines or all)", *experiment)
+		log.Fatalf("unknown experiment %q (want fig1 fig2 fig4 fig5 fig6 fig7 table1 table2 table3 fig8 baselines perf or all)", *experiment)
+	}
+}
+
+// writeBenchJSON writes the perf result to BENCH_<n>.json, picking the
+// smallest n not already taken so earlier runs are never overwritten.
+func writeBenchJSON(r *experiments.PerfResult) (string, error) {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	for n := 0; ; n++ {
+		path := fmt.Sprintf("BENCH_%d.json", n)
+		if _, err := os.Stat(path); err == nil {
+			continue
+		} else if !os.IsNotExist(err) {
+			return "", err
+		}
+		return path, os.WriteFile(path, append(data, '\n'), 0o644)
 	}
 }

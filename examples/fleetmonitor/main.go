@@ -1,12 +1,15 @@
-// Fleetmonitor: an FMS-style streaming monitor over a whole fleet. One
-// pipeline per vehicle consumes the interleaved record/event stream;
-// profile resets and day-level alarms are logged as they happen, the way
-// an operations dashboard would show them.
+// Fleetmonitor: an FMS-style streaming monitor over a whole fleet,
+// built on the sharded concurrent engine. Vehicles are hashed to
+// shards, each shard goroutine owns its vehicles' pipelines, and alarms
+// fan in on a single channel — the way an operations dashboard would
+// consume them.
 package main
 
 import (
 	"fmt"
 	"log"
+	"runtime"
+	"sort"
 	"time"
 
 	"github.com/navarchos/pdm"
@@ -18,63 +21,68 @@ func main() {
 	fmt.Printf("fleet: %d vehicles, %d records, %d events\n\n",
 		len(fleet.Vehicles), len(fleet.Records), len(fleet.Events))
 
-	pipelines := map[string]*pdm.Pipeline{}
-	newPipeline := func(vehicle string) *pdm.Pipeline {
-		p, err := pdm.NewDefaultPipeline(vehicle)
-		if err != nil {
-			log.Fatal(err)
-		}
-		return p
+	eng, err := pdm.NewFleetEngine(pdm.FleetEngineConfig{
+		NewConfig: func(string) (pdm.PipelineConfig, error) {
+			return pdm.DefaultPipelineConfig()
+		},
+		Shards: runtime.NumCPU(),
+	})
+	if err != nil {
+		log.Fatal(err)
 	}
 
+	// Drain the fan-in alarm channel while the replay runs. Alarms from
+	// different shards arrive interleaved; collect and order them for
+	// the operator log.
+	var alarms []pdm.Alarm
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for a := range eng.Alarms() {
+			alarms = append(alarms, a)
+		}
+	}()
+
+	start := time.Now()
+	if err := eng.Replay(fleet.Records, fleet.Events); err != nil {
+		log.Fatal(err)
+	}
+	if err := eng.Close(); err != nil {
+		log.Fatal(err)
+	}
+	<-done
+	elapsed := time.Since(start)
+
+	sort.Slice(alarms, func(i, j int) bool {
+		if !alarms[i].Time.Equal(alarms[j].Time) {
+			return alarms[i].Time.Before(alarms[j].Time)
+		}
+		return alarms[i].VehicleID < alarms[j].VehicleID
+	})
+
+	// Log at most one alarm per vehicle-day (operator view).
 	lastAlarmDay := map[string]string{}
 	alarmDays := 0
-	evIdx := 0
-	for _, rec := range fleet.Records {
-		// Deliver due events to their vehicle's pipeline.
-		for evIdx < len(fleet.Events) && !fleet.Events[evIdx].Time.After(rec.Time) {
-			ev := fleet.Events[evIdx]
-			evIdx++
-			p, ok := pipelines[ev.VehicleID]
-			if !ok {
-				continue
-			}
-			before := p.State()
-			p.HandleEvent(ev)
-			if before != p.State() {
-				fmt.Printf("%s  %-8s %-8s -> reference profile rebuilding\n",
-					ev.Time.Format("2006-01-02"), ev.VehicleID, ev.Type)
-			}
+	for _, a := range alarms {
+		day := a.Time.Format("2006-01-02")
+		if lastAlarmDay[a.VehicleID] == day {
+			continue
 		}
-		p, ok := pipelines[rec.VehicleID]
-		if !ok {
-			p = newPipeline(rec.VehicleID)
-			pipelines[rec.VehicleID] = p
-		}
-		alarms, err := p.HandleRecord(rec)
-		if err != nil {
-			log.Fatal(err)
-		}
-		// Log at most one alarm per vehicle-day (operator view).
-		for _, a := range alarms {
-			day := a.Time.Format("2006-01-02")
-			if lastAlarmDay[a.VehicleID] == day {
-				continue
-			}
-			lastAlarmDay[a.VehicleID] = day
-			alarmDays++
-			fmt.Printf("%s  %-8s ALARM %-30s score %.4f > %.4f\n",
-				day, a.VehicleID, a.Feature, a.Score, a.Threshold)
-		}
+		lastAlarmDay[a.VehicleID] = day
+		alarmDays++
+		fmt.Printf("%s  %-8s ALARM %-30s score %.4f > %.4f\n",
+			day, a.VehicleID, a.Feature, a.Score, a.Threshold)
 	}
 
-	fmt.Printf("\nprocessed %d records across %d vehicles; %d vehicle-day alarms\n",
-		len(fleet.Records), len(pipelines), alarmDays)
+	stats := eng.Stats()
+	fmt.Printf("\nprocessed %d records / %d events across %d vehicles on %d shards in %s\n",
+		stats.RecordsIn, stats.EventsIn, stats.Vehicles, len(stats.Shards), elapsed.Round(time.Millisecond))
+	fmt.Printf("scored %d samples, raised %d raw alarms (%d vehicle-day alarms)\n",
+		stats.SamplesScored, stats.Alarms, alarmDays)
 	for _, ev := range fleet.Events {
 		if ev.Type == pdm.EventRepair {
 			fmt.Printf("ground truth: %s repaired on %s (%s)\n",
 				ev.VehicleID, ev.Time.Format("2006-01-02"), ev.Note)
 		}
 	}
-	_ = time.Hour
 }

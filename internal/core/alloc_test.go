@@ -1,0 +1,100 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"github.com/navarchos/pdm/internal/detector/closestpair"
+	"github.com/navarchos/pdm/internal/obd"
+	"github.com/navarchos/pdm/internal/thresholds"
+	"github.com/navarchos/pdm/internal/timeseries"
+	"github.com/navarchos/pdm/internal/transform"
+)
+
+// steadyPipeline returns the complete solution (correlation window 12,
+// closest-pair, self-tuning thresholds) driven past its profile fill so
+// that every further record lands on the detecting fast path, plus a
+// record generator with monotonically advancing time.
+func steadyPipeline(tb testing.TB) (*Pipeline, func() timeseries.Record) {
+	tb.Helper()
+	tr, err := transform.New(transform.Correlation, 12)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	p, err := NewPipeline("veh-1", Config{
+		Transformer: tr,
+		Detector:    closestpair.New(tr.FeatureNames()),
+		// A huge factor keeps the steady state alarm-free: alarm
+		// construction is allowed to allocate, scoring is not.
+		Thresholder:   thresholds.NewSelfTuning(1e9),
+		ProfileLength: 45,
+		Filter:        func(*timeseries.Record) bool { return true },
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	base := time.Date(2023, 4, 1, 9, 0, 0, 0, time.UTC)
+	i := 0
+	next := func() timeseries.Record {
+		i++
+		var v [obd.NumPIDs]float64
+		v[obd.EngineRPM] = 1500 + float64(i%37)*20
+		v[obd.Speed] = 40 + float64(i%23)
+		v[obd.CoolantTemp] = 87 + float64(i%5)
+		v[obd.IntakeTemp] = 24 + float64(i%11)
+		v[obd.MAPIntake] = 38 + float64(i%13)
+		v[obd.MAFAirFlowRate] = 9 + float64(i%7)
+		return timeseries.Record{
+			VehicleID: "veh-1",
+			Time:      base.Add(time.Duration(i) * time.Minute),
+			Values:    v,
+		}
+	}
+	for p.State() != StateDetecting {
+		if _, err := p.HandleRecord(next()); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	// One scored sample warms the scratch buffers.
+	for scored := p.ScoredSamples(); p.ScoredSamples() == scored; {
+		if _, err := p.HandleRecord(next()); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	return p, next
+}
+
+// TestPipelineSteadyStateZeroAlloc pins the hot-path acceptance
+// criterion end to end: once the profile is fitted and scratch buffers
+// are warm, a full tumbling window of HandleRecord calls — collect,
+// emit, score, threshold — performs no heap allocation.
+func TestPipelineSteadyStateZeroAlloc(t *testing.T) {
+	p, next := steadyPipeline(t)
+	allocs := testing.AllocsPerRun(200, func() {
+		for k := 0; k < 12; k++ {
+			alarms, err := p.HandleRecord(next())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(alarms) != 0 {
+				t.Fatal("steady state should not alarm under a huge factor")
+			}
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state window costs %.1f allocs, want 0", allocs)
+	}
+}
+
+// BenchmarkPipelineSteadyState measures the per-record streaming cost of
+// the detecting fast path; allocs/op must report 0.
+func BenchmarkPipelineSteadyState(b *testing.B) {
+	p, next := steadyPipeline(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.HandleRecord(next()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"github.com/navarchos/pdm/internal/detector"
+	"github.com/navarchos/pdm/internal/obd"
 	"github.com/navarchos/pdm/internal/thresholds"
 	"github.com/navarchos/pdm/internal/timeseries"
 	"github.com/navarchos/pdm/internal/transform"
@@ -83,6 +84,61 @@ func TestDensityGatingSuppressesIsolatedSpikes(t *testing.T) {
 func drivingRecordAt(i int, rng *rand.Rand) timeseries.Record {
 	r := healthyRecord(i, rng.Float64(), rng)
 	return r
+}
+
+// TestDensityGatingAcrossProfileReset: a maintenance event rebuilds Ref
+// AND clears the violation-persistence ring. Violations accumulated
+// before the reset must not count toward the M-of-K criterion after it —
+// the new profile is a new healthy baseline, so persistence evidence
+// from the old one is stale.
+func TestDensityGatingAcrossProfileReset(t *testing.T) {
+	// Score-call order (ProfileLength 4, calibration fraction 0.25 → one
+	// calibration Score per fit): calib, 9, 9, [reset], calib, 9, 9, 9.
+	det := &spikeDetector{scores: []float64{0, 9, 9, 0, 9, 9, 9}}
+	tr, _ := transform.New(transform.Raw, 0)
+	p, err := NewPipeline("v1", Config{
+		Transformer:   tr,
+		Detector:      det,
+		Thresholder:   thresholds.NewConstant(5),
+		ProfileLength: 4,
+		ResetPolicy:   ResetOnAllEvents,
+		DensityM:      3,
+		DensityK:      5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	i := 0
+	feed := func(n int) []detector.Alarm {
+		var out []detector.Alarm
+		for k := 0; k < n; k++ {
+			alarms, err := p.HandleRecord(drivingRecordAt(i, rng))
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, alarms...)
+			i++
+		}
+		return out
+	}
+	// Fill + fit, then two violating samples: 2-of-5 stays below M=3.
+	if a := feed(4 + 2); len(a) != 0 {
+		t.Fatalf("pre-reset: %d alarms before density threshold", len(a))
+	}
+	p.HandleEvent(obd.Event{VehicleID: "v1", Type: obd.EventService, Time: drivingRecordAt(i, rng).Time})
+	if p.State() != StateCollecting {
+		t.Fatal("service event should rebuild the profile")
+	}
+	// Refill + refit, then ONE violating sample. Were the ring carried
+	// across the reset, the stale 2 + this 1 would reach M=3 and alarm.
+	if a := feed(4 + 1); len(a) != 0 {
+		t.Fatalf("post-reset: stale pre-reset violations counted toward density (%d alarms)", len(a))
+	}
+	// Two more violations legitimately reach 3-of-5.
+	if a := feed(2); len(a) == 0 {
+		t.Fatal("post-reset: sustained violations should alarm once density rebuilt")
+	}
 }
 
 // TestDensityDefaultsPassThrough: with defaults (1/1), every violation

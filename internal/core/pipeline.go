@@ -163,11 +163,20 @@ type Pipeline struct {
 	ref    [][]float64
 	fitted bool
 	state  State
+	scored uint64
 
 	// density persistence ring over recent violation flags
 	violRing  []bool
 	violPos   int
 	violCount int
+
+	// Allocation-free steady state: once Ref is full, emitted vectors
+	// are scored and discarded, so both the transformed sample and its
+	// scores can live in reusable scratch buffers.
+	intoEmit transform.IntoEmitter // nil when the transformer allocates
+	xBuf     []float64
+	scoreBuf []float64
+	recBuf   timeseries.Record // staging for Filter's pointer argument
 }
 
 // NewPipeline builds a pipeline for one vehicle.
@@ -175,12 +184,14 @@ func NewPipeline(vehicleID string, cfg Config) (*Pipeline, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	return &Pipeline{
+	p := &Pipeline{
 		vehicleID: vehicleID,
 		cfg:       cfg,
 		state:     StateCollecting,
 		violRing:  make([]bool, cfg.DensityK),
-	}, nil
+	}
+	p.intoEmit, _ = cfg.Transformer.(transform.IntoEmitter)
+	return p, nil
 }
 
 // VehicleID returns the vehicle this pipeline monitors.
@@ -192,6 +203,11 @@ func (p *Pipeline) State() State { return p.state }
 // RefLen returns how many transformed samples the profile currently
 // holds.
 func (p *Pipeline) RefLen() int { return len(p.ref) }
+
+// ScoredSamples returns how many transformed samples the pipeline has
+// scored since creation (across profile resets). The fleet engine
+// aggregates this into its per-shard throughput counters.
+func (p *Pipeline) ScoredSamples() uint64 { return p.scored }
 
 // HandleEvent feeds a maintenance event to the pipeline. Events that
 // trigger a reset (per the ResetPolicy) discard the reference profile
@@ -229,16 +245,22 @@ func (p *Pipeline) HandleRecord(r timeseries.Record) ([]detector.Alarm, error) {
 	if r.VehicleID != p.vehicleID {
 		return nil, nil
 	}
-	if !p.cfg.Filter(&r) {
+	// Filter takes a pointer; staging the record in a pipeline-owned
+	// buffer keeps the parameter itself from escaping to the heap on
+	// every call.
+	p.recBuf = r
+	if !p.cfg.Filter(&p.recBuf) {
 		return nil, nil
 	}
-	p.cfg.Transformer.Collect(r)
+	p.cfg.Transformer.Collect(p.recBuf)
 	if !p.cfg.Transformer.Ready() {
 		return nil, nil
 	}
-	x := p.cfg.Transformer.Emit()
 
 	if len(p.ref) < p.cfg.ProfileLength {
+		// Collecting: the emitted vector is retained in Ref, so it must
+		// be freshly allocated.
+		x := p.cfg.Transformer.Emit()
 		p.ref = append(p.ref, x)
 		if len(p.ref) == p.cfg.ProfileLength {
 			if err := p.fit(); err != nil {
@@ -246,6 +268,18 @@ func (p *Pipeline) HandleRecord(r timeseries.Record) ([]detector.Alarm, error) {
 			}
 		}
 		return nil, nil
+	}
+	// Detecting: the vector is scored and discarded, so transformers
+	// that support it emit into a reusable scratch buffer.
+	var x []float64
+	if p.intoEmit != nil {
+		if len(p.xBuf) != p.cfg.Transformer.Dim() {
+			p.xBuf = make([]float64, p.cfg.Transformer.Dim())
+		}
+		p.intoEmit.EmitInto(p.xBuf)
+		x = p.xBuf
+	} else {
+		x = p.cfg.Transformer.Emit()
 	}
 	return p.score(r.Time, x)
 }
@@ -315,12 +349,18 @@ func calibStats(calib [][]float64) Calib {
 }
 
 // score runs the detector on a transformed sample and converts threshold
-// violations into alarms.
+// violations into alarms. Scores land in a reusable scratch buffer (the
+// detector's ScoreInto fast path when available), so a healthy steady
+// state — no violations, no trace — performs no heap allocation at all.
 func (p *Pipeline) score(t time.Time, x []float64) ([]detector.Alarm, error) {
-	scores, err := p.cfg.Detector.Score(x)
-	if err != nil {
+	if len(p.scoreBuf) != p.cfg.Detector.Channels() {
+		p.scoreBuf = make([]float64, p.cfg.Detector.Channels())
+	}
+	scores := p.scoreBuf
+	if err := detector.ScoreInto(p.cfg.Detector, x, scores); err != nil {
 		return nil, fmt.Errorf("core: score %s: %w", p.vehicleID, err)
 	}
+	p.scored++
 	viol := p.cfg.Thresholder.Violations(scores)
 	// Density persistence: suppress the alarm unless at least M of the
 	// last K scored samples violated.
@@ -356,7 +396,9 @@ func (p *Pipeline) score(t time.Time, x []float64) ([]detector.Alarm, error) {
 	if p.cfg.Trace != nil {
 		tr := p.cfg.Trace
 		tr.Times = append(tr.Times, t)
-		tr.Scores = append(tr.Scores, scores)
+		sc := make([]float64, len(scores))
+		copy(sc, scores)
+		tr.Scores = append(tr.Scores, sc)
 		th := make([]float64, len(thVals))
 		copy(th, thVals)
 		tr.Thresholds = append(tr.Thresholds, th)

@@ -8,21 +8,54 @@ import (
 	"github.com/navarchos/pdm/internal/timeseries"
 )
 
-// RunVehicle replays a vehicle's records and events in chronological
-// order through a fresh pipeline built by makeCfg and returns all alarms
-// raised. It is the batch driver the evaluation harness and the
-// examples use; the pipeline itself remains fully streaming.
+// Merged delivers records and events to the callbacks in chronological
+// order, events first on equal timestamps (a service at 18:00 must reset
+// Ref before an 18:00 record is scored against the old profile). When
+// vehicleID is non-empty, entries for other vehicles are skipped.
 //
-// makeCfg is called once per run so each run gets fresh transformer,
-// detector and thresholder state.
-func RunVehicle(vehicleID string, records []timeseries.Record, events []obd.Event, makeCfg func() Config) ([]detector.Alarm, error) {
-	p, err := NewPipeline(vehicleID, makeCfg())
-	if err != nil {
-		return nil, err
+// Both streams are almost always already time-sorted — loggers and the
+// fleet simulator emit them that way — so the merge is a linear
+// two-pointer walk; only genuinely unordered input pays for a stable
+// sort. A non-nil error from either callback aborts the replay.
+func Merged(vehicleID string, records []timeseries.Record, events []obd.Event,
+	onEvent func(obd.Event) error, onRecord func(timeseries.Record) error) error {
+	match := func(id string) bool { return vehicleID == "" || id == vehicleID }
+	if streamsSorted(vehicleID, records, events) {
+		i, j := 0, 0
+		for {
+			for i < len(records) && !match(records[i].VehicleID) {
+				i++
+			}
+			for j < len(events) && !match(events[j].VehicleID) {
+				j++
+			}
+			switch {
+			case i >= len(records) && j >= len(events):
+				return nil
+			case i >= len(records):
+				if err := onEvent(events[j]); err != nil {
+					return err
+				}
+				j++
+			case j >= len(events):
+				if err := onRecord(records[i]); err != nil {
+					return err
+				}
+				i++
+			case !events[j].Time.After(records[i].Time):
+				if err := onEvent(events[j]); err != nil {
+					return err
+				}
+				j++
+			default:
+				if err := onRecord(records[i]); err != nil {
+					return err
+				}
+				i++
+			}
+		}
 	}
-	// Merge the two streams by timestamp, events first on ties (a
-	// service at 18:00 must reset Ref before an 18:00 record is scored
-	// against the old profile).
+	// Unordered input: fall back to a full stable sort of merged indices.
 	type item struct {
 		isEvent bool
 		rec     int
@@ -30,12 +63,12 @@ func RunVehicle(vehicleID string, records []timeseries.Record, events []obd.Even
 	}
 	items := make([]item, 0, len(records)+len(events))
 	for i := range records {
-		if records[i].VehicleID == vehicleID {
+		if match(records[i].VehicleID) {
 			items = append(items, item{rec: i})
 		}
 	}
 	for i := range events {
-		if events[i].VehicleID == vehicleID {
+		if match(events[i].VehicleID) {
 			items = append(items, item{isEvent: true, ev: i})
 		}
 	}
@@ -53,18 +86,76 @@ func RunVehicle(vehicleID string, records []timeseries.Record, events []obd.Even
 		}
 		return ea && !eb
 	})
-
-	var alarms []detector.Alarm
 	for _, it := range items {
 		if it.isEvent {
-			p.HandleEvent(events[it.ev])
+			if err := onEvent(events[it.ev]); err != nil {
+				return err
+			}
 			continue
 		}
-		a, err := p.HandleRecord(records[it.rec])
-		if err != nil {
-			return nil, err
+		if err := onRecord(records[it.rec]); err != nil {
+			return err
 		}
-		alarms = append(alarms, a...)
+	}
+	return nil
+}
+
+// streamsSorted reports whether both streams are non-decreasing in time
+// over the entries matching vehicleID ("" = all).
+func streamsSorted(vehicleID string, records []timeseries.Record, events []obd.Event) bool {
+	var last int64 = -1 << 62
+	for i := range records {
+		if vehicleID != "" && records[i].VehicleID != vehicleID {
+			continue
+		}
+		t := records[i].Time.UnixNano()
+		if t < last {
+			return false
+		}
+		last = t
+	}
+	last = -1 << 62
+	for i := range events {
+		if vehicleID != "" && events[i].VehicleID != vehicleID {
+			continue
+		}
+		t := events[i].Time.UnixNano()
+		if t < last {
+			return false
+		}
+		last = t
+	}
+	return true
+}
+
+// RunVehicle replays a vehicle's records and events in chronological
+// order through a fresh pipeline built by makeCfg and returns all alarms
+// raised. It is the batch driver the evaluation harness and the
+// examples use; the pipeline itself remains fully streaming.
+//
+// makeCfg is called once per run so each run gets fresh transformer,
+// detector and thresholder state.
+func RunVehicle(vehicleID string, records []timeseries.Record, events []obd.Event, makeCfg func() Config) ([]detector.Alarm, error) {
+	p, err := NewPipeline(vehicleID, makeCfg())
+	if err != nil {
+		return nil, err
+	}
+	var alarms []detector.Alarm
+	err = Merged(vehicleID, records, events,
+		func(ev obd.Event) error {
+			p.HandleEvent(ev)
+			return nil
+		},
+		func(r timeseries.Record) error {
+			a, err := p.HandleRecord(r)
+			if err != nil {
+				return err
+			}
+			alarms = append(alarms, a...)
+			return nil
+		})
+	if err != nil {
+		return nil, err
 	}
 	return alarms, nil
 }

@@ -42,6 +42,36 @@ type Detector interface {
 	ChannelNames() []string
 }
 
+// IntoScorer is an optional Detector extension for techniques whose
+// scoring can run without per-sample allocation. ScoreInto writes one
+// score per channel into dst, which must have length Channels(). The
+// fleet engine and the streaming pipeline prefer this path: at millions
+// of records per second the per-call []float64 of Score dominates the
+// garbage collector's workload.
+type IntoScorer interface {
+	// ScoreInto scores x into dst without allocating. dst must not
+	// alias detector-internal state and is fully overwritten.
+	ScoreInto(x, dst []float64) error
+}
+
+// ScoreInto scores x into dst using d's allocation-free fast path when
+// it implements IntoScorer, and falls back to Score plus a copy
+// otherwise. dst must have length d.Channels().
+func ScoreInto(d Detector, x, dst []float64) error {
+	if is, ok := d.(IntoScorer); ok {
+		return is.ScoreInto(x, dst)
+	}
+	s, err := d.Score(x)
+	if err != nil {
+		return err
+	}
+	if len(s) != len(dst) {
+		return ErrDimension
+	}
+	copy(dst, s)
+	return nil
+}
+
 // SelfCalibrator is an optional Detector extension for techniques that
 // can score their own reference data leave-one-out. When implemented,
 // the pipeline fits the detector on the FULL reference profile and

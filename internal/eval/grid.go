@@ -3,11 +3,11 @@ package eval
 import (
 	"fmt"
 	"runtime"
-	"sync"
 	"time"
 
 	"github.com/navarchos/pdm/internal/core"
 	"github.com/navarchos/pdm/internal/detector"
+	"github.com/navarchos/pdm/internal/fleet"
 	"github.com/navarchos/pdm/internal/obd"
 	"github.com/navarchos/pdm/internal/thresholds"
 	"github.com/navarchos/pdm/internal/timeseries"
@@ -186,13 +186,12 @@ func RunGrid(spec GridSpec) (*GridResult, error) {
 	for v := range union {
 		vehicles = append(vehicles, v)
 	}
-	byVehicle := timeseries.SplitByVehicle(spec.Records)
 
 	result := &GridResult{Timing: map[TimingKey]time.Duration{}}
 	for _, tech := range spec.Techniques {
 		for _, kind := range spec.Transforms {
 			start := time.Now()
-			traces, err := collectTraces(&spec, tech, kind, vehicles, byVehicle)
+			traces, err := collectTraces(&spec, tech, kind, vehicles)
 			if err != nil {
 				return nil, err
 			}
@@ -212,49 +211,56 @@ func RunGrid(spec GridSpec) (*GridResult, error) {
 	return result, nil
 }
 
-// collectTraces runs one technique × transform over every vehicle,
-// in parallel, returning per-vehicle score traces.
-func collectTraces(spec *GridSpec, tech Technique, kind transform.Kind, vehicles []string, byVehicle map[string][]timeseries.Record) ([]vehicleTrace, error) {
+// collectTraces runs one technique × transform over every vehicle on a
+// sharded fleet.Engine, returning per-vehicle score traces. Transformer
+// and detector construction errors propagate through the engine instead
+// of crashing the process; the alarm stream is irrelevant here (the
+// threshold sweep is replayed offline from the traces), so the engine
+// runs in drop mode.
+func collectTraces(spec *GridSpec, tech Technique, kind transform.Kind, vehicles []string) ([]vehicleTrace, error) {
 	traces := make([]vehicleTrace, len(vehicles))
-	errs := make([]error, len(vehicles))
-	sem := make(chan struct{}, spec.Parallelism)
-	var wg sync.WaitGroup
+	byID := make(map[string]*core.Trace, len(vehicles))
 	for i, v := range vehicles {
-		wg.Add(1)
-		go func(i int, vehicleID string) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			tr := &core.Trace{}
-			makeCfg := func() core.Config {
-				t, err := transform.New(kind, spec.Window)
-				if err != nil {
-					panic(err) // kind comes from a validated enum
-				}
-				det, err := NewDetector(tech, t.FeatureNames(), spec.Seed)
-				if err != nil {
-					panic(err)
-				}
-				return core.Config{
-					Transformer:   t,
-					Detector:      det,
-					Thresholder:   thresholds.NewSelfTuning(3), // placeholder; sweep is replayed offline
-					ProfileLength: spec.profileFor(kind),
-					ResetPolicy:   spec.ResetPolicy,
-					Filter:        timeseries.NewWarmupFilter(5, 20*time.Minute),
-					Trace:         tr,
-				}
-			}
-			_, err := core.RunVehicle(vehicleID, byVehicle[vehicleID], spec.Events, makeCfg)
-			traces[i] = vehicleTrace{vehicleID: vehicleID, trace: tr}
-			errs[i] = err
-		}(i, v)
+		tr := &core.Trace{}
+		traces[i] = vehicleTrace{vehicleID: v, trace: tr}
+		byID[v] = tr
 	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+	eng, err := fleet.NewEngine(fleet.Config{
+		NewConfig: func(vehicleID string) (core.Config, error) {
+			tr, ok := byID[vehicleID]
+			if !ok {
+				return core.Config{}, fleet.ErrSkipVehicle
+			}
+			t, err := transform.New(kind, spec.Window)
+			if err != nil {
+				return core.Config{}, err
+			}
+			det, err := NewDetector(tech, t.FeatureNames(), spec.Seed)
+			if err != nil {
+				return core.Config{}, err
+			}
+			return core.Config{
+				Transformer:   t,
+				Detector:      det,
+				Thresholder:   thresholds.NewSelfTuning(3), // placeholder; sweep is replayed offline
+				ProfileLength: spec.profileFor(kind),
+				ResetPolicy:   spec.ResetPolicy,
+				Filter:        timeseries.NewWarmupFilter(5, 20*time.Minute),
+				Trace:         tr,
+			}, nil
+		},
+		Shards:     spec.Parallelism,
+		DropAlarms: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := eng.Replay(spec.Records, spec.Events); err != nil {
+		eng.Close()
+		return nil, err
+	}
+	if err := eng.Close(); err != nil {
+		return nil, err
 	}
 	return traces, nil
 }

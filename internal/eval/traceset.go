@@ -5,7 +5,6 @@ import (
 
 	"github.com/navarchos/pdm/internal/detector"
 	"github.com/navarchos/pdm/internal/obd"
-	"github.com/navarchos/pdm/internal/timeseries"
 	"github.com/navarchos/pdm/internal/transform"
 )
 
@@ -33,8 +32,7 @@ func CollectTraceSet(spec GridSpec, tech Technique, kind transform.Kind) (*Trace
 	for v := range union {
 		vehicles = append(vehicles, v)
 	}
-	byVehicle := timeseries.SplitByVehicle(spec.Records)
-	traces, err := collectTraces(&spec, tech, kind, vehicles, byVehicle)
+	traces, err := collectTraces(&spec, tech, kind, vehicles)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"io"
+	"runtime"
+	"sort"
+	"time"
+
+	"github.com/navarchos/pdm/internal/core"
+	"github.com/navarchos/pdm/internal/detector/closestpair"
+	"github.com/navarchos/pdm/internal/fleet"
+	"github.com/navarchos/pdm/internal/thresholds"
+	"github.com/navarchos/pdm/internal/timeseries"
+	"github.com/navarchos/pdm/internal/transform"
+)
+
+// PerfRun is one engine replay at a fixed shard count.
+type PerfRun struct {
+	Shards        int     `json:"shards"`
+	Seconds       float64 `json:"seconds"`
+	RecordsPerSec float64 `json:"records_per_sec"`
+	// MeanLatencyMicros is wall time divided by record count: the
+	// average end-to-end cost of one record, in microseconds.
+	MeanLatencyMicros float64 `json:"mean_latency_us"`
+	SamplesScored     uint64  `json:"samples_scored"`
+	Alarms            uint64  `json:"alarms"`
+}
+
+// PerfResult is the machine-readable throughput/latency exhibit: the
+// complete solution (correlation × closest-pair) replayed through the
+// sharded engine at increasing shard counts.
+type PerfResult struct {
+	Vehicles int       `json:"vehicles"`
+	Records  int       `json:"records"`
+	Events   int       `json:"events"`
+	CPUs     int       `json:"cpus"`
+	Runs     []PerfRun `json:"runs"`
+}
+
+// perfPipelineConfig is the complete solution without the warm-up
+// filter, so every record exercises the transform + scoring hot path.
+func perfPipelineConfig(string) (core.Config, error) {
+	tr, err := transform.New(transform.Correlation, 12)
+	if err != nil {
+		return core.Config{}, err
+	}
+	return core.Config{
+		Transformer:   tr,
+		Detector:      closestpair.New(tr.FeatureNames()),
+		Thresholder:   thresholds.NewSelfTuning(10),
+		ProfileLength: 45,
+		Filter:        func(*timeseries.Record) bool { return true },
+	}, nil
+}
+
+// Perf replays the fleet through the sharded engine once per shard
+// count and reports throughput and mean per-record latency. A nil or
+// empty shardCounts defaults to {1, 2, NumCPU}, deduplicated.
+func Perf(o *Options, shardCounts []int) (*PerfResult, error) {
+	f := o.fleet()
+	if len(shardCounts) == 0 {
+		shardCounts = []int{1, 2, runtime.NumCPU()}
+	}
+	sort.Ints(shardCounts)
+	res := &PerfResult{
+		Vehicles: len(f.Vehicles),
+		Records:  len(f.Records),
+		Events:   len(f.Events),
+		CPUs:     runtime.NumCPU(),
+	}
+	prev := 0
+	for _, shards := range shardCounts {
+		if shards == prev || shards < 1 {
+			continue
+		}
+		prev = shards
+		eng, err := fleet.NewEngine(fleet.Config{
+			NewConfig:  perfPipelineConfig,
+			Shards:     shards,
+			DropAlarms: true,
+		})
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		if err := eng.Replay(f.Records, f.Events); err != nil {
+			return nil, err
+		}
+		if err := eng.Close(); err != nil {
+			return nil, err
+		}
+		elapsed := time.Since(start).Seconds()
+		stats := eng.Stats()
+		res.Runs = append(res.Runs, PerfRun{
+			Shards:            shards,
+			Seconds:           elapsed,
+			RecordsPerSec:     float64(len(f.Records)) / elapsed,
+			MeanLatencyMicros: elapsed * 1e6 / float64(len(f.Records)),
+			SamplesScored:     stats.SamplesScored,
+			Alarms:            stats.Alarms,
+		})
+	}
+	return res, nil
+}
+
+// Render prints the perf exhibit as a text table.
+func (r *PerfResult) Render(w io.Writer) {
+	fprintf(w, "Fleet-engine throughput (%d vehicles, %d records, %d events, %d CPUs)\n",
+		r.Vehicles, r.Records, r.Events, r.CPUs)
+	fprintf(w, "%8s  %10s  %14s  %14s  %10s  %8s\n",
+		"shards", "seconds", "records/s", "latency (us)", "scored", "alarms")
+	for _, run := range r.Runs {
+		fprintf(w, "%8d  %10.3f  %14.0f  %14.3f  %10d  %8d\n",
+			run.Shards, run.Seconds, run.RecordsPerSec, run.MeanLatencyMicros,
+			run.SamplesScored, run.Alarms)
+	}
+}

@@ -1,0 +1,424 @@
+// Package fleet implements a sharded, concurrent multi-vehicle
+// streaming engine on top of the per-vehicle core.Pipeline — the
+// production-scale driver the ROADMAP's fleet-level condition monitoring
+// calls for.
+//
+// Vehicles are hashed to N shards. Each shard goroutine exclusively owns
+// its vehicles' pipelines, so the scoring hot path takes no locks:
+// synchronisation happens only at the edges, on the bounded per-shard
+// batch channels (ingest backpressure) and the fan-in alarm channel.
+// Within a shard, envelopes are processed strictly in arrival order, so
+// feeding a chronologically merged stream (events before same-timestamp
+// records, as core.RunVehicle orders them — Replay does this) makes the
+// engine's per-vehicle behaviour bit-identical to a serial replay,
+// whatever the shard count.
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"github.com/navarchos/pdm/internal/core"
+	"github.com/navarchos/pdm/internal/detector"
+	"github.com/navarchos/pdm/internal/obd"
+	"github.com/navarchos/pdm/internal/timeseries"
+)
+
+// ErrSkipVehicle can be returned by Config.NewConfig to tell the engine
+// that a vehicle is not part of this run: its records and events are
+// counted but otherwise ignored, and no pipeline is built for it.
+var ErrSkipVehicle = errors.New("fleet: vehicle not in run set")
+
+// ErrClosed is returned by ingestion methods after Close.
+var ErrClosed = errors.New("fleet: engine closed")
+
+// Config assembles an Engine. NewConfig is required; everything else has
+// defaults chosen for a laptop-scale deployment.
+type Config struct {
+	// NewConfig builds the pipeline configuration for a vehicle the
+	// first time one of its records or events arrives. Return
+	// ErrSkipVehicle to exclude the vehicle from the run. NewConfig is
+	// called from shard goroutines, one call per vehicle; it must be
+	// safe for concurrent use across vehicles.
+	NewConfig func(vehicleID string) (core.Config, error)
+
+	// Shards is the number of shard goroutines (default runtime.NumCPU).
+	Shards int
+	// QueueDepth is the per-shard channel capacity in batches (default
+	// 256). A full queue blocks ingestion — that is the backpressure.
+	QueueDepth int
+	// BatchSize is the number of envelopes per batch (default 64).
+	// Batching amortises channel synchronisation across records.
+	BatchSize int
+	// AlarmBuffer is the fan-in alarm channel capacity (default 1024).
+	AlarmBuffer int
+	// DropAlarms makes shards drop (and count) alarms when the fan-in
+	// channel is full instead of blocking on it. Set it when alarms are
+	// advisory; leave it unset when every alarm must be observed, and
+	// drain Alarms() concurrently.
+	DropAlarms bool
+}
+
+func (c *Config) validate() error {
+	if c.NewConfig == nil {
+		return errors.New("fleet: Config requires NewConfig")
+	}
+	if c.Shards <= 0 {
+		c.Shards = runtime.NumCPU()
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 256
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 64
+	}
+	if c.AlarmBuffer <= 0 {
+		c.AlarmBuffer = 1024
+	}
+	return nil
+}
+
+// envelope is one queued stream element: a record or an event.
+type envelope struct {
+	isEvent bool
+	rec     timeseries.Record
+	ev      obd.Event
+}
+
+// shard owns a disjoint subset of the fleet's pipelines.
+type shard struct {
+	index   int
+	in      chan []envelope
+	mu      sync.Mutex // ingest side: guards pending
+	pending []envelope
+
+	pipes map[string]*core.Pipeline
+	skip  map[string]bool
+
+	vehicles  atomic.Int64
+	recordsIn atomic.Uint64
+	eventsIn  atomic.Uint64
+	scored    atomic.Uint64
+	alarms    atomic.Uint64
+	drops     atomic.Uint64
+}
+
+// ShardStats is a point-in-time snapshot of one shard's counters.
+type ShardStats struct {
+	Shard         int
+	Vehicles      int
+	RecordsIn     uint64
+	EventsIn      uint64
+	SamplesScored uint64
+	Alarms        uint64
+	Drops         uint64
+}
+
+// EngineStats aggregates the per-shard snapshots.
+type EngineStats struct {
+	Shards        []ShardStats
+	Vehicles      int
+	RecordsIn     uint64
+	EventsIn      uint64
+	SamplesScored uint64
+	Alarms        uint64
+	Drops         uint64
+}
+
+// Engine is the sharded fleet driver. Ingestion methods are safe for
+// concurrent use from any number of producers; per-vehicle processing
+// order follows per-producer ingestion order.
+type Engine struct {
+	cfg     Config
+	shards  []*shard
+	alarmCh chan detector.Alarm
+	pool    sync.Pool // *[]envelope batch recycling
+	wg      sync.WaitGroup
+
+	closed atomic.Bool
+	errMu  sync.Mutex
+	err    error
+}
+
+// NewEngine builds and starts an engine; its shard goroutines run until
+// Close.
+func NewEngine(cfg Config) (*Engine, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		cfg:     cfg,
+		shards:  make([]*shard, cfg.Shards),
+		alarmCh: make(chan detector.Alarm, cfg.AlarmBuffer),
+	}
+	e.pool.New = func() any {
+		b := make([]envelope, 0, cfg.BatchSize)
+		return &b
+	}
+	for i := range e.shards {
+		s := &shard{
+			index: i,
+			in:    make(chan []envelope, cfg.QueueDepth),
+			pipes: map[string]*core.Pipeline{},
+			skip:  map[string]bool{},
+		}
+		e.shards[i] = s
+		e.wg.Add(1)
+		go e.run(s)
+	}
+	return e, nil
+}
+
+// Alarms returns the fan-in alarm channel. It is closed by Close, after
+// all shards have drained.
+func (e *Engine) Alarms() <-chan detector.Alarm { return e.alarmCh }
+
+// shardFor hashes a vehicle ID onto its owning shard (FNV-1a).
+func (e *Engine) shardFor(vehicleID string) *shard {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(vehicleID); i++ {
+		h ^= uint64(vehicleID[i])
+		h *= prime64
+	}
+	return e.shards[h%uint64(len(e.shards))]
+}
+
+// IngestRecord queues one record for its vehicle's shard, blocking when
+// the shard's queue is full (backpressure).
+func (e *Engine) IngestRecord(r timeseries.Record) error {
+	return e.ingest(envelope{rec: r}, r.VehicleID)
+}
+
+// IngestEvent queues one maintenance event for its vehicle's shard. An
+// event ingested before a record is processed before it — callers feed
+// streams chronologically with events first on equal timestamps, the
+// same contract as core.RunVehicle (Replay does this automatically).
+func (e *Engine) IngestEvent(ev obd.Event) error {
+	return e.ingest(envelope{isEvent: true, ev: ev}, ev.VehicleID)
+}
+
+func (e *Engine) ingest(env envelope, vehicleID string) error {
+	if e.closed.Load() {
+		return ErrClosed
+	}
+	s := e.shardFor(vehicleID)
+	s.mu.Lock()
+	if s.pending == nil {
+		s.pending = *(e.pool.Get().(*[]envelope))
+	}
+	s.pending = append(s.pending, env)
+	if len(s.pending) >= e.cfg.BatchSize {
+		batch := s.pending
+		s.pending = nil
+		// The send stays under the ingest mutex so concurrent producers
+		// cannot reorder a shard's batches; this is the backpressure
+		// point, not the hot path.
+		s.in <- batch
+	}
+	s.mu.Unlock()
+	return nil
+}
+
+// Flush pushes every shard's partially filled batch into its queue.
+func (e *Engine) Flush() {
+	for _, s := range e.shards {
+		s.mu.Lock()
+		if len(s.pending) > 0 {
+			batch := s.pending
+			s.pending = nil
+			s.in <- batch
+		}
+		s.mu.Unlock()
+	}
+}
+
+// Replay feeds whole record and event streams through the engine in
+// chronological order — events before same-timestamp records, exactly as
+// core.RunVehicle merges them — and flushes. Replay must be the only
+// producer while it runs: it batches per shard in producer-local buffers
+// with no per-record locking, which is what lets a single replaying
+// goroutine saturate many scoring shards. It does not Close the engine,
+// so streams can be replayed back to back.
+func (e *Engine) Replay(records []timeseries.Record, events []obd.Event) error {
+	if e.closed.Load() {
+		return ErrClosed
+	}
+	// Push out anything queued via IngestRecord/IngestEvent first so
+	// batches stay ordered behind it.
+	e.Flush()
+	local := make([][]envelope, len(e.shards))
+	push := func(env envelope, vehicleID string) error {
+		s := e.shardFor(vehicleID)
+		i := s.index
+		if local[i] == nil {
+			local[i] = *(e.pool.Get().(*[]envelope))
+		}
+		local[i] = append(local[i], env)
+		if len(local[i]) >= e.cfg.BatchSize {
+			s.in <- local[i]
+			local[i] = nil
+		}
+		return nil
+	}
+	err := core.Merged("", records, events,
+		func(ev obd.Event) error { return push(envelope{isEvent: true, ev: ev}, ev.VehicleID) },
+		func(r timeseries.Record) error { return push(envelope{rec: r}, r.VehicleID) })
+	for i, batch := range local {
+		if len(batch) > 0 {
+			e.shards[i].in <- batch
+		}
+	}
+	return err
+}
+
+// Close flushes pending batches, stops every shard, closes the alarm
+// channel and returns the first pipeline or configuration error the run
+// encountered (nil on a clean run). Producers must have stopped
+// ingesting before Close is called; Close only synchronises with the
+// consumer side.
+func (e *Engine) Close() error {
+	if e.closed.Swap(true) {
+		return e.Err()
+	}
+	e.Flush()
+	for _, s := range e.shards {
+		close(s.in)
+	}
+	e.wg.Wait()
+	close(e.alarmCh)
+	return e.Err()
+}
+
+// Err returns the first error recorded by any shard (sticky).
+func (e *Engine) Err() error {
+	e.errMu.Lock()
+	defer e.errMu.Unlock()
+	return e.err
+}
+
+func (e *Engine) setErr(err error) {
+	e.errMu.Lock()
+	if e.err == nil {
+		e.err = err
+	}
+	e.errMu.Unlock()
+}
+
+// Stats snapshots the per-shard counters. Safe to call at any time from
+// any goroutine.
+func (e *Engine) Stats() EngineStats {
+	st := EngineStats{Shards: make([]ShardStats, len(e.shards))}
+	for i, s := range e.shards {
+		ss := ShardStats{
+			Shard:         i,
+			Vehicles:      int(s.vehicles.Load()),
+			RecordsIn:     s.recordsIn.Load(),
+			EventsIn:      s.eventsIn.Load(),
+			SamplesScored: s.scored.Load(),
+			Alarms:        s.alarms.Load(),
+			Drops:         s.drops.Load(),
+		}
+		st.Shards[i] = ss
+		st.Vehicles += ss.Vehicles
+		st.RecordsIn += ss.RecordsIn
+		st.EventsIn += ss.EventsIn
+		st.SamplesScored += ss.SamplesScored
+		st.Alarms += ss.Alarms
+		st.Drops += ss.Drops
+	}
+	return st
+}
+
+// Pipelines calls fn for every pipeline the engine has built, shard by
+// shard. It must only be used after Close: pipelines are owned by shard
+// goroutines while the engine runs.
+func (e *Engine) Pipelines(fn func(*core.Pipeline)) {
+	for _, s := range e.shards {
+		for _, p := range s.pipes {
+			fn(p)
+		}
+	}
+}
+
+// run is the shard loop: the lock-free hot path. It exclusively owns
+// s.pipes, so pipeline calls need no synchronisation.
+func (e *Engine) run(s *shard) {
+	defer e.wg.Done()
+	for batch := range s.in {
+		for i := range batch {
+			env := &batch[i]
+			if env.isEvent {
+				s.eventsIn.Add(1)
+				if p, ok := e.pipelineFor(s, env.ev.VehicleID); ok {
+					p.HandleEvent(env.ev)
+				}
+				continue
+			}
+			s.recordsIn.Add(1)
+			p, ok := e.pipelineFor(s, env.rec.VehicleID)
+			if !ok {
+				continue
+			}
+			before := p.ScoredSamples()
+			alarms, err := p.HandleRecord(env.rec)
+			s.scored.Add(p.ScoredSamples() - before)
+			if err != nil {
+				e.setErr(fmt.Errorf("fleet: vehicle %s: %w", env.rec.VehicleID, err))
+				delete(s.pipes, env.rec.VehicleID)
+				s.skip[env.rec.VehicleID] = true
+				s.vehicles.Add(-1)
+				continue
+			}
+			for _, a := range alarms {
+				if e.cfg.DropAlarms {
+					select {
+					case e.alarmCh <- a:
+						s.alarms.Add(1)
+					default:
+						s.drops.Add(1)
+					}
+				} else {
+					e.alarmCh <- a
+					s.alarms.Add(1)
+				}
+			}
+		}
+		batch = batch[:0]
+		e.pool.Put(&batch)
+	}
+}
+
+// pipelineFor returns the shard's pipeline for a vehicle, building it on
+// first contact. Skipped and previously failed vehicles return false.
+func (e *Engine) pipelineFor(s *shard, vehicleID string) (*core.Pipeline, bool) {
+	if p, ok := s.pipes[vehicleID]; ok {
+		return p, true
+	}
+	if s.skip[vehicleID] {
+		return nil, false
+	}
+	cfg, err := e.cfg.NewConfig(vehicleID)
+	if err != nil {
+		if !errors.Is(err, ErrSkipVehicle) {
+			e.setErr(fmt.Errorf("fleet: configure vehicle %s: %w", vehicleID, err))
+		}
+		s.skip[vehicleID] = true
+		return nil, false
+	}
+	p, err := core.NewPipeline(vehicleID, cfg)
+	if err != nil {
+		e.setErr(fmt.Errorf("fleet: build pipeline for %s: %w", vehicleID, err))
+		s.skip[vehicleID] = true
+		return nil, false
+	}
+	s.pipes[vehicleID] = p
+	s.vehicles.Add(1)
+	return p, true
+}

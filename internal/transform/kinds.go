@@ -2,6 +2,7 @@ package transform
 
 import (
 	"fmt"
+	"math"
 	"time"
 
 	"github.com/navarchos/pdm/internal/dsp"
@@ -36,13 +37,34 @@ func (g *gapGuard) reset() { g.last = time.Time{} }
 // paper's winning transformation. Tumbling (non-overlapping) windows
 // match the paper's execution-time profile: the correlation stream is
 // roughly window-times smaller than the raw stream (Table 1).
+//
+// Instead of materialising window columns and re-deriving the moments
+// pairwise on every Emit, the transformer maintains running sums — per
+// PID Σx and per pair Σxy — updated in O(f²) per record. Values are
+// shifted by the first record of the current window before accumulation:
+// any fixed shift leaves the covariance algebra exact, and it keeps the
+// sums of a constant signal at exactly zero, so "no variance → r = 0"
+// holds bit-for-bit like the two-pass mat.Pearson it replaces. A small
+// ring of shifted records is kept only to support eviction if a caller
+// pushes past a full window without emitting.
 type corrTransformer struct {
-	win *timeseries.Window
-	gap gapGuard
+	window int
+	gap    gapGuard
+
+	ring  [][obd.NumPIDs]float64 // shifted values, for eviction only
+	next  int
+	n     int                  // records currently accumulated (≤ window)
+	shift [obd.NumPIDs]float64 // per-PID offset fixed at window start
+
+	sum  [obd.NumPIDs]float64              // Σ(x−shift) per PID
+	prod [obd.NumPIDs][obd.NumPIDs]float64 // Σ(x−shift)(y−shift), i ≤ j
 }
 
 func newCorrelation(window int) *corrTransformer {
-	return &corrTransformer{win: timeseries.NewWindow(window)}
+	return &corrTransformer{
+		window: window,
+		ring:   make([][obd.NumPIDs]float64, window),
+	}
 }
 
 func (c *corrTransformer) Name() string { return Correlation.String() }
@@ -65,31 +87,84 @@ func (c *corrTransformer) FeatureNames() []string {
 
 func (c *corrTransformer) Collect(r timeseries.Record) {
 	if c.gap.broken(r.Time) {
-		c.win.Reset()
+		c.clear()
 	}
-	c.win.Push(r)
-}
-
-func (c *corrTransformer) Ready() bool { return c.win.Full() }
-
-func (c *corrTransformer) Emit() []float64 {
-	cols := c.win.Columns()
-	out := make([]float64, 0, c.Dim())
-	for i := 0; i < len(cols); i++ {
-		for j := i + 1; j < len(cols); j++ {
-			r, err := mat.Pearson(cols[i], cols[j])
-			if err != nil {
-				r = 0
+	if c.n == 0 {
+		c.shift = r.Values
+	}
+	var v [obd.NumPIDs]float64
+	for i := range v {
+		v[i] = r.Values[i] - c.shift[i]
+	}
+	if c.n == c.window {
+		// Sliding overflow (a caller pushed past a full window without
+		// emitting): evict the oldest record's contributions.
+		old := c.ring[c.next]
+		for i := 0; i < int(obd.NumPIDs); i++ {
+			c.sum[i] -= old[i]
+			for j := i; j < int(obd.NumPIDs); j++ {
+				c.prod[i][j] -= old[i] * old[j]
 			}
-			out = append(out, r)
+		}
+		c.n--
+	}
+	c.ring[c.next] = v
+	c.next = (c.next + 1) % c.window
+	c.n++
+	for i := 0; i < int(obd.NumPIDs); i++ {
+		c.sum[i] += v[i]
+		for j := i; j < int(obd.NumPIDs); j++ {
+			c.prod[i][j] += v[i] * v[j]
 		}
 	}
-	c.win.Reset()
+}
+
+func (c *corrTransformer) Ready() bool { return c.n == c.window }
+
+func (c *corrTransformer) Emit() []float64 {
+	out := make([]float64, c.Dim())
+	c.EmitInto(out)
 	return out
 }
 
+// EmitInto implements IntoEmitter: correlations are derived from the
+// running moments, n·Σxy − Σx·Σy over the geometric mean of the
+// variances, then the accumulator restarts (tumbling windows).
+func (c *corrTransformer) EmitInto(dst []float64) {
+	n := float64(c.n)
+	k := 0
+	for i := 0; i < int(obd.NumPIDs); i++ {
+		for j := i + 1; j < int(obd.NumPIDs); j++ {
+			sxx := n*c.prod[i][i] - c.sum[i]*c.sum[i]
+			syy := n*c.prod[j][j] - c.sum[j]*c.sum[j]
+			sxy := n*c.prod[i][j] - c.sum[i]*c.sum[j]
+			r := 0.0
+			if sxx > 0 && syy > 0 {
+				r = sxy / math.Sqrt(sxx*syy)
+				// Clamp tiny floating-point excursions outside [-1, 1].
+				if r > 1 {
+					r = 1
+				} else if r < -1 {
+					r = -1
+				}
+			}
+			dst[k] = r
+			k++
+		}
+	}
+	c.clear()
+}
+
+// clear restarts the accumulator for the next tumbling window.
+func (c *corrTransformer) clear() {
+	c.n = 0
+	c.next = 0
+	c.sum = [obd.NumPIDs]float64{}
+	c.prod = [obd.NumPIDs][obd.NumPIDs]float64{}
+}
+
 func (c *corrTransformer) Reset() {
-	c.win.Reset()
+	c.clear()
 	c.gap.reset()
 }
 
@@ -113,10 +188,15 @@ func (t *rawTransformer) Collect(r timeseries.Record) {
 func (t *rawTransformer) Ready() bool { return t.have }
 
 func (t *rawTransformer) Emit() []float64 {
-	t.have = false
 	out := make([]float64, obd.NumPIDs)
-	copy(out, t.cur[:])
+	t.EmitInto(out)
 	return out
+}
+
+// EmitInto implements IntoEmitter.
+func (t *rawTransformer) EmitInto(dst []float64) {
+	t.have = false
+	copy(dst, t.cur[:])
 }
 
 func (t *rawTransformer) Reset() { t.have = false }
@@ -162,12 +242,17 @@ func (t *deltaTransformer) Collect(r timeseries.Record) {
 func (t *deltaTransformer) Ready() bool { return t.pending }
 
 func (t *deltaTransformer) Emit() []float64 {
-	t.pending = false
 	out := make([]float64, obd.NumPIDs)
-	for i := range out {
-		out[i] = t.cur[i] - t.prev[i]
-	}
+	t.EmitInto(out)
 	return out
+}
+
+// EmitInto implements IntoEmitter.
+func (t *deltaTransformer) EmitInto(dst []float64) {
+	t.pending = false
+	for i := range dst[:obd.NumPIDs] {
+		dst[i] = t.cur[i] - t.prev[i]
+	}
 }
 
 func (t *deltaTransformer) Reset() {

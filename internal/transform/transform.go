@@ -44,6 +44,19 @@ type Transformer interface {
 	Reset()
 }
 
+// IntoEmitter is an optional Transformer extension for transformations
+// that can emit without allocating. EmitInto writes the next transformed
+// vector into dst (length Dim()) and consumes the buffered state, exactly
+// like Emit. The streaming pipeline uses it once the reference profile is
+// full: emitted vectors are then scored and discarded, so a scratch
+// buffer can be reused sample after sample. During profile collection the
+// pipeline still calls Emit, because those vectors are retained in Ref.
+type IntoEmitter interface {
+	// EmitInto emits the ready sample into dst. It must only be called
+	// when Ready() and with len(dst) == Dim().
+	EmitInto(dst []float64)
+}
+
 // Kind selects a transformation.
 type Kind int
 

@@ -43,6 +43,7 @@ import (
 	"github.com/navarchos/pdm/internal/detector/regress"
 	"github.com/navarchos/pdm/internal/detector/tranad"
 	"github.com/navarchos/pdm/internal/eval"
+	"github.com/navarchos/pdm/internal/fleet"
 	"github.com/navarchos/pdm/internal/fleetsim"
 	"github.com/navarchos/pdm/internal/gbt"
 	"github.com/navarchos/pdm/internal/iforest"
@@ -211,16 +212,16 @@ func NewPipeline(vehicleID string, cfg PipelineConfig) (*Pipeline, error) {
 	return core.NewPipeline(vehicleID, cfg)
 }
 
-// NewDefaultPipeline builds the paper's complete solution for one
-// vehicle: correlation transform, closest-pair detection, self-tuning
-// thresholds, Ref reset on every maintenance event, and warm-up
-// filtering.
-func NewDefaultPipeline(vehicleID string) (*Pipeline, error) {
+// DefaultPipelineConfig returns the paper's complete-solution
+// configuration: correlation transform, closest-pair detection,
+// self-tuning thresholds, Ref reset on every maintenance event, and
+// warm-up filtering. Handy as the NewConfig callback of a FleetEngine.
+func DefaultPipelineConfig() (PipelineConfig, error) {
 	t, err := transform.New(transform.Correlation, 12)
 	if err != nil {
-		return nil, err
+		return core.Config{}, err
 	}
-	return core.NewPipeline(vehicleID, core.Config{
+	return core.Config{
 		Transformer:   t,
 		Detector:      closestpair.New(t.FeatureNames()),
 		Thresholder:   thresholds.NewSelfTuning(10),
@@ -228,7 +229,17 @@ func NewDefaultPipeline(vehicleID string) (*Pipeline, error) {
 		Filter:        timeseries.NewWarmupFilter(5, 20*time.Minute),
 		DensityM:      5,
 		DensityK:      15,
-	})
+	}, nil
+}
+
+// NewDefaultPipeline builds the paper's complete solution for one
+// vehicle (see DefaultPipelineConfig).
+func NewDefaultPipeline(vehicleID string) (*Pipeline, error) {
+	cfg, err := DefaultPipelineConfig()
+	if err != nil {
+		return nil, err
+	}
+	return core.NewPipeline(vehicleID, cfg)
 }
 
 // RunVehicle replays a vehicle's records and events chronologically
@@ -236,6 +247,30 @@ func NewDefaultPipeline(vehicleID string) (*Pipeline, error) {
 // streaming pipeline).
 func RunVehicle(vehicleID string, records []Record, events []Event, makeCfg func() PipelineConfig) ([]Alarm, error) {
 	return core.RunVehicle(vehicleID, records, events, makeCfg)
+}
+
+// Concurrent multi-vehicle engine.
+type (
+	// FleetEngine is the sharded concurrent streaming engine: vehicles
+	// are hashed to shards, each shard goroutine exclusively owns its
+	// vehicles' Pipelines, and alarms fan in on a single channel.
+	FleetEngine = fleet.Engine
+	// FleetEngineConfig assembles a FleetEngine.
+	FleetEngineConfig = fleet.Config
+	// EngineStats is a point-in-time snapshot of engine counters.
+	EngineStats = fleet.EngineStats
+	// ShardStats is one shard's share of EngineStats.
+	ShardStats = fleet.ShardStats
+)
+
+// ErrSkipVehicle, returned from FleetEngineConfig.NewConfig, excludes a
+// vehicle from processing without failing the engine.
+var ErrSkipVehicle = fleet.ErrSkipVehicle
+
+// NewFleetEngine starts a sharded concurrent engine; the caller must
+// drain Alarms() and call Close() when ingestion ends.
+func NewFleetEngine(cfg FleetEngineConfig) (*FleetEngine, error) {
+	return fleet.NewEngine(cfg)
 }
 
 // Fleet simulation (the proprietary-dataset substitute).
