@@ -1,9 +1,11 @@
 GO ?= go
 
-.PHONY: ci vet build test race bench-smoke
+.PHONY: ci vet build test race grid-equiv bench-smoke bench-json
 
-## ci: the full gate — vet, build, race-enabled tests, bench smoke.
-ci: vet build race bench-smoke
+## ci: the full gate — vet, build, race-enabled tests, the grid
+## equivalence gate, bench smoke, and a perf run appended to
+## BENCH_<n>.json.
+ci: vet build race grid-equiv bench-smoke bench-json
 
 vet:
 	$(GO) vet ./...
@@ -17,8 +19,20 @@ test:
 race:
 	$(GO) test -race ./...
 
+## grid-equiv: the transform-once cached grid must reproduce the
+## pre-cache reference implementation cell-for-cell, and materialise
+## each (kind, vehicle) stream exactly once.
+grid-equiv:
+	$(GO) test -run 'TestRunGridCachedMatchesReference|TestRunGridTransformOnce|TestSweepReplayZeroAlloc' ./internal/eval/
+
 ## bench-smoke: one iteration of the throughput + allocation benchmarks,
 ## enough to catch a benchmark that no longer compiles or crashes.
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkFleetThroughput|BenchmarkScoreInto|BenchmarkPipelineSteadyState' -benchtime 1x \
 		./internal/fleet/ ./internal/detector/closestpair/ ./internal/core/
+
+## bench-json: one fleet-engine perf run at bench scale, appended to
+## BENCH_<n>.json so the performance trajectory stays machine-readable
+## across PRs.
+bench-json:
+	$(GO) run ./cmd/navarchos-bench -experiment perf -json

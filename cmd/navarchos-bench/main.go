@@ -8,11 +8,15 @@
 //	navarchos-bench -scale small         # quick pass
 //
 // Experiments: fig1 fig2 fig4 fig5 fig6 fig7 table1 table2 table3 fig8
-// baselines perf all.
+// baselines perf gridperf all.
 //
 // With -json, the perf experiment additionally writes its
 // throughput/latency results to BENCH_<n>.json (smallest unused n), so
-// the performance trajectory stays machine-readable across PRs.
+// the performance trajectory stays machine-readable across PRs; a
+// gridperf run in the same invocation is embedded under "grid".
+//
+// -cpuprofile and -memprofile write pprof profiles covering the whole
+// run (the memory profile is taken at exit, after a final GC).
 package main
 
 import (
@@ -21,6 +25,8 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"github.com/navarchos/pdm/internal/experiments"
@@ -35,7 +41,36 @@ func main() {
 	experiment := flag.String("experiment", "all", "which exhibit to regenerate")
 	vehicle := flag.String("vehicle", "", "vehicle for fig8 (default: first failing)")
 	jsonOut := flag.Bool("json", false, "write perf results to BENCH_<n>.json")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows live objects
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Fatal(err)
+			}
+		}()
+	}
 
 	var cfg fleetsim.Config
 	switch *scale {
@@ -155,12 +190,24 @@ func main() {
 		r.Render(out)
 		fmt.Fprintln(out)
 	}
+	var gridPerf *experiments.GridPerfResult
+	if has("gridperf") {
+		ran = true
+		g, err := experiments.GridPerf(opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		gridPerf = g
+		g.Render(out)
+		fmt.Fprintln(out)
+	}
 	if has("perf") || *jsonOut {
 		ran = true
 		r, err := experiments.Perf(opts, nil)
 		if err != nil {
 			log.Fatal(err)
 		}
+		r.Grid = gridPerf
 		r.Render(out)
 		fmt.Fprintln(out)
 		if *jsonOut {
@@ -172,7 +219,7 @@ func main() {
 		}
 	}
 	if !ran {
-		log.Fatalf("unknown experiment %q (want fig1 fig2 fig4 fig5 fig6 fig7 table1 table2 table3 fig8 baselines perf or all)", *experiment)
+		log.Fatalf("unknown experiment %q (want fig1 fig2 fig4 fig5 fig6 fig7 table1 table2 table3 fig8 baselines perf gridperf or all)", *experiment)
 	}
 }
 

@@ -103,21 +103,6 @@ func (c *Config) validate() error {
 	if c.Transformer == nil || c.Detector == nil || c.Thresholder == nil {
 		return errors.New("core: Config requires Transformer, Detector and Thresholder")
 	}
-	if c.ProfileLength <= 0 {
-		c.ProfileLength = 60
-	}
-	if c.CalibrationFraction <= 0 || c.CalibrationFraction >= 1 {
-		c.CalibrationFraction = 0.25
-	}
-	if c.Filter == nil {
-		c.Filter = timeseries.CleanFilter
-	}
-	if c.DensityM <= 0 {
-		c.DensityM = 1
-	}
-	if c.DensityK < c.DensityM {
-		c.DensityK = c.DensityM
-	}
 	return nil
 }
 
@@ -154,29 +139,12 @@ type AlarmMark struct {
 	TruePositive bool
 }
 
-// Pipeline is the per-vehicle realisation of Algorithm 1. Not safe for
-// concurrent use.
+// Pipeline is the per-vehicle realisation of Algorithm 1: a
+// TransformStage feeding a DetectStage. Not safe for concurrent use.
 type Pipeline struct {
 	vehicleID string
-	cfg       Config
-
-	ref    [][]float64
-	fitted bool
-	state  State
-	scored uint64
-
-	// density persistence ring over recent violation flags
-	violRing  []bool
-	violPos   int
-	violCount int
-
-	// Allocation-free steady state: once Ref is full, emitted vectors
-	// are scored and discarded, so both the transformed sample and its
-	// scores can live in reusable scratch buffers.
-	intoEmit transform.IntoEmitter // nil when the transformer allocates
-	xBuf     []float64
-	scoreBuf []float64
-	recBuf   timeseries.Record // staging for Filter's pointer argument
+	ts        *TransformStage
+	ds        *DetectStage
 }
 
 // NewPipeline builds a pipeline for one vehicle.
@@ -184,59 +152,53 @@ func NewPipeline(vehicleID string, cfg Config) (*Pipeline, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	p := &Pipeline{
-		vehicleID: vehicleID,
-		cfg:       cfg,
-		state:     StateCollecting,
-		violRing:  make([]bool, cfg.DensityK),
+	ts, err := NewTransformStage(TransformConfig{
+		Transformer: cfg.Transformer,
+		Filter:      cfg.Filter,
+		ResetPolicy: cfg.ResetPolicy,
+	})
+	if err != nil {
+		return nil, err
 	}
-	p.intoEmit, _ = cfg.Transformer.(transform.IntoEmitter)
-	return p, nil
+	ds, err := NewDetectStage(vehicleID, DetectConfig{
+		Detector:            cfg.Detector,
+		Thresholder:         cfg.Thresholder,
+		ProfileLength:       cfg.ProfileLength,
+		CalibrationFraction: cfg.CalibrationFraction,
+		DensityM:            cfg.DensityM,
+		DensityK:            cfg.DensityK,
+		Trace:               cfg.Trace,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Pipeline{vehicleID: vehicleID, ts: ts, ds: ds}, nil
 }
 
 // VehicleID returns the vehicle this pipeline monitors.
 func (p *Pipeline) VehicleID() string { return p.vehicleID }
 
 // State returns the pipeline's current phase.
-func (p *Pipeline) State() State { return p.state }
+func (p *Pipeline) State() State { return p.ds.State() }
 
 // RefLen returns how many transformed samples the profile currently
 // holds.
-func (p *Pipeline) RefLen() int { return len(p.ref) }
+func (p *Pipeline) RefLen() int { return p.ds.RefLen() }
 
 // ScoredSamples returns how many transformed samples the pipeline has
 // scored since creation (across profile resets). The fleet engine
 // aggregates this into its per-shard throughput counters.
-func (p *Pipeline) ScoredSamples() uint64 { return p.scored }
+func (p *Pipeline) ScoredSamples() uint64 { return p.ds.ScoredSamples() }
 
 // HandleEvent feeds a maintenance event to the pipeline. Events that
 // trigger a reset (per the ResetPolicy) discard the reference profile
 // and return the pipeline to the collecting state.
 func (p *Pipeline) HandleEvent(ev obd.Event) {
-	if ev.VehicleID != p.vehicleID {
+	if ev.VehicleID != p.vehicleID || !p.ts.ShouldReset(ev) {
 		return
 	}
-	reset := false
-	switch p.cfg.ResetPolicy {
-	case ResetOnAllEvents:
-		reset = ev.IsReset()
-	case ResetOnRepairsOnly:
-		reset = ev.Type == obd.EventRepair
-	}
-	if !reset {
-		return
-	}
-	p.ref = p.ref[:0]
-	p.fitted = false
-	p.state = StateCollecting
-	p.cfg.Transformer.Reset()
-	for i := range p.violRing {
-		p.violRing[i] = false
-	}
-	p.violPos, p.violCount = 0, 0
-	if p.cfg.Trace != nil {
-		p.cfg.Trace.Resets = append(p.cfg.Trace.Resets, ev.Time)
-	}
+	p.ds.Reset(ev.Time)
+	p.ts.Reset()
 }
 
 // HandleRecord feeds one raw PID record. It returns any alarms raised by
@@ -245,89 +207,17 @@ func (p *Pipeline) HandleRecord(r timeseries.Record) ([]detector.Alarm, error) {
 	if r.VehicleID != p.vehicleID {
 		return nil, nil
 	}
-	// Filter takes a pointer; staging the record in a pipeline-owned
-	// buffer keeps the parameter itself from escaping to the heap on
-	// every call.
-	p.recBuf = r
-	if !p.cfg.Filter(&p.recBuf) {
+	if !p.ts.Feed(r) {
 		return nil, nil
 	}
-	p.cfg.Transformer.Collect(p.recBuf)
-	if !p.cfg.Transformer.Ready() {
-		return nil, nil
-	}
-
-	if len(p.ref) < p.cfg.ProfileLength {
+	if p.ds.NeedRef() {
 		// Collecting: the emitted vector is retained in Ref, so it must
 		// be freshly allocated.
-		x := p.cfg.Transformer.Emit()
-		p.ref = append(p.ref, x)
-		if len(p.ref) == p.cfg.ProfileLength {
-			if err := p.fit(); err != nil {
-				return nil, err
-			}
-		}
-		return nil, nil
+		return nil, p.ds.AddRef(p.ts.Emit())
 	}
 	// Detecting: the vector is scored and discarded, so transformers
 	// that support it emit into a reusable scratch buffer.
-	var x []float64
-	if p.intoEmit != nil {
-		if len(p.xBuf) != p.cfg.Transformer.Dim() {
-			p.xBuf = make([]float64, p.cfg.Transformer.Dim())
-		}
-		p.intoEmit.EmitInto(p.xBuf)
-		x = p.xBuf
-	} else {
-		x = p.cfg.Transformer.Emit()
-	}
-	return p.score(r.Time, x)
-}
-
-// fit trains the detector and calibrates the thresholder. Detectors
-// that self-calibrate (detector.SelfCalibrator) are fitted on the full
-// reference profile and calibrated from their leave-one-out scores;
-// everything else is fitted on the head of Ref and calibrated on the
-// detector's scores over the held-out tail.
-func (p *Pipeline) fit() error {
-	var calib [][]float64
-	if sc, ok := p.cfg.Detector.(detector.SelfCalibrator); ok {
-		if err := p.cfg.Detector.Fit(p.ref); err != nil {
-			return fmt.Errorf("core: fit detector for %s: %w", p.vehicleID, err)
-		}
-		calib = sc.LOOScores()
-	} else {
-		n := len(p.ref)
-		calibN := int(float64(n) * p.cfg.CalibrationFraction)
-		if calibN < 1 {
-			calibN = 1
-		}
-		fitN := n - calibN
-		if fitN < 1 {
-			fitN = 1
-			calibN = n - 1
-		}
-		if err := p.cfg.Detector.Fit(p.ref[:fitN]); err != nil {
-			return fmt.Errorf("core: fit detector for %s: %w", p.vehicleID, err)
-		}
-		calib = make([][]float64, 0, calibN)
-		for _, x := range p.ref[fitN:] {
-			s, err := p.cfg.Detector.Score(x)
-			if err != nil {
-				return fmt.Errorf("core: calibrate %s: %w", p.vehicleID, err)
-			}
-			calib = append(calib, s)
-		}
-	}
-	if err := p.cfg.Thresholder.Fit(calib); err != nil {
-		return fmt.Errorf("core: fit thresholds for %s: %w", p.vehicleID, err)
-	}
-	if p.cfg.Trace != nil {
-		p.cfg.Trace.SegCalib = append(p.cfg.Trace.SegCalib, calibStats(calib))
-	}
-	p.fitted = true
-	p.state = StateDetecting
-	return nil
+	return p.ds.ScoreSample(r.Time, p.ts.EmitReusable())
 }
 
 // calibStats summarises calibration scores per channel.
@@ -346,64 +236,4 @@ func calibStats(calib [][]float64) Calib {
 		c.Stds[j] = mat.Std(col)
 	}
 	return c
-}
-
-// score runs the detector on a transformed sample and converts threshold
-// violations into alarms. Scores land in a reusable scratch buffer (the
-// detector's ScoreInto fast path when available), so a healthy steady
-// state — no violations, no trace — performs no heap allocation at all.
-func (p *Pipeline) score(t time.Time, x []float64) ([]detector.Alarm, error) {
-	if len(p.scoreBuf) != p.cfg.Detector.Channels() {
-		p.scoreBuf = make([]float64, p.cfg.Detector.Channels())
-	}
-	scores := p.scoreBuf
-	if err := detector.ScoreInto(p.cfg.Detector, x, scores); err != nil {
-		return nil, fmt.Errorf("core: score %s: %w", p.vehicleID, err)
-	}
-	p.scored++
-	viol := p.cfg.Thresholder.Violations(scores)
-	// Density persistence: suppress the alarm unless at least M of the
-	// last K scored samples violated.
-	if p.violRing[p.violPos] {
-		p.violCount--
-	}
-	p.violRing[p.violPos] = len(viol) > 0
-	if len(viol) > 0 {
-		p.violCount++
-	}
-	p.violPos = (p.violPos + 1) % len(p.violRing)
-	if len(viol) > 0 && p.violCount < p.cfg.DensityM {
-		viol = nil
-	}
-	var alarms []detector.Alarm
-	names := p.cfg.Detector.ChannelNames()
-	thVals := p.cfg.Thresholder.Values()
-	for _, c := range viol {
-		a := detector.Alarm{
-			VehicleID: p.vehicleID,
-			Time:      t,
-			Channel:   c,
-			Score:     scores[c],
-		}
-		if c < len(names) {
-			a.Feature = names[c]
-		}
-		if c < len(thVals) {
-			a.Threshold = thVals[c]
-		}
-		alarms = append(alarms, a)
-	}
-	if p.cfg.Trace != nil {
-		tr := p.cfg.Trace
-		tr.Times = append(tr.Times, t)
-		sc := make([]float64, len(scores))
-		copy(sc, scores)
-		tr.Scores = append(tr.Scores, sc)
-		th := make([]float64, len(thVals))
-		copy(th, thVals)
-		tr.Thresholds = append(tr.Thresholds, th)
-		tr.Alarmed = append(tr.Alarmed, len(alarms) > 0)
-		tr.Segments = append(tr.Segments, len(tr.SegCalib)-1)
-	}
-	return alarms, nil
 }

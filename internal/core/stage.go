@@ -1,0 +1,431 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/navarchos/pdm/internal/detector"
+	"github.com/navarchos/pdm/internal/obd"
+	"github.com/navarchos/pdm/internal/thresholds"
+	"github.com/navarchos/pdm/internal/timeseries"
+	"github.com/navarchos/pdm/internal/transform"
+)
+
+// This file splits Algorithm 1 into its two independent stages.
+//
+// The transform stage (filter + streaming transformation + reset
+// bookkeeping) depends only on the raw stream and the transformation
+// kind; the detect stage (profile fill, fit, calibration, scoring,
+// density persistence) depends on the detector but consumes only
+// transformed samples. Pipeline composes the two for streaming use; the
+// evaluation grid runs the transform stage exactly once per
+// (transformation, vehicle), caches the result as a TransformedTrace,
+// and replays every detector over the cache with DetectOnTrace.
+
+// TransformConfig assembles a TransformStage.
+type TransformConfig struct {
+	Transformer transform.Transformer
+	// Filter drops raw records before transformation; nil means the
+	// paper's default of removing stationary-state and sensor-fault
+	// records.
+	Filter func(*timeseries.Record) bool
+	// ResetPolicy selects which maintenance events reset the stage (and,
+	// downstream, rebuild Ref).
+	ResetPolicy ResetPolicy
+}
+
+// TransformStage is the streaming front half of the pipeline: it
+// filters raw records, feeds the transformer and answers which events
+// must reset buffered state. Not safe for concurrent use.
+type TransformStage struct {
+	cfg      TransformConfig
+	intoEmit transform.IntoEmitter // nil when the transformer allocates
+	xBuf     []float64
+	recBuf   timeseries.Record // staging for Filter's pointer argument
+}
+
+// NewTransformStage builds a transform stage. Transformer is required.
+func NewTransformStage(cfg TransformConfig) (*TransformStage, error) {
+	if cfg.Transformer == nil {
+		return nil, errors.New("core: TransformConfig requires Transformer")
+	}
+	if cfg.Filter == nil {
+		cfg.Filter = timeseries.CleanFilter
+	}
+	s := &TransformStage{cfg: cfg}
+	s.intoEmit, _ = cfg.Transformer.(transform.IntoEmitter)
+	return s, nil
+}
+
+// Feed pushes one raw record through the filter into the transformer and
+// reports whether a transformed sample is ready to emit.
+func (s *TransformStage) Feed(r timeseries.Record) bool {
+	// Filter takes a pointer; staging the record in a stage-owned buffer
+	// keeps the parameter itself from escaping to the heap on every call.
+	s.recBuf = r
+	if !s.cfg.Filter(&s.recBuf) {
+		return false
+	}
+	s.cfg.Transformer.Collect(s.recBuf)
+	return s.cfg.Transformer.Ready()
+}
+
+// Emit returns the ready sample as a freshly allocated vector (safe to
+// retain, e.g. in Ref).
+func (s *TransformStage) Emit() []float64 { return s.cfg.Transformer.Emit() }
+
+// EmitReusable returns the ready sample in a stage-owned scratch buffer
+// when the transformer supports allocation-free emission, falling back
+// to Emit. The returned slice is overwritten by the next call and must
+// not be retained.
+func (s *TransformStage) EmitReusable() []float64 {
+	if s.intoEmit == nil {
+		return s.cfg.Transformer.Emit()
+	}
+	if len(s.xBuf) != s.cfg.Transformer.Dim() {
+		s.xBuf = make([]float64, s.cfg.Transformer.Dim())
+	}
+	s.intoEmit.EmitInto(s.xBuf)
+	return s.xBuf
+}
+
+// ShouldReset reports whether ev resets buffered state under the stage's
+// ResetPolicy.
+func (s *TransformStage) ShouldReset(ev obd.Event) bool {
+	switch s.cfg.ResetPolicy {
+	case ResetOnAllEvents:
+		return ev.IsReset()
+	case ResetOnRepairsOnly:
+		return ev.Type == obd.EventRepair
+	default:
+		return false
+	}
+}
+
+// Reset clears the transformer's buffered state.
+func (s *TransformStage) Reset() { s.cfg.Transformer.Reset() }
+
+// TransformedTrace is the cached output of the transform stage for one
+// vehicle: every emitted sample with its record time, plus where profile
+// resets fell in the emission order. It fully determines the input to
+// any detect stage, which is what lets the evaluation grid transform
+// each (transformation, vehicle) stream exactly once and fan every
+// technique out over the cache.
+type TransformedTrace struct {
+	Times   []time.Time
+	Samples [][]float64
+	// ResetIdx[i] is the number of samples emitted before the i-th
+	// reset: a reset with ResetIdx[i] == p happened between Samples[p-1]
+	// and Samples[p]. Entries are non-decreasing and may repeat
+	// (consecutive maintenance events with no samples between them).
+	ResetIdx   []int
+	ResetTimes []time.Time
+}
+
+// TraceCollector runs just the transform stage of one vehicle's stream
+// and records the result in a TransformedTrace. It implements the fleet
+// engine's Handler interface, so traces for a whole fleet are collected
+// with one sharded replay.
+type TraceCollector struct {
+	vehicleID string
+	stage     *TransformStage
+	out       *TransformedTrace
+}
+
+// NewTraceCollector builds a collector writing into out.
+func NewTraceCollector(vehicleID string, cfg TransformConfig, out *TransformedTrace) (*TraceCollector, error) {
+	if out == nil {
+		return nil, errors.New("core: TraceCollector requires an output trace")
+	}
+	s, err := NewTransformStage(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &TraceCollector{vehicleID: vehicleID, stage: s, out: out}, nil
+}
+
+// VehicleID returns the vehicle this collector records.
+func (c *TraceCollector) VehicleID() string { return c.vehicleID }
+
+// HandleRecord feeds one raw record; emitted samples are appended to the
+// trace. It never raises alarms.
+func (c *TraceCollector) HandleRecord(r timeseries.Record) ([]detector.Alarm, error) {
+	if r.VehicleID != c.vehicleID {
+		return nil, nil
+	}
+	if !c.stage.Feed(r) {
+		return nil, nil
+	}
+	c.out.Times = append(c.out.Times, r.Time)
+	c.out.Samples = append(c.out.Samples, c.stage.Emit())
+	return nil, nil
+}
+
+// HandleEvent records resetting maintenance events at their position in
+// the emission order and resets the transformer, exactly as the full
+// pipeline would.
+func (c *TraceCollector) HandleEvent(ev obd.Event) {
+	if ev.VehicleID != c.vehicleID || !c.stage.ShouldReset(ev) {
+		return
+	}
+	c.out.ResetIdx = append(c.out.ResetIdx, len(c.out.Samples))
+	c.out.ResetTimes = append(c.out.ResetTimes, ev.Time)
+	c.stage.Reset()
+}
+
+// ScoredSamples reports the number of transformed samples emitted so
+// far (the engine aggregates it into its throughput counters).
+func (c *TraceCollector) ScoredSamples() uint64 { return uint64(len(c.out.Samples)) }
+
+// DetectConfig assembles a DetectStage. Detector and Thresholder are
+// required; everything else defaults as in Config.
+type DetectConfig struct {
+	Detector    detector.Detector
+	Thresholder thresholds.Thresholder
+
+	// ProfileLength is the number of transformed samples in Ref
+	// (default 60).
+	ProfileLength int
+	// CalibrationFraction is the tail fraction of Ref held out from Fit
+	// and used to calibrate the threshold (default 0.25).
+	CalibrationFraction float64
+	// DensityM / DensityK gate alarms on persistence (default 1/1).
+	DensityM int
+	DensityK int
+	// Trace, when non-nil, records every scored sample.
+	Trace *Trace
+}
+
+func (c *DetectConfig) validate() error {
+	if c.Detector == nil || c.Thresholder == nil {
+		return errors.New("core: DetectConfig requires Detector and Thresholder")
+	}
+	if c.ProfileLength <= 0 {
+		c.ProfileLength = 60
+	}
+	if c.CalibrationFraction <= 0 || c.CalibrationFraction >= 1 {
+		c.CalibrationFraction = 0.25
+	}
+	if c.DensityM <= 0 {
+		c.DensityM = 1
+	}
+	if c.DensityK < c.DensityM {
+		c.DensityK = c.DensityM
+	}
+	return nil
+}
+
+// DetectStage is the back half of the pipeline: it fills the reference
+// profile from transformed samples, fits the detector and thresholder,
+// scores subsequent samples and applies density persistence. Not safe
+// for concurrent use.
+type DetectStage struct {
+	vehicleID string
+	cfg       DetectConfig
+
+	ref    [][]float64
+	fitted bool
+	state  State
+	scored uint64
+
+	// density persistence ring over recent violation flags
+	violRing  []bool
+	violPos   int
+	violCount int
+
+	scoreBuf []float64
+}
+
+// NewDetectStage builds a detect stage for one vehicle.
+func NewDetectStage(vehicleID string, cfg DetectConfig) (*DetectStage, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	return &DetectStage{
+		vehicleID: vehicleID,
+		cfg:       cfg,
+		state:     StateCollecting,
+		violRing:  make([]bool, cfg.DensityK),
+	}, nil
+}
+
+// State returns the stage's current phase.
+func (d *DetectStage) State() State { return d.state }
+
+// RefLen returns how many samples the reference profile currently holds.
+func (d *DetectStage) RefLen() int { return len(d.ref) }
+
+// ScoredSamples returns how many samples the stage has scored since
+// creation (across profile resets).
+func (d *DetectStage) ScoredSamples() uint64 { return d.scored }
+
+// NeedRef reports whether the reference profile is still filling; while
+// it is, samples go to AddRef rather than ScoreSample.
+func (d *DetectStage) NeedRef() bool { return len(d.ref) < d.cfg.ProfileLength }
+
+// AddRef appends a transformed sample to the reference profile, fitting
+// the detector and calibrating the thresholder when the profile fills.
+// The sample is retained; it must not be a reused scratch buffer.
+func (d *DetectStage) AddRef(x []float64) error {
+	d.ref = append(d.ref, x)
+	if len(d.ref) == d.cfg.ProfileLength {
+		return d.fit()
+	}
+	return nil
+}
+
+// Reset discards the reference profile and returns the stage to the
+// collecting state, recording the reset time in the trace.
+func (d *DetectStage) Reset(t time.Time) {
+	d.ref = d.ref[:0]
+	d.fitted = false
+	d.state = StateCollecting
+	for i := range d.violRing {
+		d.violRing[i] = false
+	}
+	d.violPos, d.violCount = 0, 0
+	if d.cfg.Trace != nil {
+		d.cfg.Trace.Resets = append(d.cfg.Trace.Resets, t)
+	}
+}
+
+// fit trains the detector and calibrates the thresholder. Detectors
+// that self-calibrate (detector.SelfCalibrator) are fitted on the full
+// reference profile and calibrated from their leave-one-out scores;
+// everything else is fitted on the head of Ref and calibrated on the
+// detector's scores over the held-out tail.
+func (d *DetectStage) fit() error {
+	var calib [][]float64
+	if sc, ok := d.cfg.Detector.(detector.SelfCalibrator); ok {
+		if err := d.cfg.Detector.Fit(d.ref); err != nil {
+			return fmt.Errorf("core: fit detector for %s: %w", d.vehicleID, err)
+		}
+		calib = sc.LOOScores()
+	} else {
+		n := len(d.ref)
+		calibN := int(float64(n) * d.cfg.CalibrationFraction)
+		if calibN < 1 {
+			calibN = 1
+		}
+		fitN := n - calibN
+		if fitN < 1 {
+			fitN = 1
+			calibN = n - 1
+		}
+		if err := d.cfg.Detector.Fit(d.ref[:fitN]); err != nil {
+			return fmt.Errorf("core: fit detector for %s: %w", d.vehicleID, err)
+		}
+		calib = make([][]float64, 0, calibN)
+		for _, x := range d.ref[fitN:] {
+			s, err := d.cfg.Detector.Score(x)
+			if err != nil {
+				return fmt.Errorf("core: calibrate %s: %w", d.vehicleID, err)
+			}
+			calib = append(calib, s)
+		}
+	}
+	if err := d.cfg.Thresholder.Fit(calib); err != nil {
+		return fmt.Errorf("core: fit thresholds for %s: %w", d.vehicleID, err)
+	}
+	if d.cfg.Trace != nil {
+		d.cfg.Trace.SegCalib = append(d.cfg.Trace.SegCalib, calibStats(calib))
+	}
+	d.fitted = true
+	d.state = StateDetecting
+	return nil
+}
+
+// ScoreSample runs the detector on a transformed sample and converts
+// threshold violations into alarms. Scores land in a reusable scratch
+// buffer (the detector's ScoreInto fast path when available), so a
+// healthy steady state — no violations, no trace — performs no heap
+// allocation at all.
+func (d *DetectStage) ScoreSample(t time.Time, x []float64) ([]detector.Alarm, error) {
+	if len(d.scoreBuf) != d.cfg.Detector.Channels() {
+		d.scoreBuf = make([]float64, d.cfg.Detector.Channels())
+	}
+	scores := d.scoreBuf
+	if err := detector.ScoreInto(d.cfg.Detector, x, scores); err != nil {
+		return nil, fmt.Errorf("core: score %s: %w", d.vehicleID, err)
+	}
+	d.scored++
+	viol := d.cfg.Thresholder.Violations(scores)
+	// Density persistence: suppress the alarm unless at least M of the
+	// last K scored samples violated.
+	if d.violRing[d.violPos] {
+		d.violCount--
+	}
+	d.violRing[d.violPos] = len(viol) > 0
+	if len(viol) > 0 {
+		d.violCount++
+	}
+	d.violPos = (d.violPos + 1) % len(d.violRing)
+	if len(viol) > 0 && d.violCount < d.cfg.DensityM {
+		viol = nil
+	}
+	var alarms []detector.Alarm
+	names := d.cfg.Detector.ChannelNames()
+	thVals := d.cfg.Thresholder.Values()
+	for _, c := range viol {
+		a := detector.Alarm{
+			VehicleID: d.vehicleID,
+			Time:      t,
+			Channel:   c,
+			Score:     scores[c],
+		}
+		if c < len(names) {
+			a.Feature = names[c]
+		}
+		if c < len(thVals) {
+			a.Threshold = thVals[c]
+		}
+		alarms = append(alarms, a)
+	}
+	if d.cfg.Trace != nil {
+		tr := d.cfg.Trace
+		tr.Times = append(tr.Times, t)
+		sc := make([]float64, len(scores))
+		copy(sc, scores)
+		tr.Scores = append(tr.Scores, sc)
+		th := make([]float64, len(thVals))
+		copy(th, thVals)
+		tr.Thresholds = append(tr.Thresholds, th)
+		tr.Alarmed = append(tr.Alarmed, len(alarms) > 0)
+		tr.Segments = append(tr.Segments, len(tr.SegCalib)-1)
+	}
+	return alarms, nil
+}
+
+// DetectOnTrace replays a cached TransformedTrace through a fresh detect
+// stage, producing exactly the per-sample behaviour (reference fills,
+// fits, scores, resets, trace recording) that a full Pipeline fed the
+// original raw stream would produce. Alarms are discarded — callers that
+// want alarms replay thresholds offline from cfg.Trace.
+func DetectOnTrace(vehicleID string, tt *TransformedTrace, cfg DetectConfig) error {
+	ds, err := NewDetectStage(vehicleID, cfg)
+	if err != nil {
+		return err
+	}
+	ri := 0
+	for i, x := range tt.Samples {
+		for ri < len(tt.ResetIdx) && tt.ResetIdx[ri] <= i {
+			ds.Reset(tt.ResetTimes[ri])
+			ri++
+		}
+		if ds.NeedRef() {
+			if err := ds.AddRef(x); err != nil {
+				return err
+			}
+			continue
+		}
+		if _, err := ds.ScoreSample(tt.Times[i], x); err != nil {
+			return err
+		}
+	}
+	// Resets recorded after the last sample still mark the trace.
+	for ; ri < len(tt.ResetIdx); ri++ {
+		ds.Reset(tt.ResetTimes[ri])
+	}
+	return nil
+}

@@ -11,11 +11,18 @@ package grand
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"github.com/navarchos/pdm/internal/detector"
 	"github.com/navarchos/pdm/internal/mat"
 	"github.com/navarchos/pdm/internal/neighbors"
 )
+
+// kdCutoff is the reference size above which KNN/LOF queries run on a
+// k-d tree instead of the brute-force scan. Below it the linear scan's
+// cache behaviour wins; above it the tree's pruning makes both the
+// refNC fit loop and steady-state scoring sublinear in practice.
+const kdCutoff = 256
 
 // Measure selects the non-conformity measure.
 type Measure int
@@ -57,6 +64,13 @@ type Config struct {
 	// Epsilon is the power-martingale exponent in (0, 1) (default 0.92,
 	// a standard choice in the martingale-testing literature).
 	Epsilon float64
+	// LegacyKernels restores the pre-optimisation kernels: a brute-force
+	// index regardless of reference size, index re-queries for every
+	// reference point's own non-conformity, and the O(n) linear p-value
+	// scan. Scores are identical either way (see the equivalence tests);
+	// only the asymptotics differ. It exists as the baseline leg of the
+	// grid-throughput benchmark (experiments.GridPerf).
+	LegacyKernels bool
 }
 
 func (c *Config) defaults() {
@@ -77,14 +91,22 @@ func (c *Config) defaults() {
 type Detector struct {
 	cfg Config
 
-	ref     [][]float64
-	median  []float64
-	index   neighbors.Index
-	lof     *neighbors.LOF
-	refNC   []float64 // non-conformity of each reference sample
-	logBets []float64 // sliding window of log martingale bets
-	betPos  int
-	betN    int
+	ref    [][]float64
+	median []float64
+	index  neighbors.Index
+	lof    *neighbors.LOF
+	query  neighbors.Query
+	// refNC holds the non-conformity of each reference sample in fit
+	// order; sortedNC is its NaN-free ascending copy, so the conformal
+	// p-value counts run in O(log n) by binary search. ncN is the full
+	// reference count (NaN entries included), fixing the p-value
+	// denominator at n+1 exactly as the linear scan had it.
+	refNC    []float64
+	sortedNC []float64
+	ncN      int
+	logBets  []float64 // sliding window of log martingale bets
+	betPos   int
+	betN     int
 }
 
 // New returns a Grand detector with the given configuration.
@@ -131,7 +153,13 @@ func (d *Detector) Fit(ref [][]float64) error {
 			d.median[c] = mat.Median(col)
 		}
 	case KNN, LOF:
-		idx, err := neighbors.NewBrute(ref)
+		var idx neighbors.Index
+		var err error
+		if len(ref) >= kdCutoff && !d.cfg.LegacyKernels {
+			idx, err = neighbors.NewKDTree(ref)
+		} else {
+			idx, err = neighbors.NewBrute(ref)
+		}
 		if err != nil {
 			return err
 		}
@@ -146,11 +174,25 @@ func (d *Detector) Fit(ref [][]float64) error {
 	// Reference non-conformity scores. For KNN/LOF the reference sample
 	// itself is among the neighbours; excluding it would require n
 	// leave-one-out fits, so like the reference implementation we keep
-	// the inductive approximation.
+	// the inductive approximation. LOF rescoring reuses the neighbour
+	// lists already computed by FitLOF instead of re-querying the index
+	// for every reference point.
 	d.refNC = make([]float64, len(ref))
 	for i, row := range ref {
-		d.refNC[i] = d.strangeness(row)
+		if d.cfg.Measure == LOF && !d.cfg.LegacyKernels {
+			d.refNC[i] = d.lof.ScoreRef(i)
+		} else {
+			d.refNC[i] = d.strangeness(row)
+		}
 	}
+	d.ncN = len(d.refNC)
+	d.sortedNC = d.sortedNC[:0]
+	for _, v := range d.refNC {
+		if !math.IsNaN(v) {
+			d.sortedNC = append(d.sortedNC, v)
+		}
+	}
+	sort.Float64s(d.sortedNC)
 	return nil
 }
 
@@ -164,7 +206,10 @@ func (d *Detector) strangeness(x []float64) float64 {
 		}
 		return dist
 	case KNN:
-		return neighbors.KNNDistance(d.index, x, d.cfg.K)
+		if d.cfg.LegacyKernels {
+			return neighbors.KNNDistance(d.index, x, d.cfg.K)
+		}
+		return d.query.MeanDistance(d.index, x, d.cfg.K)
 	case LOF:
 		return d.lof.Score(x)
 	default:
@@ -175,7 +220,42 @@ func (d *Detector) strangeness(x []float64) float64 {
 // pValue is the deterministic conformal p-value of a strangeness score
 // against the reference scores: ties contribute half their mass (the
 // usual smoothed p-value with θ fixed at ½ for reproducibility).
+// Implemented as two binary searches over the sorted reference scores —
+// identical counts to the linear scan (including the NaN conventions:
+// NaN reference entries count toward neither bucket, and a NaN query
+// matches nothing) in O(log n).
 func (d *Detector) pValue(s float64) float64 {
+	arr := d.sortedNC
+	// lower: first index with arr[i] >= s. A NaN query fails every
+	// comparison, driving both bounds to len(arr).
+	lo, hi := 0, len(arr)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if arr[mid] >= s {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	lower := lo
+	// upper: first index with arr[i] > s.
+	hi = len(arr)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if arr[mid] > s {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	greater := len(arr) - lo
+	equal := lo - lower
+	return (float64(greater) + 0.5*float64(equal) + 0.5) / float64(d.ncN+1)
+}
+
+// pValueLinear is the original O(n) scan, kept as the oracle for the
+// binary-search equivalence test and as the LegacyKernels path.
+func (d *Detector) pValueLinear(s float64) float64 {
 	greater, equal := 0, 0
 	for _, r := range d.refNC {
 		switch {
@@ -193,13 +273,32 @@ func (d *Detector) pValue(s float64) float64 {
 // M/(1+M) ∈ [0, 1). Exchangeable (healthy) data keeps the martingale
 // near 1 (deviation ≈ 0.5); a run of small p-values grows it toward 1.
 func (d *Detector) Score(x []float64) ([]float64, error) {
+	out := make([]float64, 1)
+	if err := d.ScoreInto(x, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ScoreInto implements detector.IntoScorer: the same martingale update
+// as Score, writing the deviation into dst without allocating. With the
+// Median or KNN measure the whole steady-state path — strangeness,
+// binary-search p-value, martingale window — is allocation-free; LOF
+// still allocates inside its reachability computation.
+func (d *Detector) ScoreInto(x, dst []float64) error {
 	if d.ref == nil {
-		return nil, detector.ErrNotFitted
+		return detector.ErrNotFitted
 	}
-	if len(x) != len(d.ref[0]) {
-		return nil, detector.ErrDimension
+	if len(x) != len(d.ref[0]) || len(dst) != 1 {
+		return detector.ErrDimension
 	}
-	p := d.pValue(d.strangeness(x))
+	s := d.strangeness(x)
+	var p float64
+	if d.cfg.LegacyKernels {
+		p = d.pValueLinear(s)
+	} else {
+		p = d.pValue(s)
+	}
 	// Power-martingale bet ε·p^(ε−1); log kept bounded for stability.
 	logBet := math.Log(d.cfg.Epsilon) + (d.cfg.Epsilon-1)*math.Log(p)
 	d.logBets[d.betPos] = logBet
@@ -213,5 +312,6 @@ func (d *Detector) Score(x []float64) ([]float64, error) {
 	}
 	sum = mat.Clamp(sum, -50, 50)
 	m := math.Exp(sum)
-	return []float64{m / (1 + m)}, nil
+	dst[0] = m / (1 + m)
+	return nil
 }

@@ -69,6 +69,19 @@ func ExtensionTechniques() []Technique { return []Technique{IsolationForest, MLP
 // isolation forest's score is likewise bounded).
 func (t Technique) UsesConstantThreshold() bool { return t == Grand || t == IsolationForest }
 
+// NewBaselineDetector builds the technique with its pre-optimisation
+// kernels where the repository keeps one (Grand's brute-force index and
+// linear p-value scan). Scores are identical to NewDetector's; only the
+// asymptotics differ. It is the reference leg of the grid-throughput
+// benchmark (experiments.GridPerf), so the measured speedup is against
+// the code as it stood before the transform-once grid.
+func NewBaselineDetector(t Technique, featureNames []string, seed int64) (detector.Detector, error) {
+	if t == Grand {
+		return grand.New(grand.Config{Measure: grand.KNN, LegacyKernels: true}), nil
+	}
+	return NewDetector(t, featureNames, seed)
+}
+
 // NewDetector builds a fresh detector instance for the technique.
 // featureNames labels per-feature channels; seed makes the trainable
 // techniques deterministic. The default hyper-parameters are sized for

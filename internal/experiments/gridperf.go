@@ -1,0 +1,179 @@
+package experiments
+
+import (
+	"io"
+	"reflect"
+	"sort"
+	"strings"
+	"time"
+
+	"github.com/navarchos/pdm/internal/eval"
+)
+
+// GridLeg is one measured grid: the same spec executed through the
+// pre-optimisation baseline (RunGridReference with the pre-cache
+// kernels: per-technique re-transform, sequential sweep, Grand's brute
+// index and linear p-value) and through the transform-once cached path,
+// with the end-to-end speedup and a cell-level equality check.
+type GridLeg struct {
+	Techniques []string `json:"techniques"`
+
+	ReferenceSeconds float64 `json:"reference_seconds"`
+	CachedSeconds    float64 `json:"cached_seconds"`
+	Speedup          float64 `json:"speedup"`
+	// CellsMatch reports whether both paths produced identical cells
+	// (metrics and winning parameters, exact float equality).
+	CellsMatch bool `json:"cells_match"`
+}
+
+// GridPerfResult is the grid-throughput exhibit. Full is the paper's
+// complete 4×4 grid, where the trainer-bound techniques (TranAD,
+// XGBoost) keep most of the wall clock regardless of caching; Streaming
+// is the grid over the streaming detectors (closest-pair, Grand), the
+// stage the transform-once cache and kernel work actually target.
+type GridPerfResult struct {
+	Vehicles   int `json:"vehicles"`
+	Records    int `json:"records"`
+	Transforms int `json:"transforms"`
+
+	Full      GridLeg `json:"full_grid"`
+	Streaming GridLeg `json:"streaming_grid"`
+
+	// TransformSeconds is the cached path's one-off transform stage per
+	// kind; ScoreSeconds the detect-only pass per technique × kind (both
+	// from the full grid).
+	TransformSeconds map[string]float64 `json:"transform_seconds"`
+	ScoreSeconds     map[string]float64 `json:"score_seconds"`
+}
+
+// streamingTechniques is the subset whose per-cell cost is dominated by
+// the stream + transform + sweep pipeline rather than model training.
+func streamingTechniques() []eval.Technique {
+	return []eval.Technique{eval.ClosestPair, eval.Grand}
+}
+
+// GridPerf measures both legs on the same fleet. The reference runs use
+// RunGridReference with eval.NewBaselineDetector — the code as it stood
+// before this optimisation round — and the cached runs use RunGrid with
+// the current kernels; cells must agree exactly between the two.
+func GridPerf(o *Options) (*GridPerfResult, error) {
+	f := o.fleet()
+	res := &GridPerfResult{
+		Vehicles:         len(f.Vehicles),
+		Records:          len(f.Records),
+		TransformSeconds: map[string]float64{},
+		ScoreSeconds:     map[string]float64{},
+	}
+
+	fullSpec := gridSpec(f)
+	fullCached, err := runLeg(fullSpec, &res.Full)
+	if err != nil {
+		return nil, err
+	}
+	res.Transforms = len(fullCached.TransformTiming)
+	for kind, d := range fullCached.TransformTiming {
+		res.TransformSeconds[kind.String()] = d.Seconds()
+	}
+	for key, d := range fullCached.ScoreTiming {
+		res.ScoreSeconds[key.Technique.String()+"/"+key.Transform.String()] = d.Seconds()
+	}
+
+	streamSpec := gridSpec(f)
+	streamSpec.Techniques = streamingTechniques()
+	if _, err := runLeg(streamSpec, &res.Streaming); err != nil {
+		return nil, err
+	}
+
+	// The full cached grid is the real thing — let Table 1 and the
+	// figures reuse it instead of running another pass.
+	o.Grid = fullCached
+	return res, nil
+}
+
+// runLeg times the reference and cached paths for one spec and fills
+// the leg in place, returning the cached grid.
+func runLeg(spec eval.GridSpec, leg *GridLeg) (*eval.GridResult, error) {
+	for _, t := range spec.Techniques {
+		leg.Techniques = append(leg.Techniques, t.String())
+	}
+	if len(spec.Techniques) == 0 {
+		for _, t := range eval.PaperTechniques() {
+			leg.Techniques = append(leg.Techniques, t.String())
+		}
+	}
+
+	refSpec := spec
+	refSpec.NewDetector = eval.NewBaselineDetector
+	start := time.Now()
+	ref, err := eval.RunGridReference(refSpec)
+	if err != nil {
+		return nil, err
+	}
+	leg.ReferenceSeconds = time.Since(start).Seconds()
+
+	start = time.Now()
+	cached, err := eval.RunGrid(spec)
+	if err != nil {
+		return nil, err
+	}
+	leg.CachedSeconds = time.Since(start).Seconds()
+
+	if leg.CachedSeconds > 0 {
+		leg.Speedup = leg.ReferenceSeconds / leg.CachedSeconds
+	}
+	leg.CellsMatch = cellsEqual(ref.Cells, cached.Cells)
+	return cached, nil
+}
+
+// cellsEqual compares two cell sets irrespective of order.
+func cellsEqual(a, b []eval.Cell) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	as := append([]eval.Cell(nil), a...)
+	bs := append([]eval.Cell(nil), b...)
+	for _, s := range [][]eval.Cell{as, bs} {
+		cells := s
+		sort.Slice(cells, func(i, j int) bool {
+			x, y := cells[i], cells[j]
+			if x.Technique != y.Technique {
+				return x.Technique < y.Technique
+			}
+			if x.Transform != y.Transform {
+				return x.Transform < y.Transform
+			}
+			if x.PH != y.PH {
+				return x.PH < y.PH
+			}
+			return x.Setting < y.Setting
+		})
+	}
+	return reflect.DeepEqual(as, bs)
+}
+
+// Render prints the grid-throughput exhibit as text.
+func (r *GridPerfResult) Render(w io.Writer) {
+	fprintf(w, "Grid throughput — transform-once cache + kernel work vs pre-optimisation baseline\n")
+	fprintf(w, "(%d vehicles, %d records, %d transforms)\n", r.Vehicles, r.Records, r.Transforms)
+	for _, leg := range []struct {
+		name string
+		g    *GridLeg
+	}{
+		{"full grid", &r.Full},
+		{"streaming grid", &r.Streaming},
+	} {
+		fprintf(w, "%s (%s)\n", leg.name, strings.Join(leg.g.Techniques, ", "))
+		fprintf(w, "  %-26s %10.3fs\n", "baseline (re-transform)", leg.g.ReferenceSeconds)
+		fprintf(w, "  %-26s %10.3fs\n", "cached (transform-once)", leg.g.CachedSeconds)
+		fprintf(w, "  %-26s %10.2fx\n", "speedup", leg.g.Speedup)
+		fprintf(w, "  %-26s %10v\n", "cells identical", leg.g.CellsMatch)
+	}
+	kinds := make([]string, 0, len(r.TransformSeconds))
+	for k := range r.TransformSeconds {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	for _, k := range kinds {
+		fprintf(w, "  transform %-12s %8.3fs (once, all techniques)\n", k, r.TransformSeconds[k])
+	}
+}

@@ -35,6 +35,9 @@ type PerfResult struct {
 	Events   int       `json:"events"`
 	CPUs     int       `json:"cpus"`
 	Runs     []PerfRun `json:"runs"`
+	// Grid, when present, is the grid-throughput exhibit (transform-once
+	// cache vs pre-cache reference) measured in the same invocation.
+	Grid *GridPerfResult `json:"grid,omitempty"`
 }
 
 // perfPipelineConfig is the complete solution without the warm-up

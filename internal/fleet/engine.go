@@ -35,8 +35,25 @@ var ErrSkipVehicle = errors.New("fleet: vehicle not in run set")
 // ErrClosed is returned by ingestion methods after Close.
 var ErrClosed = errors.New("fleet: engine closed")
 
-// Config assembles an Engine. NewConfig is required; everything else has
-// defaults chosen for a laptop-scale deployment.
+// Handler processes one vehicle's stream elements. core.Pipeline is the
+// production handler (transform + detect + threshold); core.TraceCollector
+// runs just the transform stage, which is how the evaluation grid
+// materialises each (transformation, vehicle) stream exactly once.
+// Handlers are owned by a single shard goroutine and need no internal
+// synchronisation.
+type Handler interface {
+	// HandleRecord feeds one raw record, returning any alarms raised.
+	HandleRecord(timeseries.Record) ([]detector.Alarm, error)
+	// HandleEvent feeds one maintenance event.
+	HandleEvent(obd.Event)
+	// ScoredSamples reports the handler's monotone output counter (scored
+	// or emitted samples); the engine aggregates deltas into shard stats.
+	ScoredSamples() uint64
+}
+
+// Config assembles an Engine. Exactly one of NewConfig and NewHandler is
+// required; everything else has defaults chosen for a laptop-scale
+// deployment.
 type Config struct {
 	// NewConfig builds the pipeline configuration for a vehicle the
 	// first time one of its records or events arrives. Return
@@ -44,6 +61,14 @@ type Config struct {
 	// called from shard goroutines, one call per vehicle; it must be
 	// safe for concurrent use across vehicles.
 	NewConfig func(vehicleID string) (core.Config, error)
+
+	// NewHandler builds an arbitrary per-vehicle Handler instead of a
+	// core.Pipeline — the seam that lets the same sharded engine drive
+	// transform-only trace collection or custom stages. Same contract as
+	// NewConfig: called once per vehicle from shard goroutines, return
+	// ErrSkipVehicle to exclude a vehicle. Mutually exclusive with
+	// NewConfig.
+	NewHandler func(vehicleID string) (Handler, error)
 
 	// Shards is the number of shard goroutines (default runtime.NumCPU).
 	Shards int
@@ -63,8 +88,11 @@ type Config struct {
 }
 
 func (c *Config) validate() error {
-	if c.NewConfig == nil {
-		return errors.New("fleet: Config requires NewConfig")
+	if c.NewConfig == nil && c.NewHandler == nil {
+		return errors.New("fleet: Config requires NewConfig or NewHandler")
+	}
+	if c.NewConfig != nil && c.NewHandler != nil {
+		return errors.New("fleet: Config requires exactly one of NewConfig and NewHandler")
 	}
 	if c.Shards <= 0 {
 		c.Shards = runtime.NumCPU()
@@ -95,8 +123,8 @@ type shard struct {
 	mu      sync.Mutex // ingest side: guards pending
 	pending []envelope
 
-	pipes map[string]*core.Pipeline
-	skip  map[string]bool
+	handlers map[string]Handler
+	skip     map[string]bool
 
 	vehicles  atomic.Int64
 	recordsIn atomic.Uint64
@@ -160,10 +188,10 @@ func NewEngine(cfg Config) (*Engine, error) {
 	}
 	for i := range e.shards {
 		s := &shard{
-			index: i,
-			in:    make(chan []envelope, cfg.QueueDepth),
-			pipes: map[string]*core.Pipeline{},
-			skip:  map[string]bool{},
+			index:    i,
+			in:       make(chan []envelope, cfg.QueueDepth),
+			handlers: map[string]Handler{},
+			skip:     map[string]bool{},
 		}
 		e.shards[i] = s
 		e.wg.Add(1)
@@ -336,13 +364,26 @@ func (e *Engine) Stats() EngineStats {
 	return st
 }
 
-// Pipelines calls fn for every pipeline the engine has built, shard by
-// shard. It must only be used after Close: pipelines are owned by shard
-// goroutines while the engine runs.
+// Pipelines calls fn for every core.Pipeline the engine has built, shard
+// by shard (handlers of other types are skipped). It must only be used
+// after Close: handlers are owned by shard goroutines while the engine
+// runs.
 func (e *Engine) Pipelines(fn func(*core.Pipeline)) {
 	for _, s := range e.shards {
-		for _, p := range s.pipes {
-			fn(p)
+		for _, h := range s.handlers {
+			if p, ok := h.(*core.Pipeline); ok {
+				fn(p)
+			}
+		}
+	}
+}
+
+// Handlers calls fn for every handler the engine has built, shard by
+// shard. Same ownership contract as Pipelines: only after Close.
+func (e *Engine) Handlers(fn func(vehicleID string, h Handler)) {
+	for _, s := range e.shards {
+		for id, h := range s.handlers {
+			fn(id, h)
 		}
 	}
 }
@@ -356,22 +397,22 @@ func (e *Engine) run(s *shard) {
 			env := &batch[i]
 			if env.isEvent {
 				s.eventsIn.Add(1)
-				if p, ok := e.pipelineFor(s, env.ev.VehicleID); ok {
-					p.HandleEvent(env.ev)
+				if h, ok := e.handlerFor(s, env.ev.VehicleID); ok {
+					h.HandleEvent(env.ev)
 				}
 				continue
 			}
 			s.recordsIn.Add(1)
-			p, ok := e.pipelineFor(s, env.rec.VehicleID)
+			h, ok := e.handlerFor(s, env.rec.VehicleID)
 			if !ok {
 				continue
 			}
-			before := p.ScoredSamples()
-			alarms, err := p.HandleRecord(env.rec)
-			s.scored.Add(p.ScoredSamples() - before)
+			before := h.ScoredSamples()
+			alarms, err := h.HandleRecord(env.rec)
+			s.scored.Add(h.ScoredSamples() - before)
 			if err != nil {
 				e.setErr(fmt.Errorf("fleet: vehicle %s: %w", env.rec.VehicleID, err))
-				delete(s.pipes, env.rec.VehicleID)
+				delete(s.handlers, env.rec.VehicleID)
 				s.skip[env.rec.VehicleID] = true
 				s.vehicles.Add(-1)
 				continue
@@ -395,16 +436,16 @@ func (e *Engine) run(s *shard) {
 	}
 }
 
-// pipelineFor returns the shard's pipeline for a vehicle, building it on
+// handlerFor returns the shard's handler for a vehicle, building it on
 // first contact. Skipped and previously failed vehicles return false.
-func (e *Engine) pipelineFor(s *shard, vehicleID string) (*core.Pipeline, bool) {
-	if p, ok := s.pipes[vehicleID]; ok {
-		return p, true
+func (e *Engine) handlerFor(s *shard, vehicleID string) (Handler, bool) {
+	if h, ok := s.handlers[vehicleID]; ok {
+		return h, true
 	}
 	if s.skip[vehicleID] {
 		return nil, false
 	}
-	cfg, err := e.cfg.NewConfig(vehicleID)
+	h, err := e.buildHandler(vehicleID)
 	if err != nil {
 		if !errors.Is(err, ErrSkipVehicle) {
 			e.setErr(fmt.Errorf("fleet: configure vehicle %s: %w", vehicleID, err))
@@ -412,13 +453,27 @@ func (e *Engine) pipelineFor(s *shard, vehicleID string) (*core.Pipeline, bool) 
 		s.skip[vehicleID] = true
 		return nil, false
 	}
-	p, err := core.NewPipeline(vehicleID, cfg)
-	if err != nil {
-		e.setErr(fmt.Errorf("fleet: build pipeline for %s: %w", vehicleID, err))
-		s.skip[vehicleID] = true
-		return nil, false
-	}
-	s.pipes[vehicleID] = p
+	s.handlers[vehicleID] = h
 	s.vehicles.Add(1)
-	return p, true
+	return h, true
+}
+
+// buildHandler constructs a vehicle's handler through whichever factory
+// the config provides.
+func (e *Engine) buildHandler(vehicleID string) (Handler, error) {
+	if e.cfg.NewHandler != nil {
+		h, err := e.cfg.NewHandler(vehicleID)
+		if err != nil {
+			return nil, err
+		}
+		if h == nil {
+			return nil, errors.New("fleet: NewHandler returned nil handler")
+		}
+		return h, nil
+	}
+	cfg, err := e.cfg.NewConfig(vehicleID)
+	if err != nil {
+		return nil, err
+	}
+	return core.NewPipeline(vehicleID, cfg)
 }

@@ -61,6 +61,12 @@ func (b *BruteIndex) KNN(q []float64, k int) ([]int, []float64) {
 		return nil, nil
 	}
 	h := newMaxHeap(k)
+	b.searchInto(q, h)
+	return h.sorted()
+}
+
+// searchInto implements heapSearcher.
+func (b *BruteIndex) searchInto(q []float64, h *maxHeap) {
 	for i, p := range b.data {
 		d, err := mat.SquaredEuclidean(q, p)
 		if err != nil {
@@ -68,7 +74,69 @@ func (b *BruteIndex) KNN(q []float64, k int) ([]int, []float64) {
 		}
 		h.offer(i, d)
 	}
-	return h.sorted()
+}
+
+// heapSearcher is the allocation-free query seam shared by the index
+// implementations: fill a caller-owned maxHeap instead of returning
+// fresh result slices.
+type heapSearcher interface {
+	searchInto(q []float64, h *maxHeap)
+}
+
+// Query is a reusable k-NN query buffer for allocation-free repeated
+// queries against one or more indexes. The zero value is ready to use.
+// Not safe for concurrent use.
+type Query struct {
+	h       maxHeap
+	scratch []float64
+}
+
+// MeanDistance returns the average Euclidean distance from q to its k
+// nearest neighbours in the index — exactly KNNDistance, but without
+// allocating once the internal buffers are warm. Indexes that don't
+// expose the internal search seam fall back to KNNDistance.
+func (qr *Query) MeanDistance(idx Index, q []float64, k int) float64 {
+	hs, ok := idx.(heapSearcher)
+	if !ok {
+		return KNNDistance(idx, q, k)
+	}
+	if k > idx.Len() {
+		k = idx.Len()
+	}
+	if k <= 0 {
+		return math.NaN()
+	}
+	qr.h.reset(k)
+	hs.searchInto(q, &qr.h)
+	n := len(qr.h.idx)
+	if n == 0 {
+		return math.NaN()
+	}
+	// KNNDistance averages true distances in ascending order
+	// (maxHeap.sorted then mat.Mean); equal squared distances have equal
+	// square roots, so sorting the squared distances and summing their
+	// roots in that order reproduces the same float64 sum exactly.
+	qr.scratch = append(qr.scratch[:0], qr.h.dist...)
+	insertionSort(qr.scratch)
+	var sum float64
+	for _, d := range qr.scratch {
+		sum += math.Sqrt(d)
+	}
+	return sum / float64(n)
+}
+
+// insertionSort sorts x ascending in place without allocating; query
+// neighbourhoods are small (k ≈ 10), where insertion sort wins anyway.
+func insertionSort(x []float64) {
+	for i := 1; i < len(x); i++ {
+		v := x[i]
+		j := i - 1
+		for j >= 0 && x[j] > v {
+			x[j+1] = x[j]
+			j--
+		}
+		x[j+1] = v
+	}
 }
 
 // maxHeap keeps the k smallest squared distances seen so far, with the
@@ -80,6 +148,14 @@ type maxHeap struct {
 }
 
 func newMaxHeap(k int) *maxHeap { return &maxHeap{k: k} }
+
+// reset prepares the heap for a fresh query of size k, keeping the
+// backing arrays.
+func (h *maxHeap) reset(k int) {
+	h.k = k
+	h.idx = h.idx[:0]
+	h.dist = h.dist[:0]
+}
 
 func (h *maxHeap) Len() int           { return len(h.idx) }
 func (h *maxHeap) Less(i, j int) bool { return h.dist[i] > h.dist[j] }

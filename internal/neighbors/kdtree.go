@@ -97,6 +97,14 @@ func (t *KDTree) KNN(q []float64, k int) ([]int, []float64) {
 	return h.sorted()
 }
 
+// searchInto implements heapSearcher.
+func (t *KDTree) searchInto(q []float64, h *maxHeap) {
+	if len(q) != t.dim {
+		return
+	}
+	t.search(t.root, q, h)
+}
+
 func (t *KDTree) search(node int, q []float64, h *maxHeap) {
 	if node < 0 {
 		return

@@ -37,6 +37,10 @@ type LOF struct {
 	lrd   []float64 // local reachability density of each reference point
 	nbrs  [][]int   // k nearest neighbours of each reference point
 	nbrsD [][]float64
+	// rawNbrs / rawNbrsD are the (k+1)-neighbour lists before self
+	// removal, exactly as Score's query would see them.
+	rawNbrs  [][]int
+	rawNbrsD [][]float64
 }
 
 // FitLOF fits LOF with neighbourhood size k over the points behind idx.
@@ -50,16 +54,22 @@ func FitLOF(idx Index, k int) *LOF {
 		k = 1
 	}
 	l := &LOF{
-		index: idx,
-		k:     k,
-		kDist: make([]float64, n),
-		lrd:   make([]float64, n),
-		nbrs:  make([][]int, n),
-		nbrsD: make([][]float64, n),
+		index:    idx,
+		k:        k,
+		kDist:    make([]float64, n),
+		lrd:      make([]float64, n),
+		nbrs:     make([][]int, n),
+		nbrsD:    make([][]float64, n),
+		rawNbrs:  make([][]int, n),
+		rawNbrsD: make([][]float64, n),
 	}
-	// Neighbours of each reference point, excluding itself.
+	// Neighbours of each reference point, excluding itself. The raw
+	// (self-inclusive) lists are retained so ScoreRef can rescore a
+	// reference point as a query without repeating the k-NN search.
 	for i := 0; i < n; i++ {
 		ids, dists := idx.KNN(idx.Point(i), k+1)
+		l.rawNbrs[i] = ids
+		l.rawNbrsD[i] = dists
 		ids, dists = dropSelf(ids, dists, i)
 		if len(ids) > k {
 			ids, dists = ids[:k], dists[:k]
@@ -124,6 +134,19 @@ func (l *LOF) Score(q []float64) float64 {
 	ids, dists := l.index.KNN(q, l.k+1)
 	// A query identical to a reference point keeps it as a neighbour;
 	// trim to k entries.
+	if len(ids) > l.k {
+		ids, dists = ids[:l.k], dists[:l.k]
+	}
+	lrdQ := l.lrdOf(ids, dists)
+	return l.ratio(lrdQ, ids)
+}
+
+// ScoreRef returns the LOF of reference point i scored as a query —
+// identical to Score(Point(i)) to the last bit, but reusing the
+// neighbour lists computed at fit time instead of re-running the k-NN
+// search (this turns an O(n²) rescoring loop into O(n·k)).
+func (l *LOF) ScoreRef(i int) float64 {
+	ids, dists := l.rawNbrs[i], l.rawNbrsD[i]
 	if len(ids) > l.k {
 		ids, dists = ids[:l.k], dists[:l.k]
 	}

@@ -1,0 +1,129 @@
+package neighbors
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func randomPoints(n, dim int, seed int64) [][]float64 {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([][]float64, n)
+	for i := range pts {
+		p := make([]float64, dim)
+		for j := range p {
+			p[j] = rng.NormFloat64()
+		}
+		pts[i] = p
+	}
+	return pts
+}
+
+// TestQueryMeanDistanceMatchesKNNDistance pins the reusable query to
+// the allocating helper, to exact float equality, on both index kinds
+// — including k larger than the point count and duplicate points.
+func TestQueryMeanDistanceMatchesKNNDistance(t *testing.T) {
+	pts := randomPoints(500, 3, 9)
+	pts = append(pts, pts[0], pts[1], pts[1]) // duplicates → distance ties
+	brute, err := NewBrute(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := NewKDTree(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var q Query
+	rng := rand.New(rand.NewSource(10))
+	for _, idx := range []Index{brute, tree} {
+		for _, k := range []int{1, 5, 10, len(pts) + 7} {
+			for i := 0; i < 100; i++ {
+				x := []float64{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+				want := KNNDistance(idx, x, k)
+				got := q.MeanDistance(idx, x, k)
+				if want != got {
+					t.Fatalf("%T k=%d: MeanDistance = %v, KNNDistance = %v", idx, k, got, want)
+				}
+			}
+		}
+		if !math.IsNaN(q.MeanDistance(idx, []float64{0, 0, 0}, 0)) {
+			t.Errorf("%T: k=0 should be NaN", idx)
+		}
+	}
+}
+
+// TestKDTreeKNNDistanceMatchesBrute is the cutoff-safety contract used
+// by the Grand detector: switching index implementations must not move
+// a single bit of the mean k-NN distance.
+func TestKDTreeKNNDistanceMatchesBrute(t *testing.T) {
+	pts := randomPoints(800, 4, 11)
+	brute, err := NewBrute(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := NewKDTree(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(12))
+	for i := 0; i < 300; i++ {
+		x := []float64{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+		if b, k := KNNDistance(brute, x, 10), KNNDistance(tree, x, 10); b != k {
+			t.Fatalf("query %d: brute %v != tree %v", i, b, k)
+		}
+	}
+	// Self-queries (the Fit refNC loop's access pattern).
+	for i := 0; i < len(pts); i += 17 {
+		if b, k := KNNDistance(brute, pts[i], 10), KNNDistance(tree, pts[i], 10); b != k {
+			t.Fatalf("self-query %d: brute %v != tree %v", i, b, k)
+		}
+	}
+}
+
+// TestQueryMeanDistanceZeroAlloc pins the warm-path allocation contract
+// behind Grand's steady-state scoring.
+func TestQueryMeanDistanceZeroAlloc(t *testing.T) {
+	pts := randomPoints(600, 3, 13)
+	tree, err := NewKDTree(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	brute, err := NewBrute(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := []float64{0.1, -0.2, 0.3}
+	for _, idx := range []Index{brute, tree} {
+		var q Query
+		q.MeanDistance(idx, x, 10) // warm the buffers
+		allocs := testing.AllocsPerRun(200, func() {
+			q.MeanDistance(idx, x, 10)
+		})
+		if allocs != 0 {
+			t.Errorf("%T: MeanDistance allocated %.1f per run, want 0", idx, allocs)
+		}
+	}
+}
+
+// TestLOFScoreRefMatchesScore pins the fit-time neighbour-list reuse:
+// rescoring a reference point through ScoreRef must equal Score on the
+// same point exactly, on both index kinds and with duplicates present.
+func TestLOFScoreRefMatchesScore(t *testing.T) {
+	pts := randomPoints(300, 3, 14)
+	pts = append(pts, pts[5], pts[5]) // duplicate-heavy corner
+	for _, build := range []func([][]float64) (Index, error){
+		func(p [][]float64) (Index, error) { return NewBrute(p) },
+		func(p [][]float64) (Index, error) { return NewKDTree(p) },
+	} {
+		idx, err := build(pts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l := FitLOF(idx, 10)
+		for i := range pts {
+			if want, got := l.Score(pts[i]), l.ScoreRef(i); want != got && !(math.IsNaN(want) && math.IsNaN(got)) {
+				t.Fatalf("%T: ScoreRef(%d) = %v, Score = %v", idx, i, got, want)
+			}
+		}
+	}
+}
