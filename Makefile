@@ -1,11 +1,15 @@
 GO ?= go
 
-.PHONY: ci vet build test race grid-equiv bench-smoke bench-json
+.PHONY: ci check vet build test race grid-equiv resume-gate fuzz-smoke bench-smoke bench-json
 
 ## ci: the full gate — vet, build, race-enabled tests, the grid
-## equivalence gate, bench smoke, and a perf run appended to
-## BENCH_<n>.json.
-ci: vet build race grid-equiv bench-smoke bench-json
+## equivalence gate, the checkpoint resume gate, a codec fuzz smoke,
+## bench smoke, and a perf run appended to BENCH_<n>.json.
+ci: vet build race grid-equiv resume-gate fuzz-smoke bench-smoke bench-json
+
+## check: the fast inner-loop gate — vet, build, and the plain test
+## suite, with none of ci's race/equivalence/bench machinery.
+check: vet build test
 
 vet:
 	$(GO) vet ./...
@@ -25,14 +29,26 @@ race:
 grid-equiv:
 	$(GO) test -run 'TestRunGridCachedMatchesReference|TestRunGridTransformOnce|TestSweepReplayZeroAlloc' ./internal/eval/
 
+## resume-gate: checkpointing a live engine mid-stream and restoring at
+## a different shard count must be bit-identical to an uninterrupted
+## run, for every paper technique × transform.
+resume-gate:
+	$(GO) test -run 'TestEngineCheckpointResumeGate' ./internal/fleet/
+
+## fuzz-smoke: a short fuzz of the checkpoint container codec — the
+## decoder must reject arbitrary corruption with typed errors, never a
+## panic.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz 'FuzzCheckpointRoundTrip' -fuzztime 10s ./internal/checkpoint/
+
 ## bench-smoke: one iteration of the throughput + allocation benchmarks,
 ## enough to catch a benchmark that no longer compiles or crashes.
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkFleetThroughput|BenchmarkScoreInto|BenchmarkPipelineSteadyState' -benchtime 1x \
 		./internal/fleet/ ./internal/detector/closestpair/ ./internal/core/
 
-## bench-json: one fleet-engine perf run at bench scale, appended to
-## BENCH_<n>.json so the performance trajectory stays machine-readable
-## across PRs.
+## bench-json: one fleet-engine perf run at bench scale, with the
+## live-checkpoint overhead exhibit embedded, appended to BENCH_<n>.json
+## so the performance trajectory stays machine-readable across PRs.
 bench-json:
-	$(GO) run ./cmd/navarchos-bench -experiment perf -json
+	$(GO) run ./cmd/navarchos-bench -experiment perf,checkpoint -json

@@ -8,12 +8,13 @@
 //	navarchos-bench -scale small         # quick pass
 //
 // Experiments: fig1 fig2 fig4 fig5 fig6 fig7 table1 table2 table3 fig8
-// baselines perf gridperf all.
+// baselines perf gridperf checkpoint all.
 //
 // With -json, the perf experiment additionally writes its
 // throughput/latency results to BENCH_<n>.json (smallest unused n), so
 // the performance trajectory stays machine-readable across PRs; a
-// gridperf run in the same invocation is embedded under "grid".
+// gridperf or checkpoint run in the same invocation is embedded under
+// "grid" / "checkpoint".
 //
 // -cpuprofile and -memprofile write pprof profiles covering the whole
 // run (the memory profile is taken at exit, after a final GC).
@@ -201,6 +202,17 @@ func main() {
 		g.Render(out)
 		fmt.Fprintln(out)
 	}
+	var ckptPerf *experiments.CheckpointPerfResult
+	if has("checkpoint") {
+		ran = true
+		c, err := experiments.CheckpointPerf(opts, 0, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ckptPerf = c
+		c.Render(out)
+		fmt.Fprintln(out)
+	}
 	if has("perf") || *jsonOut {
 		ran = true
 		r, err := experiments.Perf(opts, nil)
@@ -208,6 +220,7 @@ func main() {
 			log.Fatal(err)
 		}
 		r.Grid = gridPerf
+		r.Checkpoint = ckptPerf
 		r.Render(out)
 		fmt.Fprintln(out)
 		if *jsonOut {
@@ -219,7 +232,7 @@ func main() {
 		}
 	}
 	if !ran {
-		log.Fatalf("unknown experiment %q (want fig1 fig2 fig4 fig5 fig6 fig7 table1 table2 table3 fig8 baselines perf gridperf or all)", *experiment)
+		log.Fatalf("unknown experiment %q (want fig1 fig2 fig4 fig5 fig6 fig7 table1 table2 table3 fig8 baselines perf gridperf checkpoint or all)", *experiment)
 	}
 }
 

@@ -5,12 +5,18 @@
 // explanation.
 //
 // Data comes either from CSV files written by navarchos-gen (-records /
-// -events) or from a freshly generated synthetic fleet (-scale).
+// -events) or from a freshly generated synthetic fleet (-scale). The
+// fleet streams through the sharded concurrent engine; -checkpoint and
+// -resume serialize and restore the engine's mutable state so a long
+// replay can be split across process invocations without changing a
+// single alarm.
 //
 // Usage:
 //
 //	navarchos-detect -scale small
 //	navarchos-detect -records data/records.csv -events data/events.csv
+//	navarchos-detect -scale small -checkpoint fleet.ckpt
+//	navarchos-detect -scale small -resume fleet.ckpt
 package main
 
 import (
@@ -34,6 +40,9 @@ func main() {
 	recordsPath := flag.String("records", "", "records CSV (from navarchos-gen)")
 	eventsPath := flag.String("events", "", "events CSV (from navarchos-gen)")
 	factor := flag.Float64("factor", 14, "self-tuning threshold factor")
+	shards := flag.Int("shards", 0, "engine shard count (0 = GOMAXPROCS)")
+	checkpointPath := flag.String("checkpoint", "", "write engine state to this file after the run")
+	resumePath := flag.String("resume", "", "restore engine state from this file before the run")
 	flag.Parse()
 
 	var records []timeseries.Record
@@ -77,53 +86,84 @@ func main() {
 		log.Fatal("provide either -scale or both -records and -events")
 	}
 
-	// One streaming pipeline per vehicle, fed chronologically.
-	pipelines := map[string]*pdm.Pipeline{}
-	mk := func(vehicle string) *pdm.Pipeline {
-		tr, err := pdm.NewTransformer(pdm.Correlation, 12)
+	// Config only: the immutable assembly recipe for each vehicle's
+	// pipeline. Mutable state lives inside the engine and travels
+	// through -checkpoint / -resume instead.
+	engCfg := pdm.FleetEngineConfig{
+		NewConfig: func(string) (pdm.PipelineConfig, error) {
+			tr, err := pdm.NewTransformer(pdm.Correlation, 12)
+			if err != nil {
+				return pdm.PipelineConfig{}, err
+			}
+			wf := timeseries.NewWarmupFilter(5, 20*time.Minute)
+			return pdm.PipelineConfig{
+				Transformer:   tr,
+				Detector:      pdm.NewClosestPair(tr.FeatureNames()),
+				Thresholder:   pdm.NewSelfTuningThreshold(*factor),
+				ProfileLength: 45,
+				Filter:        wf.Keep,
+				FilterState:   wf,
+				DensityM:      5,
+				DensityK:      15,
+			}, nil
+		},
+		Shards: *shards,
+	}
+
+	var eng *pdm.FleetEngine
+	var err error
+	if *resumePath != "" {
+		f, oerr := os.Open(*resumePath)
+		if oerr != nil {
+			log.Fatal(oerr)
+		}
+		eng, err = pdm.NewFleetEngineFromCheckpoint(f, engCfg)
+		f.Close()
+		if err != nil {
+			log.Fatalf("resume %s: %v", *resumePath, err)
+		}
+	} else {
+		eng, err = pdm.NewFleetEngine(engCfg)
 		if err != nil {
 			log.Fatal(err)
 		}
-		p, err := pdm.NewPipeline(vehicle, pdm.PipelineConfig{
-			Transformer:   tr,
-			Detector:      pdm.NewClosestPair(tr.FeatureNames()),
-			Thresholder:   pdm.NewSelfTuningThreshold(*factor),
-			ProfileLength: 45,
-			Filter:        timeseries.NewWarmupFilter(5, 20*time.Minute),
-			DensityM:      5,
-			DensityK:      15,
-		})
-		if err != nil {
-			log.Fatal(err)
-		}
-		return p
 	}
 
 	var alarms []pdm.Alarm
-	evIdx := 0
-	for _, rec := range records {
-		for evIdx < len(events) && !events[evIdx].Time.After(rec.Time) {
-			ev := events[evIdx]
-			if p, ok := pipelines[ev.VehicleID]; ok {
-				p.HandleEvent(ev)
-			}
-			evIdx++
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for a := range eng.Alarms() {
+			alarms = append(alarms, a)
 		}
-		p, ok := pipelines[rec.VehicleID]
-		if !ok {
-			p = mk(rec.VehicleID)
-			pipelines[rec.VehicleID] = p
-		}
-		a, err := p.HandleRecord(rec)
+	}()
+	if err := eng.Replay(records, events); err != nil {
+		log.Fatal(err)
+	}
+	if err := eng.Close(); err != nil {
+		log.Fatal(err)
+	}
+	<-done
+
+	if *checkpointPath != "" {
+		f, err := os.Create(*checkpointPath)
 		if err != nil {
 			log.Fatal(err)
 		}
-		alarms = append(alarms, a...)
+		if err := eng.Checkpoint(f); err != nil {
+			log.Fatalf("checkpoint: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fi, _ := os.Stat(*checkpointPath)
+		fmt.Printf("checkpoint written to %s (%d bytes)\n", *checkpointPath, fi.Size())
 	}
 
+	st := eng.Stats()
 	daily := pdm.ConsolidateDaily(alarms)
 	fmt.Printf("processed %d records from %d vehicles; %d raw violations, %d day-level alarms\n",
-		len(records), len(pipelines), len(alarms), len(daily))
+		len(records), st.Vehicles, len(alarms), len(daily))
 	for _, a := range daily {
 		fmt.Printf("%s  %-8s %-32s score=%.4f threshold=%.4f\n",
 			a.Time.Format("2006-01-02 15:04"), a.VehicleID, a.Feature, a.Score, a.Threshold)

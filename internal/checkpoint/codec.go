@@ -1,0 +1,228 @@
+// Package checkpoint implements the versioned binary container behind
+// every durable-state feature of this repository: detector, transformer
+// and pipeline snapshots, and the fleet engine's whole-fleet checkpoint
+// files. The framework is explicitly long-running — reference profiles
+// and martingale state accumulate over months of 1/min OBD-II data — so
+// surviving a process restart without re-warming the fleet requires a
+// format that is stable across builds, refuses input it cannot prove it
+// understands, and localises corruption to the section that carries it.
+//
+// A checkpoint stream is:
+//
+//	magic (8 bytes) | format version (uint32) | section*
+//
+// and each section is:
+//
+//	name (uint32 length + bytes) | payload length (uint64) |
+//	payload | CRC-32C of payload (uint32)
+//
+// All integers are little-endian. Readers reject unknown magic, any
+// format version newer than they were built for, CRC mismatches and
+// truncated streams with typed errors — corrupt state must never be
+// silently restored into a detection fleet.
+package checkpoint
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Magic identifies a checkpoint stream. The trailing byte versions the
+// container framing itself (as opposed to Version, which versions the
+// section contents); it never changes compatibly.
+var Magic = [8]byte{'N', 'V', 'C', 'H', 'K', 'P', 'T', '1'}
+
+// Version is the current checkpoint format version. Readers accept any
+// version up to and including it and refuse anything newer: an old
+// binary restoring a new checkpoint would silently drop state.
+const Version uint32 = 1
+
+// MaxSectionSize bounds a single section payload (1 GiB). A corrupted
+// length prefix must not be able to drive a multi-terabyte allocation.
+const MaxSectionSize = 1 << 30
+
+// ErrBadMagic is returned when the stream does not begin with Magic —
+// the input is not a checkpoint at all.
+var ErrBadMagic = errors.New("checkpoint: bad magic (not a checkpoint stream)")
+
+// ErrTruncated is returned when a stream or section payload ends before
+// its declared length.
+var ErrTruncated = errors.New("checkpoint: truncated input")
+
+// ErrTrailingData is returned when a payload decodes cleanly but leaves
+// unread bytes behind.
+var ErrTrailingData = errors.New("checkpoint: trailing data after payload")
+
+// FutureVersionError is returned when the stream was written by a newer
+// format version than this reader supports.
+type FutureVersionError struct {
+	Got, Supported uint32
+}
+
+// Error implements error.
+func (e *FutureVersionError) Error() string {
+	return fmt.Sprintf("checkpoint: format version %d is newer than supported version %d", e.Got, e.Supported)
+}
+
+// SectionError wraps a failure localised to one named section, keeping
+// the section name in the error chain so an operator knows which
+// vehicle or subsystem refused to restore.
+type SectionError struct {
+	Section string
+	Err     error
+}
+
+// Error implements error.
+func (e *SectionError) Error() string {
+	return fmt.Sprintf("checkpoint: section %q: %v", e.Section, e.Err)
+}
+
+// Unwrap exposes the underlying cause to errors.Is/As.
+func (e *SectionError) Unwrap() error { return e.Err }
+
+// ErrCorrupt is returned (wrapped in a SectionError) when a section's
+// CRC does not match its payload.
+var ErrCorrupt = errors.New("checkpoint: CRC mismatch")
+
+// castagnoli is the CRC-32C table (the polynomial with hardware support
+// on both amd64 and arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Encoder writes a checkpoint stream section by section.
+type Encoder struct {
+	w       io.Writer
+	started bool
+}
+
+// NewEncoder returns an encoder over w. The header is written lazily by
+// the first Section call, so constructing an encoder performs no I/O.
+func NewEncoder(w io.Writer) *Encoder { return &Encoder{w: w} }
+
+// header writes magic and version once.
+func (e *Encoder) header() error {
+	if e.started {
+		return nil
+	}
+	e.started = true
+	var hdr [12]byte
+	copy(hdr[:8], Magic[:])
+	binary.LittleEndian.PutUint32(hdr[8:], Version)
+	_, err := e.w.Write(hdr[:])
+	return err
+}
+
+// Section appends one named section with its CRC.
+func (e *Encoder) Section(name string, payload []byte) error {
+	if len(payload) > MaxSectionSize {
+		return &SectionError{Section: name, Err: fmt.Errorf("payload of %d bytes exceeds maximum %d", len(payload), MaxSectionSize)}
+	}
+	if err := e.header(); err != nil {
+		return err
+	}
+	var pre [4]byte
+	binary.LittleEndian.PutUint32(pre[:], uint32(len(name)))
+	if _, err := e.w.Write(pre[:]); err != nil {
+		return err
+	}
+	if _, err := io.WriteString(e.w, name); err != nil {
+		return err
+	}
+	var ln [8]byte
+	binary.LittleEndian.PutUint64(ln[:], uint64(len(payload)))
+	if _, err := e.w.Write(ln[:]); err != nil {
+		return err
+	}
+	if _, err := e.w.Write(payload); err != nil {
+		return err
+	}
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.Checksum(payload, castagnoli))
+	_, err := e.w.Write(crc[:])
+	return err
+}
+
+// Flush finishes the stream. A checkpoint with zero sections still gets
+// its header, so an empty fleet round-trips.
+func (e *Encoder) Flush() error { return e.header() }
+
+// Decoder reads a checkpoint stream.
+type Decoder struct {
+	r         io.Reader
+	gotHeader bool
+}
+
+// NewDecoder returns a decoder over r.
+func NewDecoder(r io.Reader) *Decoder { return &Decoder{r: r} }
+
+// readHeader validates magic and version.
+func (d *Decoder) readHeader() error {
+	if d.gotHeader {
+		return nil
+	}
+	var hdr [12]byte
+	if _, err := io.ReadFull(d.r, hdr[:]); err != nil {
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			return ErrTruncated
+		}
+		return err
+	}
+	if [8]byte(hdr[:8]) != Magic {
+		return ErrBadMagic
+	}
+	if v := binary.LittleEndian.Uint32(hdr[8:]); v > Version {
+		return &FutureVersionError{Got: v, Supported: Version}
+	}
+	d.gotHeader = true
+	return nil
+}
+
+// Next returns the next section. It returns io.EOF at the clean end of
+// the stream and a typed error for every malformed input; it never
+// panics, whatever bytes it is fed.
+func (d *Decoder) Next() (name string, payload []byte, err error) {
+	if err := d.readHeader(); err != nil {
+		return "", nil, err
+	}
+	var pre [4]byte
+	if _, err := io.ReadFull(d.r, pre[:]); err != nil {
+		if errors.Is(err, io.EOF) {
+			return "", nil, io.EOF // clean end between sections
+		}
+		if errors.Is(err, io.ErrUnexpectedEOF) {
+			return "", nil, ErrTruncated
+		}
+		return "", nil, err
+	}
+	nameLen := binary.LittleEndian.Uint32(pre[:])
+	if nameLen > 4096 {
+		return "", nil, fmt.Errorf("checkpoint: section name of %d bytes: %w", nameLen, ErrCorrupt)
+	}
+	nameBuf := make([]byte, nameLen)
+	if _, err := io.ReadFull(d.r, nameBuf); err != nil {
+		return "", nil, ErrTruncated
+	}
+	name = string(nameBuf)
+	var ln [8]byte
+	if _, err := io.ReadFull(d.r, ln[:]); err != nil {
+		return name, nil, &SectionError{Section: name, Err: ErrTruncated}
+	}
+	payloadLen := binary.LittleEndian.Uint64(ln[:])
+	if payloadLen > MaxSectionSize {
+		return name, nil, &SectionError{Section: name, Err: fmt.Errorf("payload of %d bytes exceeds maximum %d: %w", payloadLen, uint64(MaxSectionSize), ErrCorrupt)}
+	}
+	payload = make([]byte, payloadLen)
+	if _, err := io.ReadFull(d.r, payload); err != nil {
+		return name, nil, &SectionError{Section: name, Err: ErrTruncated}
+	}
+	var crc [4]byte
+	if _, err := io.ReadFull(d.r, crc[:]); err != nil {
+		return name, nil, &SectionError{Section: name, Err: ErrTruncated}
+	}
+	if binary.LittleEndian.Uint32(crc[:]) != crc32.Checksum(payload, castagnoli) {
+		return name, nil, &SectionError{Section: name, Err: ErrCorrupt}
+	}
+	return name, payload, nil
+}

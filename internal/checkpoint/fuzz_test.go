@@ -1,0 +1,99 @@
+package checkpoint
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// FuzzCheckpointRoundTrip drives the container codec from both ends:
+// the input bytes are decoded as an untrusted stream (which must return
+// a typed error or clean sections, never panic), and are also packed
+// into sections and round-tripped (which must reproduce them exactly).
+func FuzzCheckpointRoundTrip(f *testing.F) {
+	// Seed with a well-formed stream, an empty stream, and a few
+	// classic corruptions so the fuzzer starts at the format boundary.
+	var well bytes.Buffer
+	enc := NewEncoder(&well)
+	_ = enc.Section("engine", []byte{1, 2, 3})
+	_ = enc.Section("vehicle", []byte("state"))
+	f.Add(well.Bytes())
+	var empty bytes.Buffer
+	_ = NewEncoder(&empty).Flush()
+	f.Add(empty.Bytes())
+	bad := append([]byte(nil), well.Bytes()...)
+	bad[0] ^= 0xff
+	f.Add(bad)
+	short := well.Bytes()
+	f.Add(short[:len(short)-3])
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Decoding arbitrary bytes must never panic and must surface
+		// malformed input as one of the typed errors.
+		dec := NewDecoder(bytes.NewReader(data))
+		var names []string
+		var payloads [][]byte
+		for {
+			name, payload, err := dec.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				var fv *FutureVersionError
+				var se *SectionError
+				switch {
+				case errors.Is(err, ErrBadMagic),
+					errors.Is(err, ErrTruncated),
+					errors.Is(err, ErrCorrupt),
+					errors.As(err, &fv),
+					errors.As(err, &se):
+					// typed refusal: the contract for corrupt input
+				default:
+					t.Fatalf("untyped decode error: %v", err)
+				}
+				return
+			}
+			names = append(names, name)
+			payloads = append(payloads, payload)
+			if len(names) > 1<<16 {
+				t.Fatal("decoder yielded an implausible number of sections")
+			}
+		}
+
+		// A cleanly decoded stream must re-encode to the same sections.
+		var out bytes.Buffer
+		enc := NewEncoder(&out)
+		for i, name := range names {
+			if err := enc.Section(name, payloads[i]); err != nil {
+				t.Fatalf("re-encode: %v", err)
+			}
+		}
+		if err := enc.Flush(); err != nil {
+			t.Fatalf("re-encode flush: %v", err)
+		}
+		dec2 := NewDecoder(bytes.NewReader(out.Bytes()))
+		for i := range names {
+			name, payload, err := dec2.Next()
+			if err != nil {
+				t.Fatalf("second decode: %v", err)
+			}
+			if name != names[i] || !bytes.Equal(payload, payloads[i]) {
+				t.Fatalf("round-trip mismatch at section %d", i)
+			}
+		}
+		if _, _, err := dec2.Next(); err != io.EOF {
+			t.Fatalf("second decode end: %v", err)
+		}
+
+		// The payload primitives must also survive arbitrary bytes.
+		r := NewRBuf(data)
+		_ = r.Uint64()
+		_ = r.String()
+		_ = r.Float64s()
+		_ = r.Float64Rows()
+		_ = r.Bools()
+		_ = r.Close()
+	})
+}

@@ -87,6 +87,12 @@ type Config struct {
 	// paper's default of removing stationary-state and sensor-fault
 	// records.
 	Filter func(*timeseries.Record) bool
+	// FilterState exposes the Filter's mutable state to the pipeline's
+	// snapshot seam when the filter is stateful (timeseries.WarmupFilter:
+	// pass wf.Keep as Filter and wf as FilterState). Leave nil for
+	// stateless filters; a pipeline with a stateful filter but no
+	// FilterState cannot be snapshotted consistently.
+	FilterState Snapshotter
 	// DensityM and DensityK gate alarms on persistence: an alarm is
 	// emitted only when at least M of the vehicle's last K scored
 	// samples (including the current one) violate their thresholds.
@@ -155,6 +161,7 @@ func NewPipeline(vehicleID string, cfg Config) (*Pipeline, error) {
 	ts, err := NewTransformStage(TransformConfig{
 		Transformer: cfg.Transformer,
 		Filter:      cfg.Filter,
+		FilterState: cfg.FilterState,
 		ResetPolicy: cfg.ResetPolicy,
 	})
 	if err != nil {

@@ -1,0 +1,301 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/navarchos/pdm/internal/detector"
+	"github.com/navarchos/pdm/internal/detector/closestpair"
+	"github.com/navarchos/pdm/internal/obd"
+	"github.com/navarchos/pdm/internal/thresholds"
+	"github.com/navarchos/pdm/internal/timeseries"
+	"github.com/navarchos/pdm/internal/transform"
+)
+
+// buildPipeline constructs the standard test pipeline (correlation →
+// closest-pair → self-tuning) writing into trace.
+func buildPipeline(t *testing.T, trace *Trace) *Pipeline {
+	t.Helper()
+	tr, err := transform.New(transform.Correlation, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPipeline("veh-A", Config{
+		Transformer:   tr,
+		Detector:      closestpair.New(tr.FeatureNames()),
+		Thresholder:   thresholds.NewSelfTuning(3),
+		ProfileLength: 30,
+		Filter:        func(*timeseries.Record) bool { return true },
+		Trace:         trace,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// feed drives the pipeline over the merged record/event stream slice
+// [lo, hi) of the stageStream indices, collecting alarms.
+func feed(t *testing.T, p *Pipeline, records []timeseries.Record, events []obd.Event) []detector.Alarm {
+	t.Helper()
+	var alarms []detector.Alarm
+	err := Merged("veh-A", records, events,
+		func(ev obd.Event) error { p.HandleEvent(ev); return nil },
+		func(r timeseries.Record) error {
+			a, err := p.HandleRecord(r)
+			alarms = append(alarms, a...)
+			return err
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return alarms
+}
+
+// TestPipelineSnapshotResume is the core-layer resume gate: freezing a
+// pipeline at an arbitrary record index and restoring the snapshot into
+// a freshly configured pipeline must continue bit-identically — same
+// per-sample scores, thresholds, alarm decisions and alarms — as the
+// uninterrupted run. Splits land in the collecting phase, mid-window,
+// and deep into the detecting phase.
+func TestPipelineSnapshotResume(t *testing.T) {
+	records, events := stageStream(900)
+	for _, split := range []int{7, 35, 150, 500, 701} {
+		uninterrupted := &Trace{}
+		ref := buildPipeline(t, uninterrupted)
+		wantAlarms := feed(t, ref, records, events)
+
+		// First half on the original, snapshot, restore, second half on
+		// the restored instance. Events are partitioned by the split
+		// record's timestamp (Merged interleaves by time).
+		splitTime := records[split].Time
+		var evFirst, evSecond []obd.Event
+		for _, ev := range events {
+			if !ev.Time.After(splitTime) {
+				evFirst = append(evFirst, ev)
+			} else {
+				evSecond = append(evSecond, ev)
+			}
+		}
+		firstTrace := &Trace{}
+		first := buildPipeline(t, firstTrace)
+		gotAlarms := feed(t, first, records[:split+1], evFirst)
+		snap, err := first.Snapshot()
+		if err != nil {
+			t.Fatalf("split %d: Snapshot: %v", split, err)
+		}
+		secondTrace := &Trace{}
+		second := buildPipeline(t, secondTrace)
+		if err := second.Restore(snap); err != nil {
+			t.Fatalf("split %d: Restore: %v", split, err)
+		}
+		gotAlarms = append(gotAlarms, feed(t, second, records[split+1:], evSecond)...)
+
+		if !reflect.DeepEqual(gotAlarms, wantAlarms) {
+			t.Fatalf("split %d: resumed alarms differ: got %d, want %d",
+				split, len(gotAlarms), len(wantAlarms))
+		}
+		got := concatTraces(firstTrace, secondTrace)
+		compareTraces(t, split, got, uninterrupted)
+	}
+}
+
+// concatTraces merges the pre- and post-restore traces into one
+// continued history, resolving segment indices through SegCalib so the
+// result is comparable with an uninterrupted trace.
+func concatTraces(a, b *Trace) *Trace {
+	out := &Trace{}
+	out.Times = append(append(out.Times, a.Times...), b.Times...)
+	out.Scores = append(append(out.Scores, a.Scores...), b.Scores...)
+	out.Thresholds = append(append(out.Thresholds, a.Thresholds...), b.Thresholds...)
+	out.Alarmed = append(append(out.Alarmed, a.Alarmed...), b.Alarmed...)
+	out.Resets = append(append(out.Resets, a.Resets...), b.Resets...)
+	// The restored trace's first SegCalib entry is the segment active at
+	// the snapshot — the same stats as the original's last entry. Skip
+	// the duplicate when the pre-restore trace already recorded it.
+	skip := 0
+	if len(a.SegCalib) > 0 && len(b.SegCalib) > 0 &&
+		reflect.DeepEqual(a.SegCalib[len(a.SegCalib)-1], b.SegCalib[0]) {
+		skip = 1
+	}
+	out.SegCalib = append(append(out.SegCalib, a.SegCalib...), b.SegCalib[skip:]...)
+	out.Segments = append(out.Segments, a.Segments...)
+	base := len(a.SegCalib) - skip
+	for _, s := range b.Segments {
+		out.Segments = append(out.Segments, s+base)
+	}
+	return out
+}
+
+func compareTraces(t *testing.T, split int, got, want *Trace) {
+	t.Helper()
+	if !reflect.DeepEqual(got.Times, want.Times) {
+		t.Fatalf("split %d: Times differ (%d vs %d)", split, len(got.Times), len(want.Times))
+	}
+	if !reflect.DeepEqual(got.Scores, want.Scores) {
+		t.Fatalf("split %d: Scores differ", split)
+	}
+	if !reflect.DeepEqual(got.Thresholds, want.Thresholds) {
+		t.Fatalf("split %d: Thresholds differ", split)
+	}
+	if !reflect.DeepEqual(got.Alarmed, want.Alarmed) {
+		t.Fatalf("split %d: Alarmed differs", split)
+	}
+	if !reflect.DeepEqual(got.Resets, want.Resets) {
+		t.Fatalf("split %d: Resets differ: %v vs %v", split, got.Resets, want.Resets)
+	}
+	if !reflect.DeepEqual(got.Segments, want.Segments) {
+		t.Fatalf("split %d: Segments differ", split)
+	}
+	if !reflect.DeepEqual(got.SegCalib, want.SegCalib) {
+		t.Fatalf("split %d: SegCalib differs", split)
+	}
+}
+
+// TestPipelineSnapshotRejectsMismatch covers the config/state contract:
+// a snapshot only restores into an identically configured pipeline.
+func TestPipelineSnapshotRejectsMismatch(t *testing.T) {
+	records, _ := stageStream(200)
+	p := buildPipeline(t, nil)
+	feed(t, p, records, nil)
+	snap, err := p.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Different vehicle.
+	tr, _ := transform.New(transform.Correlation, 12)
+	other, err := NewPipeline("veh-B", Config{
+		Transformer:   tr,
+		Detector:      closestpair.New(tr.FeatureNames()),
+		Thresholder:   thresholds.NewSelfTuning(3),
+		ProfileLength: 30,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := other.Restore(snap); err == nil {
+		t.Fatal("pipeline for veh-B accepted veh-A's snapshot")
+	}
+
+	// Different density window.
+	tr2, _ := transform.New(transform.Correlation, 12)
+	dens, err := NewPipeline("veh-A", Config{
+		Transformer:   tr2,
+		Detector:      closestpair.New(tr2.FeatureNames()),
+		Thresholder:   thresholds.NewSelfTuning(3),
+		ProfileLength: 30,
+		DensityM:      3,
+		DensityK:      5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dens.Restore(snap); err == nil {
+		t.Fatal("pipeline with a different density window accepted the snapshot")
+	}
+
+	// Corrupted payloads error, never panic.
+	target := buildPipeline(t, nil)
+	for _, cut := range []int{0, 1, len(snap) / 3, len(snap) - 1} {
+		if err := target.Restore(snap[:cut]); err == nil {
+			t.Fatalf("truncated snapshot (%d bytes) accepted", cut)
+		}
+	}
+}
+
+// TestResetOnRepairsOnlyThroughStagedPath covers the ResetPolicy =
+// ResetOnRepairsOnly variant end to end through the transform-once
+// staged path: the trace collector must ignore service events under the
+// policy, and DetectOnTrace over the collected trace must reproduce the
+// streaming pipeline's behaviour exactly.
+func TestResetOnRepairsOnlyThroughStagedPath(t *testing.T) {
+	records, events := stageStream(1200)
+	// stageStream emits one mid-stream service and one trailing repair;
+	// under ResetOnRepairsOnly only the repair resets.
+	passAll := func(*timeseries.Record) bool { return true }
+
+	// Streaming pipeline reference.
+	want := &Trace{}
+	tr, err := transform.New(transform.Correlation, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPipeline("veh-A", Config{
+		Transformer:   tr,
+		Detector:      closestpair.New(tr.FeatureNames()),
+		Thresholder:   thresholds.NewSelfTuning(3),
+		ProfileLength: 30,
+		ResetPolicy:   ResetOnRepairsOnly,
+		Filter:        passAll,
+		Trace:         want,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = Merged("veh-A", records, events,
+		func(ev obd.Event) error { p.HandleEvent(ev); return nil },
+		func(r timeseries.Record) error { _, err := p.HandleRecord(r); return err })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want.Resets) != 1 {
+		t.Fatalf("streaming run recorded %d resets, want 1 (repair only)", len(want.Resets))
+	}
+	if len(want.Scores) == 0 {
+		t.Fatal("streaming run scored nothing")
+	}
+
+	// Staged path: collect the transformed trace under the same policy,
+	// then replay detection over the cache.
+	tt := &TransformedTrace{}
+	tr2, err := transform.New(transform.Correlation, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col, err := NewTraceCollector("veh-A", TransformConfig{
+		Transformer: tr2,
+		Filter:      passAll,
+		ResetPolicy: ResetOnRepairsOnly,
+	}, tt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = Merged("veh-A", records, events,
+		func(ev obd.Event) error { col.HandleEvent(ev); return nil },
+		func(r timeseries.Record) error { _, err := col.HandleRecord(r); return err })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tt.ResetIdx) != 1 {
+		t.Fatalf("trace collector recorded %d resets, want 1: service events must not reset under ResetOnRepairsOnly", len(tt.ResetIdx))
+	}
+
+	got := &Trace{}
+	tr3, err := transform.New(transform.Correlation, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = DetectOnTrace("veh-A", tt, DetectConfig{
+		Detector:      closestpair.New(tr3.FeatureNames()),
+		Thresholder:   thresholds.NewSelfTuning(3),
+		ProfileLength: 30,
+		Trace:         got,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, pair := range map[string][2]interface{}{
+		"Times":      {got.Times, want.Times},
+		"Scores":     {got.Scores, want.Scores},
+		"Thresholds": {got.Thresholds, want.Thresholds},
+		"Alarmed":    {got.Alarmed, want.Alarmed},
+		"Segments":   {got.Segments, want.Segments},
+		"SegCalib":   {got.SegCalib, want.SegCalib},
+		"Resets":     {got.Resets, want.Resets},
+	} {
+		if !reflect.DeepEqual(pair[0], pair[1]) {
+			t.Errorf("%s differs between streaming and staged ResetOnRepairsOnly runs", name)
+		}
+	}
+}

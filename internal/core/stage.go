@@ -30,6 +30,9 @@ type TransformConfig struct {
 	// paper's default of removing stationary-state and sensor-fault
 	// records.
 	Filter func(*timeseries.Record) bool
+	// FilterState exposes a stateful Filter's mutable state to the
+	// snapshot seam (see Config.FilterState).
+	FilterState Snapshotter
 	// ResetPolicy selects which maintenance events reset the stage (and,
 	// downstream, rebuild Ref).
 	ResetPolicy ResetPolicy
@@ -234,6 +237,11 @@ type DetectStage struct {
 	violPos   int
 	violCount int
 
+	// calib summarises the last fit's calibration scores. It feeds
+	// Trace.SegCalib and rides along in snapshots so a restored stage
+	// can seed a fresh trace's segment table.
+	calib Calib
+
 	scoreBuf []float64
 }
 
@@ -328,8 +336,9 @@ func (d *DetectStage) fit() error {
 	if err := d.cfg.Thresholder.Fit(calib); err != nil {
 		return fmt.Errorf("core: fit thresholds for %s: %w", d.vehicleID, err)
 	}
+	d.calib = calibStats(calib)
 	if d.cfg.Trace != nil {
-		d.cfg.Trace.SegCalib = append(d.cfg.Trace.SegCalib, calibStats(calib))
+		d.cfg.Trace.SegCalib = append(d.cfg.Trace.SegCalib, d.calib)
 	}
 	d.fitted = true
 	d.state = StateDetecting

@@ -72,6 +72,26 @@ func ScoreInto(d Detector, x, dst []float64) error {
 	return nil
 }
 
+// Snapshotter is the optional Detector extension behind the stack-wide
+// checkpoint/restore seam. Snapshot serialises the detector's mutable
+// fitted state — reference indexes, trained weights, streaming score
+// state — never its configuration, which the owner reconstructs by
+// calling the technique's New with the same parameters before Restore.
+// A detector that implements Snapshotter promises bit-identical scoring
+// after a snapshot/restore round-trip: Score on the restored instance
+// must return exactly what the original would have returned.
+type Snapshotter interface {
+	// Snapshot returns the detector's fitted and streaming state.
+	Snapshot() ([]byte, error)
+	// Restore replaces the detector's state with a snapshot taken from
+	// an identically configured instance.
+	Restore(data []byte) error
+}
+
+// ErrBadSnapshot is returned by Restore when a snapshot payload does not
+// decode as state for this detector type and configuration.
+var ErrBadSnapshot = errors.New("detector: malformed snapshot")
+
 // SelfCalibrator is an optional Detector extension for techniques that
 // can score their own reference data leave-one-out. When implemented,
 // the pipeline fits the detector on the FULL reference profile and

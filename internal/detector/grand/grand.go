@@ -142,33 +142,8 @@ func (d *Detector) Fit(ref [][]float64) error {
 	d.logBets = make([]float64, d.cfg.MartingaleWindow)
 	d.betPos, d.betN = 0, 0
 
-	switch d.cfg.Measure {
-	case Median:
-		d.median = make([]float64, dim)
-		col := make([]float64, len(ref))
-		for c := 0; c < dim; c++ {
-			for i, row := range ref {
-				col[i] = row[c]
-			}
-			d.median[c] = mat.Median(col)
-		}
-	case KNN, LOF:
-		var idx neighbors.Index
-		var err error
-		if len(ref) >= kdCutoff && !d.cfg.LegacyKernels {
-			idx, err = neighbors.NewKDTree(ref)
-		} else {
-			idx, err = neighbors.NewBrute(ref)
-		}
-		if err != nil {
-			return err
-		}
-		d.index = idx
-		if d.cfg.Measure == LOF {
-			d.lof = neighbors.FitLOF(idx, d.cfg.K)
-		}
-	default:
-		return fmt.Errorf("grand: unknown measure %d", int(d.cfg.Measure))
+	if err := d.buildMeasure(dim); err != nil {
+		return err
 	}
 
 	// Reference non-conformity scores. For KNN/LOF the reference sample
@@ -193,6 +168,42 @@ func (d *Detector) Fit(ref [][]float64) error {
 		}
 	}
 	sort.Float64s(d.sortedNC)
+	return nil
+}
+
+// buildMeasure constructs the structures behind the configured
+// non-conformity measure from d.ref. The build is deterministic in the
+// reference set, so snapshot restore re-derives the measure instead of
+// serialising k-d trees and LOF tables.
+func (d *Detector) buildMeasure(dim int) error {
+	switch d.cfg.Measure {
+	case Median:
+		d.median = make([]float64, dim)
+		col := make([]float64, len(d.ref))
+		for c := 0; c < dim; c++ {
+			for i, row := range d.ref {
+				col[i] = row[c]
+			}
+			d.median[c] = mat.Median(col)
+		}
+	case KNN, LOF:
+		var idx neighbors.Index
+		var err error
+		if len(d.ref) >= kdCutoff && !d.cfg.LegacyKernels {
+			idx, err = neighbors.NewKDTree(d.ref)
+		} else {
+			idx, err = neighbors.NewBrute(d.ref)
+		}
+		if err != nil {
+			return err
+		}
+		d.index = idx
+		if d.cfg.Measure == LOF {
+			d.lof = neighbors.FitLOF(idx, d.cfg.K)
+		}
+	default:
+		return fmt.Errorf("grand: unknown measure %d", int(d.cfg.Measure))
+	}
 	return nil
 }
 

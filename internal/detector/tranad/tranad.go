@@ -128,36 +128,8 @@ func (d *Detector) Fit(ref [][]float64) error {
 	d.means, d.stds = means, stds
 
 	rng := rand.New(rand.NewSource(d.cfg.Seed))
-	dm := d.cfg.DModel
-	d.enc = nn.NewSequential(
-		nn.NewLinear(dim, dm, rng),
-		nn.NewPositionalEncoding(dm),
-		nn.NewResidual(nn.NewSelfAttention(dm, d.cfg.Heads, rng)),
-		nn.NewLayerNorm(dm),
-		nn.NewResidual(nn.NewSequential(
-			nn.NewLinear(dm, 2*dm, rng),
-			nn.NewReLU(),
-			nn.NewLinear(2*dm, dm, rng),
-		)),
-		nn.NewLayerNorm(dm),
-	)
-	d.dec1 = nn.NewSequential(
-		nn.NewLinear(dm, dm, rng),
-		nn.NewReLU(),
-		nn.NewLinear(dm, dim, rng),
-	)
-	d.fuse = nn.NewLinear(dm+dim, dm, rng)
-	d.dec2 = nn.NewSequential(
-		nn.NewReLU(),
-		nn.NewLinear(dm, dim, rng),
-	)
-
-	var params []*nn.Param
-	params = append(params, d.enc.Params()...)
-	params = append(params, d.dec1.Params()...)
-	params = append(params, d.fuse.Params()...)
-	params = append(params, d.dec2.Params()...)
-	opt := nn.NewAdam(params, d.cfg.LR)
+	d.buildNet(dim, rng)
+	opt := nn.NewAdam(d.params(), d.cfg.LR)
 
 	// Training windows: consecutive slices of the standardised Ref,
 	// evenly subsampled down to MaxWindows.
@@ -193,6 +165,47 @@ func (d *Detector) Fit(ref [][]float64) error {
 	d.ring = make([][]float64, d.cfg.Window)
 	d.pos, d.n = 0, 0
 	return nil
+}
+
+// buildNet constructs the encoder, both decoders and the fusion layer
+// for input dimensionality dim. rng seeds the weight initialisation;
+// restore rebuilds the same architecture and then overwrites every
+// weight from the snapshot, so there the rng values are discarded.
+func (d *Detector) buildNet(dim int, rng *rand.Rand) {
+	dm := d.cfg.DModel
+	d.enc = nn.NewSequential(
+		nn.NewLinear(dim, dm, rng),
+		nn.NewPositionalEncoding(dm),
+		nn.NewResidual(nn.NewSelfAttention(dm, d.cfg.Heads, rng)),
+		nn.NewLayerNorm(dm),
+		nn.NewResidual(nn.NewSequential(
+			nn.NewLinear(dm, 2*dm, rng),
+			nn.NewReLU(),
+			nn.NewLinear(2*dm, dm, rng),
+		)),
+		nn.NewLayerNorm(dm),
+	)
+	d.dec1 = nn.NewSequential(
+		nn.NewLinear(dm, dm, rng),
+		nn.NewReLU(),
+		nn.NewLinear(dm, dim, rng),
+	)
+	d.fuse = nn.NewLinear(dm+dim, dm, rng)
+	d.dec2 = nn.NewSequential(
+		nn.NewReLU(),
+		nn.NewLinear(dm, dim, rng),
+	)
+}
+
+// params collects every trainable parameter across the four sub-nets in
+// a fixed order (also the snapshot serialisation order).
+func (d *Detector) params() []*nn.Param {
+	var params []*nn.Param
+	params = append(params, d.enc.Params()...)
+	params = append(params, d.dec1.Params()...)
+	params = append(params, d.fuse.Params()...)
+	params = append(params, d.dec2.Params()...)
+	return params
 }
 
 // trainStep runs one forward/backward pass on a window and applies Adam.

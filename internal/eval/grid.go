@@ -356,9 +356,11 @@ func collectTransformed(spec *GridSpec, kind transform.Kind, vehicles []string) 
 			if err != nil {
 				return nil, err
 			}
+			wf := timeseries.NewWarmupFilter(5, 20*time.Minute)
 			return core.NewTraceCollector(vehicleID, core.TransformConfig{
 				Transformer: t,
-				Filter:      timeseries.NewWarmupFilter(5, 20*time.Minute),
+				Filter:      wf.Keep,
+				FilterState: wf,
 				ResetPolicy: spec.ResetPolicy,
 			}, tt)
 		},
@@ -463,13 +465,15 @@ func collectTraces(spec *GridSpec, tech Technique, kind transform.Kind, vehicles
 			if err != nil {
 				return core.Config{}, err
 			}
+			wf := timeseries.NewWarmupFilter(5, 20*time.Minute)
 			return core.Config{
 				Transformer:   t,
 				Detector:      det,
 				Thresholder:   thresholds.NewSelfTuning(3), // placeholder; sweep is replayed offline
 				ProfileLength: spec.profileFor(kind),
 				ResetPolicy:   spec.ResetPolicy,
-				Filter:        timeseries.NewWarmupFilter(5, 20*time.Minute),
+				Filter:        wf.Keep,
+				FilterState:   wf,
 				Trace:         tr,
 			}, nil
 		},

@@ -1,0 +1,148 @@
+package experiments
+
+import (
+	"io"
+	"runtime"
+	"time"
+
+	"github.com/navarchos/pdm/internal/core"
+	"github.com/navarchos/pdm/internal/fleet"
+	"github.com/navarchos/pdm/internal/obd"
+	"github.com/navarchos/pdm/internal/timeseries"
+)
+
+// CheckpointPerfRun is one chronological ingest of the whole fleet,
+// with or without periodic live checkpoints.
+type CheckpointPerfRun struct {
+	Seconds       float64 `json:"seconds"`
+	RecordsPerSec float64 `json:"records_per_sec"`
+	Checkpoints   int     `json:"checkpoints"`
+	// LastCheckpointBytes is the serialized size of the final
+	// checkpoint of the run (0 for the baseline).
+	LastCheckpointBytes int64 `json:"last_checkpoint_bytes"`
+}
+
+// CheckpointPerfResult quantifies the cost of the state/config split's
+// headline feature: quiescing a live engine at a batch boundary and
+// serializing every pipeline's mutable state, repeatedly, mid-stream.
+type CheckpointPerfResult struct {
+	Vehicles        int               `json:"vehicles"`
+	Records         int               `json:"records"`
+	Events          int               `json:"events"`
+	Shards          int               `json:"shards"`
+	IntervalRecords int               `json:"interval_records"`
+	Baseline        CheckpointPerfRun `json:"baseline"`
+	Periodic        CheckpointPerfRun `json:"periodic"`
+	// OverheadPercent is the periodic run's wall-clock increase over
+	// the baseline, in percent.
+	OverheadPercent float64 `json:"overhead_percent"`
+}
+
+// countingWriter discards checkpoint bytes but keeps the size, so the
+// measurement isolates quiesce + serialization from disk I/O.
+type countingWriter struct{ n int64 }
+
+func (w *countingWriter) Write(p []byte) (int, error) {
+	w.n += int64(len(p))
+	return len(p), nil
+}
+
+// checkpointIngest streams the fleet chronologically through a fresh
+// engine, checkpointing every interval records (0 = never), and returns
+// the wall time plus checkpoint accounting.
+func checkpointIngest(records []timeseries.Record, events []obd.Event, shards, interval int) (CheckpointPerfRun, error) {
+	eng, err := fleet.NewEngine(fleet.Config{
+		NewConfig:  perfPipelineConfig,
+		Shards:     shards,
+		DropAlarms: true,
+	})
+	if err != nil {
+		return CheckpointPerfRun{}, err
+	}
+	var run CheckpointPerfRun
+	var lastSize int64
+	seen := 0
+	start := time.Now()
+	err = core.Merged("", records, events,
+		func(ev obd.Event) error { return eng.IngestEvent(ev) },
+		func(rec timeseries.Record) error {
+			if err := eng.IngestRecord(rec); err != nil {
+				return err
+			}
+			seen++
+			if interval > 0 && seen%interval == 0 {
+				var cw countingWriter
+				if err := eng.Checkpoint(&cw); err != nil {
+					return err
+				}
+				run.Checkpoints++
+				lastSize = cw.n
+			}
+			return nil
+		})
+	if err != nil {
+		return CheckpointPerfRun{}, err
+	}
+	if err := eng.Close(); err != nil {
+		return CheckpointPerfRun{}, err
+	}
+	run.Seconds = time.Since(start).Seconds()
+	run.RecordsPerSec = float64(len(records)) / run.Seconds
+	run.LastCheckpointBytes = lastSize
+	return run, nil
+}
+
+// CheckpointPerf measures the live-checkpoint overhead: a baseline
+// chronological ingest versus the same ingest interrupted by a live
+// Checkpoint every interval records. interval <= 0 defaults to an
+// eighth of the record stream (seven mid-stream checkpoints); shards <=
+// 0 defaults to NumCPU.
+func CheckpointPerf(o *Options, shards, interval int) (*CheckpointPerfResult, error) {
+	f := o.fleet()
+	if shards <= 0 {
+		shards = runtime.NumCPU()
+	}
+	if interval <= 0 {
+		interval = len(f.Records) / 8
+		if interval < 1 {
+			interval = 1
+		}
+	}
+	baseline, err := checkpointIngest(f.Records, f.Events, shards, 0)
+	if err != nil {
+		return nil, err
+	}
+	periodic, err := checkpointIngest(f.Records, f.Events, shards, interval)
+	if err != nil {
+		return nil, err
+	}
+	res := &CheckpointPerfResult{
+		Vehicles:        len(f.Vehicles),
+		Records:         len(f.Records),
+		Events:          len(f.Events),
+		Shards:          shards,
+		IntervalRecords: interval,
+		Baseline:        baseline,
+		Periodic:        periodic,
+	}
+	if baseline.Seconds > 0 {
+		res.OverheadPercent = (periodic.Seconds - baseline.Seconds) / baseline.Seconds * 100
+	}
+	return res, nil
+}
+
+// Render prints the checkpoint-overhead exhibit as a text table.
+func (r *CheckpointPerfResult) Render(w io.Writer) {
+	fprintf(w, "Live-checkpoint overhead (%d vehicles, %d records, %d events, %d shards)\n",
+		r.Vehicles, r.Records, r.Events, r.Shards)
+	fprintf(w, "%10s  %10s  %14s  %12s  %16s\n",
+		"mode", "seconds", "records/s", "checkpoints", "last ckpt bytes")
+	fprintf(w, "%10s  %10.3f  %14.0f  %12d  %16d\n",
+		"baseline", r.Baseline.Seconds, r.Baseline.RecordsPerSec,
+		r.Baseline.Checkpoints, r.Baseline.LastCheckpointBytes)
+	fprintf(w, "%10s  %10.3f  %14.0f  %12d  %16d\n",
+		"periodic", r.Periodic.Seconds, r.Periodic.RecordsPerSec,
+		r.Periodic.Checkpoints, r.Periodic.LastCheckpointBytes)
+	fprintf(w, "overhead: %+.2f%% wall clock for %d live checkpoints (every %d records)\n",
+		r.OverheadPercent, r.Periodic.Checkpoints, r.IntervalRecords)
+}

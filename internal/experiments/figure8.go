@@ -46,12 +46,14 @@ func Figure8(opts *Options, vehicleID string) (*Figure8Result, error) {
 		if err != nil {
 			panic(err)
 		}
+		wf := timeseries.NewWarmupFilter(5, 20*time.Minute)
 		return core.Config{
 			Transformer:   t,
 			Detector:      closestpair.New(t.FeatureNames()),
 			Thresholder:   thresholds.NewSelfTuning(10),
 			ProfileLength: 60,
-			Filter:        timeseries.NewWarmupFilter(5, 20*time.Minute),
+			Filter:        wf.Keep,
+			FilterState:   wf,
 			Trace:         tr,
 		}
 	}

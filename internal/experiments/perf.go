@@ -38,6 +38,9 @@ type PerfResult struct {
 	// Grid, when present, is the grid-throughput exhibit (transform-once
 	// cache vs pre-cache reference) measured in the same invocation.
 	Grid *GridPerfResult `json:"grid,omitempty"`
+	// Checkpoint, when present, is the live-checkpoint overhead exhibit
+	// measured in the same invocation.
+	Checkpoint *CheckpointPerfResult `json:"checkpoint,omitempty"`
 }
 
 // perfPipelineConfig is the complete solution without the warm-up

@@ -1,0 +1,273 @@
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+
+	"github.com/navarchos/pdm/internal/checkpoint"
+)
+
+// This file implements whole-fleet checkpoint/restore on top of the
+// per-handler snapshot seam. The state/config split mirrors
+// core.Pipeline's: a checkpoint stream carries only mutable runtime
+// state (per-vehicle handler snapshots, the skip set, counter totals),
+// while configuration — transformers, detectors, thresholds, shard
+// count, batch sizes — is supplied again at restore time through a
+// Config. Because state is keyed by vehicle ID and placement is
+// recomputed with shardFor, a checkpoint taken at one shard count
+// restores into an engine with any other shard count.
+
+// Snapshotter is the optional Handler extension the fleet checkpoint
+// requires: Snapshot captures the handler's mutable state and Restore
+// loads it into a freshly configured handler of the same type.
+// core.Pipeline implements it.
+type Snapshotter interface {
+	Snapshot() ([]byte, error)
+	Restore(data []byte) error
+}
+
+// ErrNotSnapshottable is returned by Checkpoint when a vehicle's
+// handler does not implement Snapshotter (core.TraceCollector, say),
+// and by NewEngineFromCheckpoint when the restored configuration
+// builds such a handler.
+var ErrNotSnapshottable = errors.New("fleet: handler does not support snapshot/restore")
+
+// ErrBadCheckpoint is returned when a checkpoint stream decodes at the
+// container level but violates the fleet's semantic invariants
+// (duplicate vehicles, unknown sections, malformed section payloads).
+var ErrBadCheckpoint = errors.New("fleet: malformed checkpoint")
+
+// Checkpoint section names.
+const (
+	statsSection   = "stats"
+	skipSection    = "skip"
+	vehicleSection = "vehicle"
+)
+
+// Checkpoint writes the engine's mutable state to w as a versioned
+// checkpoint stream.
+//
+// On a running engine it quiesces the fleet first: every shard's
+// ingest mutex is held (blocking producers), pending batches are
+// flushed, and a barrier envelope parks each shard goroutine at a
+// batch boundary, so the serialized state is a consistent cut — every
+// element ingested before Checkpoint is reflected, nothing ingested
+// after it is. Processing resumes when Checkpoint returns.
+// Restrictions on the live path: Checkpoint must not run concurrently
+// with Replay (Replay bypasses the ingest mutexes) or with Close, and
+// when DropAlarms is unset the caller must keep draining Alarms()
+// while Checkpoint runs — shards may need to deliver alarms before
+// they can reach the barrier.
+//
+// On a closed engine Checkpoint serializes directly under the same
+// ownership contract as Pipelines: the shards have stopped and the
+// caller owns the handlers.
+func (e *Engine) Checkpoint(w io.Writer) error {
+	if e.closed.Load() {
+		return e.writeCheckpoint(w)
+	}
+	for _, s := range e.shards {
+		s.mu.Lock()
+	}
+	defer func() {
+		for _, s := range e.shards {
+			s.mu.Unlock()
+		}
+	}()
+	bar := &barrier{resume: make(chan struct{})}
+	bar.ack.Add(len(e.shards))
+	for _, s := range e.shards {
+		if len(s.pending) > 0 {
+			batch := s.pending
+			s.pending = nil
+			s.in <- batch
+		}
+		s.in <- []envelope{{bar: bar}}
+	}
+	// Every shard drains its queue up to the barrier, then parks. From
+	// here until resume closes, this goroutine is the only one touching
+	// handler state.
+	bar.ack.Wait()
+	err := e.writeCheckpoint(w)
+	close(bar.resume)
+	return err
+}
+
+// writeCheckpoint serializes counters, the skip set and every
+// handler's snapshot. Callers guarantee exclusive access to shard
+// state (barrier quiesce or closed engine).
+func (e *Engine) writeCheckpoint(w io.Writer) error {
+	enc := checkpoint.NewEncoder(w)
+
+	var stats checkpoint.Buf
+	var recs, evs, scored, alarms, drops uint64
+	for _, s := range e.shards {
+		recs += s.recordsIn.Load()
+		evs += s.eventsIn.Load()
+		scored += s.scored.Load()
+		alarms += s.alarms.Load()
+		drops += s.drops.Load()
+	}
+	stats.Uint64(recs)
+	stats.Uint64(evs)
+	stats.Uint64(scored)
+	stats.Uint64(alarms)
+	stats.Uint64(drops)
+	if err := enc.Section(statsSection, stats.Bytes()); err != nil {
+		return err
+	}
+
+	var skipIDs []string
+	for _, s := range e.shards {
+		for id := range s.skip {
+			skipIDs = append(skipIDs, id)
+		}
+	}
+	sort.Strings(skipIDs)
+	var sb checkpoint.Buf
+	sb.Int(len(skipIDs))
+	for _, id := range skipIDs {
+		sb.String(id)
+	}
+	if err := enc.Section(skipSection, sb.Bytes()); err != nil {
+		return err
+	}
+
+	type entry struct {
+		id string
+		h  Handler
+	}
+	var entries []entry
+	for _, s := range e.shards {
+		for id, h := range s.handlers {
+			entries = append(entries, entry{id, h})
+		}
+	}
+	// Sorted vehicle order makes the stream deterministic for a given
+	// fleet state, whatever the shard count.
+	sort.Slice(entries, func(i, j int) bool { return entries[i].id < entries[j].id })
+	for _, en := range entries {
+		sn, ok := en.h.(Snapshotter)
+		if !ok {
+			return fmt.Errorf("%w: vehicle %s handler %T", ErrNotSnapshottable, en.id, en.h)
+		}
+		snap, err := sn.Snapshot()
+		if err != nil {
+			return fmt.Errorf("fleet: snapshot vehicle %s: %w", en.id, err)
+		}
+		var vb checkpoint.Buf
+		vb.String(en.id)
+		vb.Bytes64(snap)
+		if err := enc.Section(vehicleSection, vb.Bytes()); err != nil {
+			return err
+		}
+	}
+	return enc.Flush()
+}
+
+// NewEngineFromCheckpoint builds an engine from cfg, restores the
+// checkpoint stream r into it and starts it. cfg must describe the
+// same per-vehicle processing as the checkpointed run (each handler's
+// Restore validates its own state/config compatibility) but is free to
+// change the engine-level deployment: shard count, batch size, queue
+// depth. Restored vehicles are re-placed by hashing their IDs over the
+// new shard set; counter totals are credited to shard 0 so EngineStats
+// totals continue across the restart.
+//
+// Typed failures: container-level problems surface the checkpoint
+// package's errors (ErrBadMagic, ErrTruncated, FutureVersionError,
+// ErrCorrupt inside SectionError); fleet-level violations wrap
+// ErrBadCheckpoint; a configuration that cannot host the state
+// surfaces ErrNotSnapshottable or the handler's own restore error.
+func NewEngineFromCheckpoint(r io.Reader, cfg Config) (*Engine, error) {
+	e, err := newEngineStopped(cfg)
+	if err != nil {
+		return nil, err
+	}
+	dec := checkpoint.NewDecoder(r)
+	seen := map[string]bool{}
+	for {
+		name, payload, err := dec.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		switch name {
+		case statsSection:
+			rb := checkpoint.NewRBuf(payload)
+			recs := rb.Uint64()
+			evs := rb.Uint64()
+			scored := rb.Uint64()
+			alarms := rb.Uint64()
+			drops := rb.Uint64()
+			if err := rb.Close(); err != nil {
+				return nil, fmt.Errorf("%w: stats section: %v", ErrBadCheckpoint, err)
+			}
+			s0 := e.shards[0]
+			s0.recordsIn.Add(recs)
+			s0.eventsIn.Add(evs)
+			s0.scored.Add(scored)
+			s0.alarms.Add(alarms)
+			s0.drops.Add(drops)
+		case skipSection:
+			rb := checkpoint.NewRBuf(payload)
+			n := rb.Int()
+			// Each entry needs at least its 8-byte length prefix; a
+			// hostile count cannot drive a long loop.
+			if n < 0 || n*8 > len(payload) {
+				return nil, fmt.Errorf("%w: skip section claims %d entries", ErrBadCheckpoint, n)
+			}
+			for i := 0; i < n; i++ {
+				id := rb.String()
+				if rb.Err() != nil {
+					break
+				}
+				if seen[id] {
+					return nil, fmt.Errorf("%w: vehicle %s is both active and skipped", ErrBadCheckpoint, id)
+				}
+				e.shardFor(id).skip[id] = true
+			}
+			if err := rb.Close(); err != nil {
+				return nil, fmt.Errorf("%w: skip section: %v", ErrBadCheckpoint, err)
+			}
+		case vehicleSection:
+			rb := checkpoint.NewRBuf(payload)
+			id := rb.String()
+			snap := rb.Bytes64()
+			if err := rb.Close(); err != nil {
+				return nil, fmt.Errorf("%w: vehicle section: %v", ErrBadCheckpoint, err)
+			}
+			if seen[id] {
+				return nil, fmt.Errorf("%w: duplicate vehicle %s", ErrBadCheckpoint, id)
+			}
+			s := e.shardFor(id)
+			if s.skip[id] {
+				return nil, fmt.Errorf("%w: vehicle %s is both active and skipped", ErrBadCheckpoint, id)
+			}
+			h, err := e.buildHandler(id)
+			if err != nil {
+				// ErrSkipVehicle included: a config that excludes a vehicle
+				// cannot host that vehicle's state.
+				return nil, fmt.Errorf("fleet: restore vehicle %s: %w", id, err)
+			}
+			sn, ok := h.(Snapshotter)
+			if !ok {
+				return nil, fmt.Errorf("%w: vehicle %s handler %T", ErrNotSnapshottable, id, h)
+			}
+			if err := sn.Restore(snap); err != nil {
+				return nil, fmt.Errorf("fleet: restore vehicle %s: %w", id, err)
+			}
+			seen[id] = true
+			s.handlers[id] = h
+			s.vehicles.Add(1)
+		default:
+			return nil, fmt.Errorf("%w: unknown section %q", ErrBadCheckpoint, name)
+		}
+	}
+	e.start()
+	return e, nil
+}

@@ -109,11 +109,22 @@ func (c *Config) validate() error {
 	return nil
 }
 
-// envelope is one queued stream element: a record or an event.
+// envelope is one queued stream element: a record, an event, or a
+// checkpoint barrier.
 type envelope struct {
 	isEvent bool
 	rec     timeseries.Record
 	ev      obd.Event
+	bar     *barrier
+}
+
+// barrier pauses a shard at a batch boundary: the shard acknowledges
+// arrival and then parks until the checkpoint releases it. While every
+// shard is parked the checkpointing goroutine is the only one touching
+// handler state.
+type barrier struct {
+	ack    sync.WaitGroup
+	resume chan struct{}
 }
 
 // shard owns a disjoint subset of the fleet's pipelines.
@@ -174,6 +185,18 @@ type Engine struct {
 // NewEngine builds and starts an engine; its shard goroutines run until
 // Close.
 func NewEngine(cfg Config) (*Engine, error) {
+	e, err := newEngineStopped(cfg)
+	if err != nil {
+		return nil, err
+	}
+	e.start()
+	return e, nil
+}
+
+// newEngineStopped builds the engine's shards without starting their
+// goroutines, so checkpoint restore can pre-populate handler maps
+// race-free before processing begins.
+func newEngineStopped(cfg Config) (*Engine, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
@@ -187,17 +210,22 @@ func NewEngine(cfg Config) (*Engine, error) {
 		return &b
 	}
 	for i := range e.shards {
-		s := &shard{
+		e.shards[i] = &shard{
 			index:    i,
 			in:       make(chan []envelope, cfg.QueueDepth),
 			handlers: map[string]Handler{},
 			skip:     map[string]bool{},
 		}
-		e.shards[i] = s
+	}
+	return e, nil
+}
+
+// start launches the shard goroutines.
+func (e *Engine) start() {
+	for _, s := range e.shards {
 		e.wg.Add(1)
 		go e.run(s)
 	}
-	return e, nil
 }
 
 // Alarms returns the fan-in alarm channel. It is closed by Close, after
@@ -395,6 +423,13 @@ func (e *Engine) run(s *shard) {
 	for batch := range s.in {
 		for i := range batch {
 			env := &batch[i]
+			if env.bar != nil {
+				// Checkpoint barrier: acknowledge and park at this batch
+				// boundary until the checkpointer releases the fleet.
+				env.bar.ack.Done()
+				<-env.bar.resume
+				continue
+			}
 			if env.isEvent {
 				s.eventsIn.Add(1)
 				if h, ok := e.handlerFor(s, env.ev.VehicleID); ok {

@@ -24,12 +24,14 @@ func testConfig() core.Config {
 	if err != nil {
 		panic(err)
 	}
+	wf := timeseries.NewWarmupFilter(5, 20*time.Minute)
 	return core.Config{
 		Transformer:   tr,
 		Detector:      closestpair.New(tr.FeatureNames()),
 		Thresholder:   thresholds.NewSelfTuning(4),
 		ProfileLength: 45,
-		Filter:        timeseries.NewWarmupFilter(5, 20*time.Minute),
+		Filter:        wf.Keep,
+		FilterState:   wf,
 		DensityM:      3,
 		DensityK:      10,
 	}

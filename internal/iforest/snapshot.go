@@ -1,0 +1,101 @@
+package iforest
+
+import (
+	"errors"
+
+	"github.com/navarchos/pdm/internal/checkpoint"
+)
+
+// ErrBadSnapshot is returned when serialized forest bytes do not decode
+// into a valid ensemble.
+var ErrBadSnapshot = errors.New("iforest: malformed forest snapshot")
+
+// forestTag marks serialized Forest payloads.
+const forestTag = uint8(0x49) // 'I'
+
+// maxNodes bounds one serialized tree's arena against hostile length
+// prefixes.
+const maxNodes = 1 << 22
+
+// AppendTo serialises the fitted forest into b, including the (possibly
+// clamped) Config: Score depends on cn, which Fit derives from the
+// effective SampleSize.
+func (f *Forest) AppendTo(b *checkpoint.Buf) {
+	b.Uint8(forestTag)
+	b.Int(f.cfg.Trees)
+	b.Int(f.cfg.SampleSize)
+	b.Int64(f.cfg.Seed)
+	b.Int(f.dim)
+	b.Float64(f.cn)
+	b.Int(len(f.trees))
+	for i := range f.trees {
+		nodes := f.trees[i].nodes
+		b.Int(len(nodes))
+		for j := range nodes {
+			n := &nodes[j]
+			b.Int(n.feature)
+			b.Float64(n.split)
+			b.Int(n.left)
+			b.Int(n.right)
+			b.Int(n.size)
+		}
+	}
+}
+
+// ReadForest decodes a forest serialised by AppendTo, validating node
+// links so a corrupted arena cannot send pathLength out of bounds or
+// into a cycle.
+func ReadForest(rb *checkpoint.RBuf) (*Forest, error) {
+	if rb.Uint8() != forestTag {
+		return nil, ErrBadSnapshot
+	}
+	var f Forest
+	f.cfg.Trees = rb.Int()
+	f.cfg.SampleSize = rb.Int()
+	f.cfg.Seed = rb.Int64()
+	f.dim = rb.Int()
+	f.cn = rb.Float64()
+	numTrees := rb.Int()
+	if err := rb.Err(); err != nil {
+		return nil, err
+	}
+	if f.dim <= 0 || numTrees <= 0 || numTrees > maxNodes {
+		return nil, ErrBadSnapshot
+	}
+	f.trees = make([]tree, 0, numTrees)
+	for t := 0; t < numTrees; t++ {
+		numNodes := rb.Int()
+		if err := rb.Err(); err != nil {
+			return nil, err
+		}
+		if numNodes <= 0 || numNodes > maxNodes {
+			return nil, ErrBadSnapshot
+		}
+		nodes := make([]node, numNodes)
+		for j := range nodes {
+			n := &nodes[j]
+			n.feature = rb.Int()
+			n.split = rb.Float64()
+			n.left = rb.Int()
+			n.right = rb.Int()
+			n.size = rb.Int()
+			if rb.Err() != nil {
+				return nil, rb.Err()
+			}
+			if n.left >= 0 || n.right >= 0 {
+				// Internal node: both children must exist strictly after
+				// the parent (buildNode appends parents before subtrees).
+				if n.feature < 0 || n.feature >= f.dim ||
+					n.left <= j || n.left >= numNodes ||
+					n.right <= j || n.right >= numNodes {
+					return nil, ErrBadSnapshot
+				}
+			}
+		}
+		f.trees = append(f.trees, tree{nodes: nodes})
+	}
+	if err := rb.Err(); err != nil {
+		return nil, err
+	}
+	return &f, nil
+}

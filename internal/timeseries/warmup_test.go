@@ -12,7 +12,7 @@ func TestWarmupFilterSkipsColdStarts(t *testing.T) {
 	// First trip: 10 contiguous driving minutes; the first 3 are skipped.
 	for i := 0; i < 10; i++ {
 		r := drivingRecord("v1", start.Add(time.Duration(i)*time.Minute))
-		if f(&r) {
+		if f.Keep(&r) {
 			kept++
 		}
 	}
@@ -24,7 +24,7 @@ func TestWarmupFilterSkipsColdStarts(t *testing.T) {
 	kept = 0
 	for i := 0; i < 5; i++ {
 		r := drivingRecord("v1", second.Add(time.Duration(i)*time.Minute))
-		if f(&r) {
+		if f.Keep(&r) {
 			kept++
 		}
 	}
@@ -38,13 +38,13 @@ func TestWarmupFilterNoGapNoSkip(t *testing.T) {
 	start := time.Date(2023, 2, 1, 8, 0, 0, 0, time.UTC)
 	for i := 0; i < 5; i++ {
 		r := drivingRecord("v1", start.Add(time.Duration(i)*time.Minute))
-		f(&r)
+		f.Keep(&r)
 	}
 	// A 15-minute pause (under the 20-minute trip gap) does NOT retrigger
 	// the warm-up skip.
 	resume := start.Add(5*time.Minute + 15*time.Minute)
 	r := drivingRecord("v1", resume)
-	if !f(&r) {
+	if !f.Keep(&r) {
 		t.Error("sub-gap pause should not retrigger warm-up skipping")
 	}
 }
@@ -52,12 +52,68 @@ func TestWarmupFilterNoGapNoSkip(t *testing.T) {
 func TestWarmupFilterStillCleans(t *testing.T) {
 	f := NewWarmupFilter(0, 20*time.Minute)
 	idle := mkRecord("v1", t0, 700, 0, 85, 25, 35, 3)
-	if f(&idle) {
+	if f.Keep(&idle) {
 		t.Error("stationary record must still be dropped")
 	}
 	bad := drivingRecord("v1", t0)
 	bad.Values[3] = -40 // implausible intake temp
-	if f(&bad) {
+	if f.Keep(&bad) {
 		t.Error("sensor-fault record must still be dropped")
+	}
+}
+
+func TestWarmupFilterSnapshotRoundTrip(t *testing.T) {
+	start := time.Date(2023, 2, 1, 8, 0, 0, 0, time.UTC)
+	// Freeze mid-warm-up (1 of 3 suppressions spent) and verify both
+	// filters agree on every subsequent decision, including the trip-gap
+	// retrigger.
+	orig := NewWarmupFilter(3, 20*time.Minute)
+	r := drivingRecord("v1", start)
+	orig.Keep(&r)
+	snap, err := orig.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored := NewWarmupFilter(3, 20*time.Minute)
+	if err := restored.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	times := []time.Time{
+		start.Add(1 * time.Minute),
+		start.Add(2 * time.Minute),
+		start.Add(3 * time.Minute), // first kept record
+		start.Add(4 * time.Minute),
+		start.Add(3 * time.Hour), // new trip: suppression retriggers
+		start.Add(3*time.Hour + time.Minute),
+	}
+	for i, ts := range times {
+		a := drivingRecord("v1", ts)
+		b := drivingRecord("v1", ts)
+		if got, want := restored.Keep(&b), orig.Keep(&a); got != want {
+			t.Fatalf("decision %d: restored %v, original %v", i, got, want)
+		}
+	}
+}
+
+func TestWarmupFilterSnapshotRejectsBadInput(t *testing.T) {
+	f := NewWarmupFilter(3, 20*time.Minute)
+	snap, err := f.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int{0, 1, len(snap) - 1} {
+		if err := NewWarmupFilter(3, 20*time.Minute).Restore(snap[:cut]); err == nil {
+			t.Errorf("truncated snapshot (%d bytes) accepted", cut)
+		}
+	}
+	bad := append([]byte{}, snap...)
+	bad[0] ^= 0xFF // foreign tag
+	if err := NewWarmupFilter(3, 20*time.Minute).Restore(bad); err == nil {
+		t.Error("foreign tag accepted")
+	}
+	// A countdown larger than the configured skip cannot come from an
+	// identically configured filter.
+	if err := NewWarmupFilter(1, 20*time.Minute).Restore(snap); err == nil {
+		t.Error("snapshot with remaining > skip accepted")
 	}
 }

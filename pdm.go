@@ -32,6 +32,7 @@
 package pdm
 
 import (
+	"io"
 	"time"
 
 	"github.com/navarchos/pdm/internal/core"
@@ -221,12 +222,14 @@ func DefaultPipelineConfig() (PipelineConfig, error) {
 	if err != nil {
 		return core.Config{}, err
 	}
+	wf := timeseries.NewWarmupFilter(5, 20*time.Minute)
 	return core.Config{
 		Transformer:   t,
 		Detector:      closestpair.New(t.FeatureNames()),
 		Thresholder:   thresholds.NewSelfTuning(10),
 		ProfileLength: 45,
-		Filter:        timeseries.NewWarmupFilter(5, 20*time.Minute),
+		Filter:        wf.Keep,
+		FilterState:   wf,
 		DensityM:      5,
 		DensityK:      15,
 	}, nil
@@ -271,6 +274,26 @@ var ErrSkipVehicle = fleet.ErrSkipVehicle
 // drain Alarms() and call Close() when ingestion ends.
 func NewFleetEngine(cfg FleetEngineConfig) (*FleetEngine, error) {
 	return fleet.NewEngine(cfg)
+}
+
+// Checkpoint/restore errors for the fleet engine. The state/config
+// split means a checkpoint carries only mutable state; cfg re-supplies
+// configuration (and may change operational knobs such as Shards).
+var (
+	// ErrNotSnapshottable reports a handler that cannot be serialized.
+	ErrNotSnapshottable = fleet.ErrNotSnapshottable
+	// ErrBadCheckpoint reports a structurally valid checkpoint whose
+	// contents are semantically invalid for the supplied config.
+	ErrBadCheckpoint = fleet.ErrBadCheckpoint
+)
+
+// NewFleetEngineFromCheckpoint restores an engine previously serialized
+// with FleetEngine.Checkpoint into a fresh running engine. The shard
+// count comes from cfg, not the checkpoint, so a fleet checkpointed on
+// one machine can resume on different hardware; scoring is bit-identical
+// to an uninterrupted run either way.
+func NewFleetEngineFromCheckpoint(r io.Reader, cfg FleetEngineConfig) (*FleetEngine, error) {
+	return fleet.NewEngineFromCheckpoint(r, cfg)
 }
 
 // Fleet simulation (the proprietary-dataset substitute).
