@@ -1,11 +1,12 @@
 GO ?= go
 
-.PHONY: ci check vet build test race grid-equiv resume-gate fuzz-smoke bench-smoke bench-json
+.PHONY: ci check vet build test race grid-equiv resume-gate fuzz-smoke bench-smoke bench-json vet-obs obs-overhead
 
-## ci: the full gate — vet, build, race-enabled tests, the grid
-## equivalence gate, the checkpoint resume gate, a codec fuzz smoke,
-## bench smoke, and a perf run appended to BENCH_<n>.json.
-ci: vet build race grid-equiv resume-gate fuzz-smoke bench-smoke bench-json
+## ci: the full gate — vet (incl. the obs metric-doc check), build,
+## race-enabled tests, the grid equivalence gate, the checkpoint resume
+## gate, the observer overhead gate, a codec fuzz smoke, bench smoke,
+## and a perf run appended to BENCH_<n>.json.
+ci: vet-obs build race grid-equiv resume-gate obs-overhead fuzz-smoke bench-smoke bench-json
 
 ## check: the fast inner-loop gate — vet, build, and the plain test
 ## suite, with none of ci's race/equivalence/bench machinery.
@@ -31,9 +32,21 @@ grid-equiv:
 
 ## resume-gate: checkpointing a live engine mid-stream and restoring at
 ## a different shard count must be bit-identical to an uninterrupted
-## run, for every paper technique × transform.
+## run, for every paper technique × transform — and so must running the
+## same stream under a fully enabled observer.
 resume-gate:
-	$(GO) test -run 'TestEngineCheckpointResumeGate' ./internal/fleet/
+	$(GO) test -run 'TestEngineCheckpointResumeGate|TestEngineObservedBitIdentity' ./internal/fleet/
+
+## vet-obs: go vet plus the obscheck lint — every metric family the
+## stack registers must be documented in DESIGN.md §10.
+vet-obs: vet
+	$(GO) run ./internal/obs/obscheck
+
+## obs-overhead: the instrumentation budget — an enabled observer must
+## stay within 5% of the nil-observer hot path (timing-sensitive, so it
+## is opt-in via OBS_OVERHEAD_GATE and not part of plain `go test`).
+obs-overhead:
+	OBS_OVERHEAD_GATE=1 $(GO) test -run 'TestObservedOverheadGate' -v ./internal/core/
 
 ## fuzz-smoke: a short fuzz of the checkpoint container codec — the
 ## decoder must reject arbitrary corruption with typed errors, never a
@@ -44,7 +57,7 @@ fuzz-smoke:
 ## bench-smoke: one iteration of the throughput + allocation benchmarks,
 ## enough to catch a benchmark that no longer compiles or crashes.
 bench-smoke:
-	$(GO) test -run '^$$' -bench 'BenchmarkFleetThroughput|BenchmarkScoreInto|BenchmarkPipelineSteadyState' -benchtime 1x \
+	$(GO) test -run '^$$' -bench 'BenchmarkFleetThroughput|BenchmarkScoreInto|BenchmarkPipelineSteadyState|BenchmarkPipelineObserved' -benchtime 1x \
 		./internal/fleet/ ./internal/detector/closestpair/ ./internal/core/
 
 ## bench-json: one fleet-engine perf run at bench scale, with the

@@ -26,13 +26,26 @@ import (
 	"fmt"
 	"log"
 	"os"
-	"runtime"
-	"runtime/pprof"
 	"strings"
 
 	"github.com/navarchos/pdm/internal/experiments"
 	"github.com/navarchos/pdm/internal/fleetsim"
+	"github.com/navarchos/pdm/internal/obs"
 )
+
+// stopProfiles flushes active profiles; fatal exits through it so a
+// failing experiment still leaves usable -cpuprofile/-memprofile files.
+var stopProfiles = func() {}
+
+func fatal(v ...any) {
+	stopProfiles()
+	log.Fatal(v...)
+}
+
+func fatalf(format string, v ...any) {
+	stopProfiles()
+	log.Fatalf(format, v...)
+}
 
 func main() {
 	log.SetFlags(0)
@@ -44,33 +57,23 @@ func main() {
 	jsonOut := flag.Bool("json", false, "write perf results to BENCH_<n>.json")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof/* on this address while experiments run")
 	flag.Parse()
 
-	if *cpuProfile != "" {
-		f, err := os.Create(*cpuProfile)
-		if err != nil {
-			log.Fatal(err)
-		}
-		if err := pprof.StartCPUProfile(f); err != nil {
-			log.Fatal(err)
-		}
-		defer func() {
-			pprof.StopCPUProfile()
-			f.Close()
-		}()
+	stop, err := startProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		log.Fatal(err)
 	}
-	if *memProfile != "" {
-		defer func() {
-			f, err := os.Create(*memProfile)
-			if err != nil {
-				log.Fatal(err)
-			}
-			defer f.Close()
-			runtime.GC() // settle the heap so the profile shows live objects
-			if err := pprof.WriteHeapProfile(f); err != nil {
-				log.Fatal(err)
-			}
-		}()
+	stopProfiles = stop
+	defer stop()
+
+	if *debugAddr != "" {
+		srv, err := obs.StartDebugServer(*debugAddr, obs.DebugConfig{Registry: obs.NewRegistry()})
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		fmt.Printf("debug endpoint on http://%s (/debug/pprof/ /debug/vars /metrics)\n", srv.Addr())
 	}
 
 	var cfg fleetsim.Config
@@ -82,7 +85,7 @@ func main() {
 	case "paper":
 		cfg = fleetsim.DefaultConfig()
 	default:
-		log.Fatalf("unknown scale %q", *scale)
+		fatalf("unknown scale %q", *scale)
 	}
 	cfg.Seed = *seed
 	opts := &experiments.Options{FleetConfig: cfg}
@@ -99,7 +102,7 @@ func main() {
 		ran = true
 		r, err := experiments.Figure1(opts)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		r.Render(out)
 		fmt.Fprintln(out)
@@ -108,7 +111,7 @@ func main() {
 		ran = true
 		r, err := experiments.Figure2(opts, 0)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		r.Render(out)
 		fmt.Fprintln(out)
@@ -117,7 +120,7 @@ func main() {
 		ran = true
 		r, err := experiments.Figures45(opts)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		if has("fig4") {
 			r.Render(out, experiments.Setting40)
@@ -132,7 +135,7 @@ func main() {
 		ran = true
 		r, err := experiments.Figure6(opts)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		r.Render(out)
 		fmt.Fprintln(out)
@@ -141,7 +144,7 @@ func main() {
 		ran = true
 		r, err := experiments.Figure7(opts)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		r.Render(out)
 		fmt.Fprintln(out)
@@ -150,7 +153,7 @@ func main() {
 		ran = true
 		r, err := experiments.Table1(opts)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		r.Render(out)
 		fmt.Fprintln(out)
@@ -159,7 +162,7 @@ func main() {
 		ran = true
 		r, err := experiments.Table2(opts)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		r.Render(out)
 		fmt.Fprintln(out)
@@ -168,7 +171,7 @@ func main() {
 		ran = true
 		r, err := experiments.Table3(opts)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		r.Render(out)
 		fmt.Fprintln(out)
@@ -177,7 +180,7 @@ func main() {
 		ran = true
 		r, err := experiments.Baselines(opts)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		r.Render(out)
 		fmt.Fprintln(out)
@@ -186,7 +189,7 @@ func main() {
 		ran = true
 		r, err := experiments.Figure8(opts, *vehicle)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		r.Render(out)
 		fmt.Fprintln(out)
@@ -196,7 +199,7 @@ func main() {
 		ran = true
 		g, err := experiments.GridPerf(opts)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		gridPerf = g
 		g.Render(out)
@@ -207,7 +210,7 @@ func main() {
 		ran = true
 		c, err := experiments.CheckpointPerf(opts, 0, 0)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		ckptPerf = c
 		c.Render(out)
@@ -217,7 +220,7 @@ func main() {
 		ran = true
 		r, err := experiments.Perf(opts, nil)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		r.Grid = gridPerf
 		r.Checkpoint = ckptPerf
@@ -226,13 +229,13 @@ func main() {
 		if *jsonOut {
 			path, err := writeBenchJSON(r)
 			if err != nil {
-				log.Fatal(err)
+				fatal(err)
 			}
 			fmt.Fprintf(out, "perf results written to %s\n", path)
 		}
 	}
 	if !ran {
-		log.Fatalf("unknown experiment %q (want fig1 fig2 fig4 fig5 fig6 fig7 table1 table2 table3 fig8 baselines perf gridperf checkpoint or all)", *experiment)
+		fatalf("unknown experiment %q (want fig1 fig2 fig4 fig5 fig6 fig7 table1 table2 table3 fig8 baselines perf gridperf checkpoint or all)", *experiment)
 	}
 }
 

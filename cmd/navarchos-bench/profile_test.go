@@ -1,0 +1,67 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// checkPprofFile asserts a pprof output exists and looks like a gzipped
+// protobuf (pprof's on-disk format), i.e. the profile was flushed.
+func checkPprofFile(t *testing.T, path string) {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("profile not written: %v", err)
+	}
+	if len(data) < 2 || data[0] != 0x1f || data[1] != 0x8b {
+		t.Fatalf("%s is not a gzipped pprof profile (%d bytes, % x...)", path, len(data), data[:min(4, len(data))])
+	}
+}
+
+func TestStartProfilesStopIdempotent(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	stop, err := startProfiles(cpu, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop()
+	stop() // second call must be a no-op, not a crash or truncation
+	checkPprofFile(t, cpu)
+	checkPprofFile(t, mem)
+}
+
+// TestFatalFlushesProfiles is the regression test for profiles lost on
+// error paths: log.Fatal exits through os.Exit, skipping deferred
+// flushes, so fatal() must flush explicitly before exiting. The test
+// re-execs itself so the real exit path runs.
+func TestFatalFlushesProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+
+	if os.Getenv("BENCH_FATAL_HELPER") == "1" {
+		stop, err := startProfiles(os.Getenv("BENCH_CPU"), os.Getenv("BENCH_MEM"))
+		if err != nil {
+			os.Exit(3)
+		}
+		stopProfiles = stop
+		defer stop() // skipped by os.Exit — exactly the old bug
+		fatalf("simulated experiment failure")
+		os.Exit(3) // unreachable
+	}
+
+	cmd := exec.Command(os.Args[0], "-test.run=TestFatalFlushesProfiles$")
+	cmd.Env = append(os.Environ(),
+		"BENCH_FATAL_HELPER=1", "BENCH_CPU="+cpu, "BENCH_MEM="+mem)
+	err := cmd.Run()
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.ExitCode() != 1 {
+		t.Fatalf("helper should exit 1 via log.Fatalf, got %v", err)
+	}
+	checkPprofFile(t, cpu)
+	checkPprofFile(t, mem)
+}

@@ -43,6 +43,9 @@ func main() {
 	shards := flag.Int("shards", 0, "engine shard count (0 = GOMAXPROCS)")
 	checkpointPath := flag.String("checkpoint", "", "write engine state to this file after the run")
 	resumePath := flag.String("resume", "", "restore engine state from this file before the run")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics, /debug/vars, /debug/pprof/* and /fleet on this address (e.g. :8080)")
+	journalPath := flag.String("journal", "", "append every alarm as a JSON line to this file (with -debug-addr)")
+	hold := flag.Duration("hold", 0, "keep the debug server up this long after the replay finishes")
 	flag.Parse()
 
 	var records []timeseries.Record
@@ -86,6 +89,26 @@ func main() {
 		log.Fatal("provide either -scale or both -records and -events")
 	}
 
+	// Observability: one registry + observer shared by every pipeline
+	// and the engine, a bounded alarm journal, and the debug endpoint.
+	// Without -debug-addr the observer stays nil and costs nothing.
+	var observer *pdm.Observer
+	var journal *pdm.AlarmJournal
+	var registry *pdm.MetricsRegistry
+	if *debugAddr != "" {
+		registry = pdm.NewMetricsRegistry()
+		journal = pdm.NewAlarmJournal(256)
+		if *journalPath != "" {
+			jf, err := os.Create(*journalPath)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer jf.Close()
+			journal.SetSink(jf)
+		}
+		observer = pdm.NewObserver(registry, pdm.ObserverConfig{Journal: journal})
+	}
+
 	// Config only: the immutable assembly recipe for each vehicle's
 	// pipeline. Mutable state lives inside the engine and travels
 	// through -checkpoint / -resume instead.
@@ -105,9 +128,11 @@ func main() {
 				FilterState:   wf,
 				DensityM:      5,
 				DensityK:      15,
+				Observer:      observer,
 			}, nil
 		},
-		Shards: *shards,
+		Shards:   *shards,
+		Observer: observer,
 	}
 
 	var eng *pdm.FleetEngine
@@ -127,6 +152,19 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+	}
+
+	if *debugAddr != "" {
+		srv, err := pdm.StartDebugServer(*debugAddr, pdm.DebugConfig{
+			Registry:    registry,
+			Journal:     journal,
+			FleetStatus: func() any { return eng.Stats() },
+		})
+		if err != nil {
+			log.Fatalf("debug server: %v", err)
+		}
+		defer srv.Close()
+		fmt.Printf("debug endpoint on http://%s (/metrics /debug/vars /debug/pprof/ /fleet)\n", srv.Addr())
 	}
 
 	var alarms []pdm.Alarm
@@ -171,4 +209,9 @@ func main() {
 	m := pdm.Evaluate(daily, events, 30*24*time.Hour)
 	fmt.Printf("\nagainst recorded repairs (PH=30d): TP=%d FP=%d of %d failures — P=%.2f R=%.2f F0.5=%.2f\n",
 		m.TP, m.FP, m.TotalFailures, m.Precision, m.Recall, m.F05)
+
+	if *debugAddr != "" && *hold > 0 {
+		fmt.Printf("holding debug endpoint open for %v (curl /metrics, /fleet)\n", *hold)
+		time.Sleep(*hold)
+	}
 }

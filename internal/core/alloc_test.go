@@ -6,6 +6,7 @@ import (
 
 	"github.com/navarchos/pdm/internal/detector/closestpair"
 	"github.com/navarchos/pdm/internal/obd"
+	"github.com/navarchos/pdm/internal/obs"
 	"github.com/navarchos/pdm/internal/thresholds"
 	"github.com/navarchos/pdm/internal/timeseries"
 	"github.com/navarchos/pdm/internal/transform"
@@ -16,6 +17,12 @@ import (
 // that every further record lands on the detecting fast path, plus a
 // record generator with monotonically advancing time.
 func steadyPipeline(tb testing.TB) (*Pipeline, func() timeseries.Record) {
+	return steadyPipelineObserved(tb, nil)
+}
+
+// steadyPipelineObserved is steadyPipeline with an optional observer
+// wired into the pipeline, for overhead and instrumentation tests.
+func steadyPipelineObserved(tb testing.TB, o *obs.Observer) (*Pipeline, func() timeseries.Record) {
 	tb.Helper()
 	tr, err := transform.New(transform.Correlation, 12)
 	if err != nil {
@@ -29,6 +36,7 @@ func steadyPipeline(tb testing.TB) (*Pipeline, func() timeseries.Record) {
 		Thresholder:   thresholds.NewSelfTuning(1e9),
 		ProfileLength: 45,
 		Filter:        func(*timeseries.Record) bool { return true },
+		Observer:      o,
 	})
 	if err != nil {
 		tb.Fatal(err)

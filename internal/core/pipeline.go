@@ -14,6 +14,7 @@ import (
 	"github.com/navarchos/pdm/internal/detector"
 	"github.com/navarchos/pdm/internal/mat"
 	"github.com/navarchos/pdm/internal/obd"
+	"github.com/navarchos/pdm/internal/obs"
 	"github.com/navarchos/pdm/internal/thresholds"
 	"github.com/navarchos/pdm/internal/timeseries"
 	"github.com/navarchos/pdm/internal/transform"
@@ -103,6 +104,13 @@ type Config struct {
 	// Trace, when non-nil, records every scored sample for
 	// visualisation (Figure 8).
 	Trace *Trace
+	// Observer, when non-nil, instruments both stages: sampled
+	// per-stage latency histograms, profile lifecycle counters, the
+	// technique's score distribution and alarm-lifecycle journal
+	// entries. A nil Observer costs nothing — the zero-allocation
+	// steady state is preserved either way, and alarms are bit-identical
+	// with or without instrumentation.
+	Observer *obs.Observer
 }
 
 func (c *Config) validate() error {
@@ -163,6 +171,7 @@ func NewPipeline(vehicleID string, cfg Config) (*Pipeline, error) {
 		Filter:      cfg.Filter,
 		FilterState: cfg.FilterState,
 		ResetPolicy: cfg.ResetPolicy,
+		Observer:    cfg.Observer,
 	})
 	if err != nil {
 		return nil, err
@@ -175,6 +184,8 @@ func NewPipeline(vehicleID string, cfg Config) (*Pipeline, error) {
 		DensityM:            cfg.DensityM,
 		DensityK:            cfg.DensityK,
 		Trace:               cfg.Trace,
+		Observer:            cfg.Observer,
+		TransformName:       cfg.Transformer.Name(),
 	})
 	if err != nil {
 		return nil, err

@@ -7,6 +7,7 @@ import (
 
 	"github.com/navarchos/pdm/internal/detector"
 	"github.com/navarchos/pdm/internal/obd"
+	"github.com/navarchos/pdm/internal/obs"
 	"github.com/navarchos/pdm/internal/thresholds"
 	"github.com/navarchos/pdm/internal/timeseries"
 	"github.com/navarchos/pdm/internal/transform"
@@ -36,6 +37,10 @@ type TransformConfig struct {
 	// ResetPolicy selects which maintenance events reset the stage (and,
 	// downstream, rebuild Ref).
 	ResetPolicy ResetPolicy
+	// Observer, when non-nil, records filter drops and sampled
+	// transform-stage latency. Nil means no instrumentation and no
+	// overhead on the hot path.
+	Observer *obs.Observer
 }
 
 // TransformStage is the streaming front half of the pipeline: it
@@ -46,6 +51,10 @@ type TransformStage struct {
 	intoEmit transform.IntoEmitter // nil when the transformer allocates
 	xBuf     []float64
 	recBuf   timeseries.Record // staging for Filter's pointer argument
+
+	o       *obs.Observer
+	obsTick uint32
+	obsMask uint32
 }
 
 // NewTransformStage builds a transform stage. Transformer is required.
@@ -56,7 +65,7 @@ func NewTransformStage(cfg TransformConfig) (*TransformStage, error) {
 	if cfg.Filter == nil {
 		cfg.Filter = timeseries.CleanFilter
 	}
-	s := &TransformStage{cfg: cfg}
+	s := &TransformStage{cfg: cfg, o: cfg.Observer, obsMask: cfg.Observer.SampleMask()}
 	s.intoEmit, _ = cfg.Transformer.(transform.IntoEmitter)
 	return s, nil
 }
@@ -67,11 +76,41 @@ func (s *TransformStage) Feed(r timeseries.Record) bool {
 	// Filter takes a pointer; staging the record in a stage-owned buffer
 	// keeps the parameter itself from escaping to the heap on every call.
 	s.recBuf = r
+	if s.o == nil {
+		if !s.cfg.Filter(&s.recBuf) {
+			return false
+		}
+		s.cfg.Transformer.Collect(s.recBuf)
+		return s.cfg.Transformer.Ready()
+	}
+	return s.feedObserved()
+}
+
+// feedObserved is Feed's instrumented twin: every filter drop is
+// counted, and a deterministic 1-in-N sample of records is timed
+// through the filter + collect path. Sampling only skips clock reads —
+// at nanosecond per-record costs the clock IS the overhead — and keeps
+// the instrumented hot path allocation-free.
+func (s *TransformStage) feedObserved() bool {
+	s.obsTick++
+	if s.obsTick&s.obsMask != 0 {
+		if !s.cfg.Filter(&s.recBuf) {
+			s.o.WarmupDrop()
+			return false
+		}
+		s.cfg.Transformer.Collect(s.recBuf)
+		return s.cfg.Transformer.Ready()
+	}
+	t0 := time.Now()
 	if !s.cfg.Filter(&s.recBuf) {
+		s.o.ObserveTransform(time.Since(t0))
+		s.o.WarmupDrop()
 		return false
 	}
 	s.cfg.Transformer.Collect(s.recBuf)
-	return s.cfg.Transformer.Ready()
+	ready := s.cfg.Transformer.Ready()
+	s.o.ObserveTransform(time.Since(t0))
+	return ready
 }
 
 // Emit returns the ready sample as a freshly allocated vector (safe to
@@ -198,6 +237,16 @@ type DetectConfig struct {
 	DensityK int
 	// Trace, when non-nil, records every scored sample.
 	Trace *Trace
+	// Observer, when non-nil, records sampled score/threshold latency,
+	// profile lifecycle counters, the technique's score distribution
+	// and — when the observer carries a journal — one alarm-lifecycle
+	// entry per alarm. Nil means no instrumentation and no overhead.
+	Observer *obs.Observer
+	// TransformName labels this stage's journal entries with the
+	// upstream transformation ("correlation", ...). Pipeline fills it
+	// from its transformer; standalone DetectOnTrace callers may leave
+	// it empty.
+	TransformName string
 }
 
 func (c *DetectConfig) validate() error {
@@ -243,6 +292,16 @@ type DetectStage struct {
 	calib Calib
 
 	scoreBuf []float64
+
+	// Observability (not part of snapshots: journal context restarts
+	// fresh after a restore, alarms and scores do not change).
+	o           *obs.Observer
+	obsTick     uint32
+	obsMask     uint32
+	scoreDist   *obs.Histogram
+	technique   string
+	cycleScored uint64    // samples scored under the current fit
+	lastReset   time.Time // last maintenance-triggered reset
 }
 
 // NewDetectStage builds a detect stage for one vehicle.
@@ -250,12 +309,19 @@ func NewDetectStage(vehicleID string, cfg DetectConfig) (*DetectStage, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	return &DetectStage{
+	d := &DetectStage{
 		vehicleID: vehicleID,
 		cfg:       cfg,
 		state:     StateCollecting,
 		violRing:  make([]bool, cfg.DensityK),
-	}, nil
+		o:         cfg.Observer,
+		obsMask:   cfg.Observer.SampleMask(),
+	}
+	if cfg.Observer != nil {
+		d.technique = cfg.Detector.Name()
+		d.scoreDist = cfg.Observer.ScoreDist(d.technique)
+	}
+	return d, nil
 }
 
 // State returns the stage's current phase.
@@ -296,6 +362,9 @@ func (d *DetectStage) Reset(t time.Time) {
 	if d.cfg.Trace != nil {
 		d.cfg.Trace.Resets = append(d.cfg.Trace.Resets, t)
 	}
+	d.o.ProfileReset()
+	d.cycleScored = 0
+	d.lastReset = t
 }
 
 // fit trains the detector and calibrates the thresholder. Detectors
@@ -304,6 +373,10 @@ func (d *DetectStage) Reset(t time.Time) {
 // everything else is fitted on the head of Ref and calibrated on the
 // detector's scores over the held-out tail.
 func (d *DetectStage) fit() error {
+	var fitStart time.Time
+	if d.o != nil {
+		fitStart = time.Now()
+	}
 	var calib [][]float64
 	if sc, ok := d.cfg.Detector.(detector.SelfCalibrator); ok {
 		if err := d.cfg.Detector.Fit(d.ref); err != nil {
@@ -342,6 +415,11 @@ func (d *DetectStage) fit() error {
 	}
 	d.fitted = true
 	d.state = StateDetecting
+	d.cycleScored = 0
+	if d.o != nil {
+		d.o.ObserveFit(time.Since(fitStart))
+		d.o.ProfileRefill()
+	}
 	return nil
 }
 
@@ -355,10 +433,38 @@ func (d *DetectStage) ScoreSample(t time.Time, x []float64) ([]detector.Alarm, e
 		d.scoreBuf = make([]float64, d.cfg.Detector.Channels())
 	}
 	scores := d.scoreBuf
+	// Sampled instrumentation: clock reads and the max-score scan
+	// dominate the enabled-path cost, so only every Nth scored sample is
+	// timed and fed to the score distribution; lifecycle counters and
+	// the journal are never sampled.
+	timed := false
+	var t0 time.Time
+	if d.o != nil {
+		d.obsTick++
+		timed = d.obsTick&d.obsMask == 0
+		if timed {
+			t0 = time.Now()
+		}
+	}
 	if err := detector.ScoreInto(d.cfg.Detector, x, scores); err != nil {
 		return nil, fmt.Errorf("core: score %s: %w", d.vehicleID, err)
 	}
+	var t1 time.Time
+	if timed {
+		t1 = time.Now()
+		d.o.ObserveScore(t1.Sub(t0))
+	}
 	d.scored++
+	d.cycleScored++
+	if timed && d.scoreDist != nil && len(scores) > 0 {
+		max := scores[0]
+		for _, s := range scores[1:] {
+			if s > max {
+				max = s
+			}
+		}
+		d.scoreDist.Observe(max)
+	}
 	viol := d.cfg.Thresholder.Violations(scores)
 	// Density persistence: suppress the alarm unless at least M of the
 	// last K scored samples violated.
@@ -372,6 +478,9 @@ func (d *DetectStage) ScoreSample(t time.Time, x []float64) ([]detector.Alarm, e
 	d.violPos = (d.violPos + 1) % len(d.violRing)
 	if len(viol) > 0 && d.violCount < d.cfg.DensityM {
 		viol = nil
+	}
+	if timed {
+		d.o.ObserveThreshold(time.Since(t1))
 	}
 	var alarms []detector.Alarm
 	names := d.cfg.Detector.ChannelNames()
@@ -390,6 +499,29 @@ func (d *DetectStage) ScoreSample(t time.Time, x []float64) ([]detector.Alarm, e
 			a.Threshold = thVals[c]
 		}
 		alarms = append(alarms, a)
+	}
+	if d.o != nil && len(alarms) > 0 {
+		d.o.Alarms(len(alarms))
+		var sinceReset float64
+		if !d.lastReset.IsZero() {
+			sinceReset = t.Sub(d.lastReset).Seconds()
+		}
+		for _, a := range alarms {
+			d.o.RecordAlarm(obs.AlarmEvent{
+				Time:            a.Time,
+				VehicleID:       a.VehicleID,
+				Technique:       d.technique,
+				Transform:       d.cfg.TransformName,
+				Feature:         a.Feature,
+				Channel:         a.Channel,
+				Score:           a.Score,
+				Threshold:       a.Threshold,
+				RefLen:          len(d.ref),
+				RefCap:          d.cfg.ProfileLength,
+				RefAge:          d.cycleScored,
+				SinceLastEventS: sinceReset,
+			})
+		}
 	}
 	if d.cfg.Trace != nil {
 		tr := d.cfg.Trace

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"time"
 
 	"github.com/navarchos/pdm/internal/checkpoint"
 )
@@ -68,30 +69,18 @@ func (e *Engine) Checkpoint(w io.Writer) error {
 	if e.closed.Load() {
 		return e.writeCheckpoint(w)
 	}
-	for _, s := range e.shards {
-		s.mu.Lock()
+	var start time.Time
+	if e.ckptH != nil {
+		start = time.Now()
 	}
-	defer func() {
-		for _, s := range e.shards {
-			s.mu.Unlock()
-		}
-	}()
-	bar := &barrier{resume: make(chan struct{})}
-	bar.ack.Add(len(e.shards))
-	for _, s := range e.shards {
-		if len(s.pending) > 0 {
-			batch := s.pending
-			s.pending = nil
-			s.in <- batch
-		}
-		s.in <- []envelope{{bar: bar}}
-	}
-	// Every shard drains its queue up to the barrier, then parks. From
-	// here until resume closes, this goroutine is the only one touching
-	// handler state.
-	bar.ack.Wait()
+	// After quiesce, this goroutine is the only one touching handler
+	// state until release.
+	release := e.quiesce()
 	err := e.writeCheckpoint(w)
-	close(bar.resume)
+	release()
+	if e.ckptH != nil {
+		e.ckptH.Observe(time.Since(start).Seconds())
+	}
 	return err
 }
 

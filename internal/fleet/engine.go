@@ -18,12 +18,15 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/navarchos/pdm/internal/core"
 	"github.com/navarchos/pdm/internal/detector"
 	"github.com/navarchos/pdm/internal/obd"
+	"github.com/navarchos/pdm/internal/obs"
 	"github.com/navarchos/pdm/internal/timeseries"
 )
 
@@ -85,6 +88,16 @@ type Config struct {
 	// advisory; leave it unset when every alarm must be observed, and
 	// drain Alarms() concurrently.
 	DropAlarms bool
+	// Observer, when non-nil, registers the engine's fleet-level
+	// metrics in the observer's registry: per-shard queue depth and
+	// counters (collection-time callbacks, free on the hot path), a
+	// batch-processing latency histogram and a checkpoint-duration
+	// histogram. The same observer is typically also set on the
+	// per-vehicle core.Config built by NewConfig, which instruments the
+	// pipeline stages themselves. One registry should observe one
+	// engine at a time; a newer engine's registration takes over the
+	// callback series of an older one.
+	Observer *obs.Observer
 }
 
 func (c *Config) validate() error {
@@ -177,6 +190,9 @@ type Engine struct {
 	pool    sync.Pool // *[]envelope batch recycling
 	wg      sync.WaitGroup
 
+	batchH *obs.Histogram // per-batch processing latency (nil without observer)
+	ckptH  *obs.Histogram // live checkpoint duration (nil without observer)
+
 	closed atomic.Bool
 	errMu  sync.Mutex
 	err    error
@@ -217,7 +233,55 @@ func newEngineStopped(cfg Config) (*Engine, error) {
 			skip:     map[string]bool{},
 		}
 	}
+	e.registerMetrics()
 	return e, nil
+}
+
+// registerMetrics publishes the engine's fleet-level metric families in
+// the observer's registry. Everything except the two histograms is a
+// collection-time callback over the shard atomics, so the shard loop
+// pays nothing for them.
+func (e *Engine) registerMetrics() {
+	o := e.cfg.Observer
+	if o == nil {
+		return
+	}
+	reg := o.Registry()
+	e.batchH = reg.Histogram("pdm_fleet_batch_seconds",
+		"Shard batch processing latency (one batch = up to BatchSize envelopes).", obs.DefLatencyBuckets)
+	e.ckptH = reg.Histogram("pdm_fleet_checkpoint_seconds",
+		"Live checkpoint duration: barrier quiesce + state serialization.", obs.DefLatencyBuckets)
+	reg.GaugeFunc("pdm_fleet_vehicles",
+		"Vehicles with an active handler across all shards.",
+		func() float64 {
+			var n int64
+			for _, s := range e.shards {
+				n += s.vehicles.Load()
+			}
+			return float64(n)
+		})
+	for _, s := range e.shards {
+		s := s
+		l := obs.Label{Key: "shard", Value: strconv.Itoa(s.index)}
+		reg.GaugeFunc("pdm_fleet_shard_queue_depth",
+			"Queued batches per shard (capacity is QueueDepth; a full queue is the backpressure point).",
+			func() float64 { return float64(len(s.in)) }, l)
+		reg.CounterFunc("pdm_fleet_shard_records_total",
+			"Raw records processed per shard.",
+			func() float64 { return float64(s.recordsIn.Load()) }, l)
+		reg.CounterFunc("pdm_fleet_shard_events_total",
+			"Maintenance events processed per shard.",
+			func() float64 { return float64(s.eventsIn.Load()) }, l)
+		reg.CounterFunc("pdm_fleet_shard_samples_scored_total",
+			"Transformed samples scored per shard.",
+			func() float64 { return float64(s.scored.Load()) }, l)
+		reg.CounterFunc("pdm_fleet_shard_alarms_total",
+			"Alarms delivered to the fan-in channel per shard.",
+			func() float64 { return float64(s.alarms.Load()) }, l)
+		reg.CounterFunc("pdm_fleet_shard_alarm_drops_total",
+			"Alarms dropped per shard because the fan-in channel was full (DropAlarms mode).",
+			func() float64 { return float64(s.drops.Load()) }, l)
+	}
 }
 
 // start launches the shard goroutines.
@@ -369,6 +433,14 @@ func (e *Engine) setErr(err error) {
 
 // Stats snapshots the per-shard counters. Safe to call at any time from
 // any goroutine.
+//
+// Consistency semantics: each counter is read atomically, but the
+// group is not — a shard mid-batch may have counted a record in
+// RecordsIn whose scored samples or alarms are not yet in
+// SamplesScored/Alarms, and different shards are read at slightly
+// different instants. Totals are exact once the engine is closed (or
+// quiesced). Use StatsConsistent for a cross-counter-consistent cut of
+// a live engine.
 func (e *Engine) Stats() EngineStats {
 	st := EngineStats{Shards: make([]ShardStats, len(e.shards))}
 	for i, s := range e.shards {
@@ -390,6 +462,57 @@ func (e *Engine) Stats() EngineStats {
 		st.Drops += ss.Drops
 	}
 	return st
+}
+
+// StatsConsistent snapshots the per-shard counters at a batch
+// boundary: it reuses the checkpoint barrier to park every shard
+// between batches, reads the counters while nothing is in flight, and
+// releases the fleet. The returned stats are therefore a consistent
+// cut — every ingested element is either fully reflected (record,
+// derived samples, alarms) or not at all.
+//
+// It shares the live-checkpoint restrictions: do not call it
+// concurrently with Replay or Close, and keep draining Alarms() while
+// it runs when DropAlarms is unset. On a closed engine it is plain
+// Stats (already exact). Cost is one fleet quiesce — micro to
+// milliseconds — so prefer Stats for dashboards polling at high rates.
+func (e *Engine) StatsConsistent() EngineStats {
+	if e.closed.Load() {
+		return e.Stats()
+	}
+	release := e.quiesce()
+	st := e.Stats()
+	release()
+	return st
+}
+
+// quiesce parks every shard goroutine at a batch boundary and blocks
+// producers on the ingest mutexes. It returns the release function;
+// between quiesce and release the caller is the only goroutine
+// touching handler state. Callers must obey the live-checkpoint
+// restrictions (no concurrent Replay/Close, alarms drained).
+func (e *Engine) quiesce() (release func()) {
+	for _, s := range e.shards {
+		s.mu.Lock()
+	}
+	bar := &barrier{resume: make(chan struct{})}
+	bar.ack.Add(len(e.shards))
+	for _, s := range e.shards {
+		if len(s.pending) > 0 {
+			batch := s.pending
+			s.pending = nil
+			s.in <- batch
+		}
+		s.in <- []envelope{{bar: bar}}
+	}
+	// Every shard drains its queue up to the barrier, then parks.
+	bar.ack.Wait()
+	return func() {
+		close(bar.resume)
+		for _, s := range e.shards {
+			s.mu.Unlock()
+		}
+	}
 }
 
 // Pipelines calls fn for every core.Pipeline the engine has built, shard
@@ -421,9 +544,15 @@ func (e *Engine) Handlers(fn func(vehicleID string, h Handler)) {
 func (e *Engine) run(s *shard) {
 	defer e.wg.Done()
 	for batch := range s.in {
+		var batchStart time.Time
+		if e.batchH != nil {
+			batchStart = time.Now()
+		}
+		sawBarrier := false
 		for i := range batch {
 			env := &batch[i]
 			if env.bar != nil {
+				sawBarrier = true
 				// Checkpoint barrier: acknowledge and park at this batch
 				// boundary until the checkpointer releases the fleet.
 				env.bar.ack.Done()
@@ -465,6 +594,11 @@ func (e *Engine) run(s *shard) {
 					s.alarms.Add(1)
 				}
 			}
+		}
+		// Barrier batches spend their time parked waiting on the
+		// checkpointer; recording that wait would drown the histogram.
+		if e.batchH != nil && !sawBarrier {
+			e.batchH.Observe(time.Since(batchStart).Seconds())
 		}
 		batch = batch[:0]
 		e.pool.Put(&batch)

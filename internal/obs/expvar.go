@@ -1,0 +1,39 @@
+package obs
+
+import "expvar"
+
+// PublishExpvar publishes the registry under the given expvar name as a
+// nested map: counters and gauges as numbers, histograms as
+// {count, sum} objects, keyed by series name (labels included). The
+// map is rebuilt on every /debug/vars scrape, so it always reflects
+// live values. Publishing the same name twice is a no-op (expvar
+// forbids re-publication), which makes PublishExpvar safe to call from
+// multiple components sharing one registry.
+func (r *Registry) PublishExpvar(name string) {
+	if expvar.Get(name) != nil {
+		return
+	}
+	expvar.Publish(name, expvar.Func(func() any { return r.expvarMap() }))
+}
+
+func (r *Registry) expvarMap() map[string]any {
+	r.mu.Lock()
+	entries := make([]*entry, len(r.entries))
+	copy(entries, r.entries)
+	r.mu.Unlock()
+	out := make(map[string]any, len(entries))
+	for _, e := range entries {
+		key := seriesName(e.name, e.labels)
+		switch e.kind {
+		case KindCounter:
+			out[key] = e.counter.Value()
+		case KindGauge:
+			out[key] = e.gauge.Value()
+		case KindCounterFunc, KindGaugeFunc:
+			out[key] = e.fn.value()
+		case KindHistogram:
+			out[key] = map[string]any{"count": e.hist.Count(), "sum": e.hist.Sum()}
+		}
+	}
+	return out
+}

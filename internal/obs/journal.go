@@ -1,0 +1,119 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// AlarmEvent is one alarm-lifecycle journal entry: the full detection
+// context at the moment an alarm fired, recorded so the alarm is
+// explainable after the fact. Fleet-level condition monitoring
+// (Hendrickx et al.) and PH-based evaluation (Carrasco et al.) both
+// stress that per-asset context — reference state, score trajectory,
+// threshold at alarm time — is what makes an alarm actionable; this is
+// that context as a first-class artifact.
+type AlarmEvent struct {
+	// Seq is the journal-assigned monotone sequence number.
+	Seq uint64 `json:"seq"`
+	// Time is the record timestamp that raised the alarm.
+	Time time.Time `json:"time"`
+	// VehicleID is the alarming vehicle.
+	VehicleID string `json:"vehicle"`
+	// Technique is the detector's canonical name ("closest-pair", ...).
+	Technique string `json:"technique"`
+	// Transform is the transformation's canonical name ("correlation", ...).
+	Transform string `json:"transform"`
+	// Feature is the violated score channel's human-readable label.
+	Feature string `json:"feature"`
+	// Channel is the violated score channel index.
+	Channel int `json:"channel"`
+	// Score is the offending anomaly score.
+	Score float64 `json:"score"`
+	// Threshold is the live threshold value the score violated.
+	Threshold float64 `json:"threshold"`
+	// RefLen and RefCap are the reference profile's fill level and
+	// configured length. While detecting RefLen == RefCap; an entry can
+	// only exist with a fitted profile.
+	RefLen int `json:"ref_len"`
+	RefCap int `json:"ref_cap"`
+	// RefAge is the number of samples scored under the current fit —
+	// how stale the reference profile is, in samples.
+	RefAge uint64 `json:"ref_age_samples"`
+	// SinceLastEventS is the time in seconds since the vehicle's last
+	// profile-resetting maintenance event (0 when no event has been
+	// seen: the vehicle is still on its initial profile).
+	SinceLastEventS float64 `json:"since_last_event_s"`
+}
+
+// Journal is a bounded structured ring of alarm events. Appends and
+// reads are guarded by a mutex — alarms are rare next to scored
+// samples, so the journal is never on the allocation-free hot path.
+// An optional sink receives every entry as one JSON line.
+type Journal struct {
+	mu   sync.Mutex
+	buf  []AlarmEvent
+	next uint64 // total appends ever; Seq of the next entry
+	sink io.Writer
+}
+
+// NewJournal returns a journal retaining the last capacity entries
+// (default 256 when capacity <= 0).
+func NewJournal(capacity int) *Journal {
+	if capacity <= 0 {
+		capacity = 256
+	}
+	return &Journal{buf: make([]AlarmEvent, 0, capacity)}
+}
+
+// SetSink attaches a writer that receives every appended entry as one
+// JSON line (pass nil to detach). Sink errors are ignored: journaling
+// must never fail the detection path.
+func (j *Journal) SetSink(w io.Writer) {
+	j.mu.Lock()
+	j.sink = w
+	j.mu.Unlock()
+}
+
+// Append records one alarm event, assigning its sequence number.
+func (j *Journal) Append(e AlarmEvent) {
+	j.mu.Lock()
+	e.Seq = j.next
+	j.next++
+	if len(j.buf) < cap(j.buf) {
+		j.buf = append(j.buf, e)
+	} else {
+		j.buf[int(e.Seq)%cap(j.buf)] = e
+	}
+	sink := j.sink
+	j.mu.Unlock()
+	if sink != nil {
+		if b, err := json.Marshal(e); err == nil {
+			sink.Write(append(b, '\n')) //nolint:errcheck // advisory sink
+		}
+	}
+}
+
+// Total returns how many entries have ever been appended.
+func (j *Journal) Total() uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.next
+}
+
+// Last returns up to n most recent entries, oldest first.
+func (j *Journal) Last(n int) []AlarmEvent {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if n <= 0 || n > len(j.buf) {
+		n = len(j.buf)
+	}
+	out := make([]AlarmEvent, 0, n)
+	for i := 0; i < n; i++ {
+		// Entries live at Seq % cap; the oldest retained Seq is next-len.
+		seq := j.next - uint64(n) + uint64(i)
+		out = append(out, j.buf[int(seq)%cap(j.buf)])
+	}
+	return out
+}

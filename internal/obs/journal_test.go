@@ -1,0 +1,127 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func journalEvent(i int) AlarmEvent {
+	return AlarmEvent{
+		Time:            time.Date(2023, 5, 1, 0, 0, i, 0, time.UTC),
+		VehicleID:       fmt.Sprintf("veh-%02d", i%4),
+		Technique:       "closest-pair",
+		Transform:       "correlation",
+		Feature:         "corr(speed,coolantTemp)",
+		Channel:         i % 15,
+		Score:           float64(i) * 1.5,
+		Threshold:       3.25,
+		RefLen:          45,
+		RefCap:          45,
+		RefAge:          uint64(i),
+		SinceLastEventS: float64(i) * 60,
+	}
+}
+
+func TestJournalRingAndSeq(t *testing.T) {
+	j := NewJournal(4)
+	for i := 0; i < 10; i++ {
+		j.Append(journalEvent(i))
+	}
+	if got := j.Total(); got != 10 {
+		t.Fatalf("Total = %d, want 10", got)
+	}
+	last := j.Last(0) // 0 = everything retained
+	if len(last) != 4 {
+		t.Fatalf("retained %d entries, want 4", len(last))
+	}
+	for i, e := range last {
+		wantSeq := uint64(6 + i) // oldest retained is seq 6, oldest first
+		if e.Seq != wantSeq {
+			t.Fatalf("entry %d has seq %d, want %d (%+v)", i, e.Seq, wantSeq, last)
+		}
+		if e.RefAge != wantSeq {
+			t.Fatalf("entry %d payload mismatch: RefAge %d, want %d", i, e.RefAge, wantSeq)
+		}
+	}
+	// Last(n) smaller than retained.
+	last2 := j.Last(2)
+	if len(last2) != 2 || last2[0].Seq != 8 || last2[1].Seq != 9 {
+		t.Fatalf("Last(2) = %+v", last2)
+	}
+}
+
+func TestJournalPartiallyFilled(t *testing.T) {
+	j := NewJournal(8)
+	for i := 0; i < 3; i++ {
+		j.Append(journalEvent(i))
+	}
+	last := j.Last(5)
+	if len(last) != 3 {
+		t.Fatalf("Last(5) on 3 entries = %d", len(last))
+	}
+	for i, e := range last {
+		if e.Seq != uint64(i) {
+			t.Fatalf("seq order wrong: %+v", last)
+		}
+	}
+}
+
+func TestJournalJSONLSink(t *testing.T) {
+	var buf bytes.Buffer
+	j := NewJournal(2)
+	j.SetSink(&buf)
+	for i := 0; i < 5; i++ {
+		j.Append(journalEvent(i))
+	}
+	sc := bufio.NewScanner(&buf)
+	var n int
+	for sc.Scan() {
+		var e AlarmEvent
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("line %d is not valid JSON: %v", n, err)
+		}
+		if e.Seq != uint64(n) || e.VehicleID == "" || e.Technique != "closest-pair" {
+			t.Fatalf("line %d decoded wrong: %+v", n, e)
+		}
+		n++
+	}
+	// The sink sees every entry, not just the retained window.
+	if n != 5 {
+		t.Fatalf("sink got %d lines, want 5", n)
+	}
+}
+
+func TestJournalConcurrentAppendLast(t *testing.T) {
+	j := NewJournal(16)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				j.Append(journalEvent(i))
+				if i%17 == 0 {
+					j.Last(8)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := j.Total(); got != 2000 {
+		t.Fatalf("Total = %d, want 2000", got)
+	}
+	last := j.Last(0)
+	if len(last) != 16 {
+		t.Fatalf("retained %d, want 16", len(last))
+	}
+	for i := 1; i < len(last); i++ {
+		if last[i].Seq != last[i-1].Seq+1 {
+			t.Fatalf("non-contiguous seqs: %d then %d", last[i-1].Seq, last[i].Seq)
+		}
+	}
+}

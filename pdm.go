@@ -49,6 +49,7 @@ import (
 	"github.com/navarchos/pdm/internal/gbt"
 	"github.com/navarchos/pdm/internal/iforest"
 	"github.com/navarchos/pdm/internal/obd"
+	"github.com/navarchos/pdm/internal/obs"
 	"github.com/navarchos/pdm/internal/thresholds"
 	"github.com/navarchos/pdm/internal/timeseries"
 	"github.com/navarchos/pdm/internal/transform"
@@ -331,3 +332,49 @@ func Evaluate(alarms []Alarm, failures []Event, ph time.Duration) Metrics {
 
 // ConsolidateDaily collapses alarms to one per vehicle-day.
 func ConsolidateDaily(alarms []Alarm) []Alarm { return eval.ConsolidateDaily(alarms) }
+
+// Observability: the internal/obs layer re-exported. A MetricsRegistry
+// collects counters, gauges and latency histograms from every component
+// that shares an Observer; WritePrometheus renders them in Prometheus
+// text format. The AlarmJournal keeps the last N alarms with their full
+// detection context (technique, transform, score, live threshold, Ref
+// fill level). A nil *Observer disables instrumentation at zero cost.
+type (
+	// MetricsRegistry holds metric families and renders expositions.
+	MetricsRegistry = obs.Registry
+	// Observer is the instrumentation hub accepted by PipelineConfig
+	// and FleetEngineConfig.
+	Observer = obs.Observer
+	// ObserverConfig assembles an Observer.
+	ObserverConfig = obs.ObserverConfig
+	// AlarmJournal is the bounded ring of alarm-lifecycle entries.
+	AlarmJournal = obs.Journal
+	// AlarmJournalEntry is one journaled alarm with detection context.
+	AlarmJournalEntry = obs.AlarmEvent
+	// DebugServer serves /metrics, /debug/vars, /debug/pprof/* and
+	// /fleet on a background listener.
+	DebugServer = obs.DebugServer
+	// DebugConfig wires a registry, journal and fleet status callback
+	// into a DebugServer.
+	DebugConfig = obs.DebugConfig
+)
+
+// NewMetricsRegistry returns an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// NewObserver builds an instrumentation hub registering the pipeline
+// metric families in reg. Set it on PipelineConfig.Observer and
+// FleetEngineConfig.Observer.
+func NewObserver(reg *MetricsRegistry, cfg ObserverConfig) *Observer {
+	return obs.NewObserver(reg, cfg)
+}
+
+// NewAlarmJournal returns a bounded alarm journal (capacity <= 0 means
+// the default of 256 entries).
+func NewAlarmJournal(capacity int) *AlarmJournal { return obs.NewJournal(capacity) }
+
+// StartDebugServer serves the observability endpoints on addr (e.g.
+// ":8080" or "127.0.0.1:0") until Close.
+func StartDebugServer(addr string, cfg DebugConfig) (*DebugServer, error) {
+	return obs.StartDebugServer(addr, cfg)
+}
