@@ -1,12 +1,13 @@
 GO ?= go
 
-.PHONY: ci check vet build test race grid-equiv resume-gate fuzz-smoke bench-smoke bench-json vet-obs obs-overhead
+.PHONY: ci check vet build test race grid-equiv resume-gate fuzz-smoke bench-smoke bench-json vet-obs obs-overhead fitperf-smoke bench-micro
 
 ## ci: the full gate — vet (incl. the obs metric-doc check), build,
 ## race-enabled tests, the grid equivalence gate, the checkpoint resume
-## gate, the observer overhead gate, a codec fuzz smoke, bench smoke,
-## and a perf run appended to BENCH_<n>.json.
-ci: vet-obs build race grid-equiv resume-gate obs-overhead fuzz-smoke bench-smoke bench-json
+## gate, the fit-kernel equivalence smoke, the observer overhead gate, a
+## codec fuzz smoke, bench smoke, and a perf run appended to
+## BENCH_<n>.json.
+ci: vet-obs build race grid-equiv resume-gate fitperf-smoke obs-overhead fuzz-smoke bench-smoke bench-json
 
 ## check: the fast inner-loop gate — vet, build, and the plain test
 ## suite, with none of ci's race/equivalence/bench machinery.
@@ -37,6 +38,24 @@ grid-equiv:
 resume-gate:
 	$(GO) test -run 'TestEngineCheckpointResumeGate|TestEngineObservedBitIdentity' ./internal/fleet/
 
+## fitperf-smoke: the fit-kernel gates at test scale — the per-detector
+## equivalence tests (tranad bit-identity and minibatch determinism, gbt
+## histogram-vs-exact tree equivalence), then a small fitperf run whose
+## grid leg replays tranad+xgboost through legacy and current fit
+## kernels and (-fitperf-strict) exits non-zero unless every cell is
+## identical.
+fitperf-smoke:
+	$(GO) test -run 'TestFastFit|TestMinibatch|TestParallelChannels|TestHist' ./internal/detector/tranad/ ./internal/detector/regress/ ./internal/gbt/
+	$(GO) run ./cmd/navarchos-bench -experiment fitperf -scale small -fitperf-strict
+
+## bench-micro: one iteration of the kernel micro-benchmarks (blocked
+## matmul, SIMD axpy/Adam, histogram vs exact split search, tranad fit),
+## enough to catch a kernel benchmark that no longer compiles or crashes.
+bench-micro:
+	$(GO) test -run '^$$' -bench 'BenchmarkMatMul|BenchmarkDotUnrolled4|BenchmarkColInto|BenchmarkAddScaled|BenchmarkAdamStep' -benchtime 1x ./internal/mat/
+	$(GO) test -run '^$$' -bench 'BenchmarkHistogramSplit|BenchmarkExactSplit' -benchtime 1x ./internal/gbt/
+	$(GO) test -run '^$$' -bench 'BenchmarkFitLegacy|BenchmarkFitFast' -benchtime 1x ./internal/detector/tranad/
+
 ## vet-obs: go vet plus the obscheck lint — every metric family the
 ## stack registers must be documented in DESIGN.md §10.
 vet-obs: vet
@@ -61,7 +80,7 @@ bench-smoke:
 		./internal/fleet/ ./internal/detector/closestpair/ ./internal/core/
 
 ## bench-json: one fleet-engine perf run at bench scale, with the
-## live-checkpoint overhead exhibit embedded, appended to BENCH_<n>.json
+## fit-path acceleration exhibit embedded, appended to BENCH_<n>.json
 ## so the performance trajectory stays machine-readable across PRs.
 bench-json:
-	$(GO) run ./cmd/navarchos-bench -experiment perf,checkpoint -json
+	$(GO) run ./cmd/navarchos-bench -experiment perf,fitperf -json

@@ -8,13 +8,15 @@
 //	navarchos-bench -scale small         # quick pass
 //
 // Experiments: fig1 fig2 fig4 fig5 fig6 fig7 table1 table2 table3 fig8
-// baselines perf gridperf checkpoint all.
+// baselines perf gridperf checkpoint fitperf all.
 //
 // With -json, the perf experiment additionally writes its
 // throughput/latency results to BENCH_<n>.json (smallest unused n), so
 // the performance trajectory stays machine-readable across PRs; a
-// gridperf or checkpoint run in the same invocation is embedded under
-// "grid" / "checkpoint".
+// gridperf, checkpoint or fitperf run in the same invocation is
+// embedded under "grid" / "checkpoint" / "fitperf". Every JSON file
+// carries an "env" header (go version, GOMAXPROCS, git revision, SIMD
+// class) identifying the producing machine.
 //
 // -cpuprofile and -memprofile write pprof profiles covering the whole
 // run (the memory profile is taken at exit, after a final GC).
@@ -58,6 +60,7 @@ func main() {
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	debugAddr := flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof/* on this address while experiments run")
+	fitperfStrict := flag.Bool("fitperf-strict", false, "fail fitperf unless every equivalence-grid cell matches (test-scale gate; bench-scale raw/delta XGBoost cells may differ by design)")
 	flag.Parse()
 
 	stop, err := startProfiles(*cpuProfile, *memProfile)
@@ -216,6 +219,23 @@ func main() {
 		c.Render(out)
 		fmt.Fprintln(out)
 	}
+	var fitPerf *experiments.FitPerfResult
+	if has("fitperf") {
+		ran = true
+		fp, err := experiments.FitPerf(opts)
+		if err != nil {
+			fatal(err)
+		}
+		fitPerf = fp
+		fp.Render(out)
+		fmt.Fprintln(out)
+		if !fp.Equivalence.LosslessCellsMatch {
+			fatalf("fitperf: legacy and current fit kernels disagree on the guaranteed (lossless) grid cells")
+		}
+		if *fitperfStrict && !fp.Equivalence.CellsMatch {
+			fatalf("fitperf: -fitperf-strict set and legacy/current fit kernels disagree on grid cells")
+		}
+	}
 	if has("perf") || *jsonOut {
 		ran = true
 		r, err := experiments.Perf(opts, nil)
@@ -224,6 +244,7 @@ func main() {
 		}
 		r.Grid = gridPerf
 		r.Checkpoint = ckptPerf
+		r.FitPerf = fitPerf
 		r.Render(out)
 		fmt.Fprintln(out)
 		if *jsonOut {
@@ -235,7 +256,7 @@ func main() {
 		}
 	}
 	if !ran {
-		fatalf("unknown experiment %q (want fig1 fig2 fig4 fig5 fig6 fig7 table1 table2 table3 fig8 baselines perf gridperf checkpoint or all)", *experiment)
+		fatalf("unknown experiment %q (want fig1 fig2 fig4 fig5 fig6 fig7 table1 table2 table3 fig8 baselines perf gridperf checkpoint fitperf or all)", *experiment)
 	}
 }
 

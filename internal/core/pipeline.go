@@ -208,6 +208,14 @@ func (p *Pipeline) RefLen() int { return p.ds.RefLen() }
 // aggregates this into its per-shard throughput counters.
 func (p *Pipeline) ScoredSamples() uint64 { return p.ds.ScoredSamples() }
 
+// SetDeferFits switches the pipeline's detect stage between inline and
+// deferred fits (see DetectStage.SetDeferFits).
+func (p *Pipeline) SetDeferFits(on bool) { p.ds.SetDeferFits(on) }
+
+// TakePendingFit collects the detect stage's deferred fit, if any (see
+// DetectStage.TakePendingFit).
+func (p *Pipeline) TakePendingFit() func() error { return p.ds.TakePendingFit() }
+
 // HandleEvent feeds a maintenance event to the pipeline. Events that
 // trigger a reset (per the ResetPolicy) discard the reference profile
 // and return the pipeline to the collecting state.

@@ -281,6 +281,14 @@ type DetectStage struct {
 	state  State
 	scored uint64
 
+	// Deferred fits (the fleet engine's asynchronous refit seam): with
+	// deferFits set, a profile fill does not fit inline — it marks the
+	// fit pending, and the owner collects it with TakePendingFit to run
+	// on a worker. The owner must not feed the stage again until the
+	// collected fit has completed.
+	deferFits  bool
+	fitPending bool
+
 	// density persistence ring over recent violation flags
 	violRing  []bool
 	violPos   int
@@ -344,16 +352,42 @@ func (d *DetectStage) NeedRef() bool { return len(d.ref) < d.cfg.ProfileLength }
 func (d *DetectStage) AddRef(x []float64) error {
 	d.ref = append(d.ref, x)
 	if len(d.ref) == d.cfg.ProfileLength {
+		if d.deferFits {
+			d.fitPending = true
+			return nil
+		}
 		return d.fit()
 	}
 	return nil
 }
+
+// SetDeferFits switches the stage between inline fits (the default) and
+// the deferred mode the fleet engine uses for asynchronous refits. Must
+// not be toggled while a collected fit is in flight.
+func (d *DetectStage) SetDeferFits(on bool) { d.deferFits = on }
+
+// TakePendingFit returns the deferred fit raised by the last AddRef, or
+// nil when none is pending. The returned closure runs the fit (typically
+// on a fit-pool worker); it is not safe to feed the stage concurrently
+// with the closure, and the closure must be called exactly once.
+func (d *DetectStage) TakePendingFit() func() error {
+	if !d.fitPending {
+		return nil
+	}
+	d.fitPending = false
+	return d.fit0
+}
+
+// fit0 adapts fit to a plain closure (avoiding a per-fit allocation in
+// TakePendingFit).
+func (d *DetectStage) fit0() error { return d.fit() }
 
 // Reset discards the reference profile and returns the stage to the
 // collecting state, recording the reset time in the trace.
 func (d *DetectStage) Reset(t time.Time) {
 	d.ref = d.ref[:0]
 	d.fitted = false
+	d.fitPending = false
 	d.state = StateCollecting
 	for i := range d.violRing {
 		d.violRing[i] = false

@@ -1,0 +1,53 @@
+package regress
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/navarchos/pdm/internal/fitpool"
+	"github.com/navarchos/pdm/internal/gbt"
+)
+
+// TestParallelChannelsMatchSerial trains the same reference with one and
+// with many fitpool workers and requires identical scores: channel
+// fan-out must not change what any booster learns.
+func TestParallelChannelsMatchSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	ref := make([][]float64, 160)
+	for i := range ref {
+		a := rng.NormFloat64()
+		ref[i] = []float64{a, 2*a + 0.1*rng.NormFloat64(), rng.NormFloat64(), a * a}
+	}
+	cfg := gbt.Config{NumTrees: 10, MaxDepth: 3}
+
+	fit := func(workers int) *Detector {
+		defer fitpool.SetWorkers(fitpool.Workers())
+		fitpool.SetWorkers(workers)
+		d := New(nil, cfg)
+		if err := d.Fit(ref); err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	serial := fit(1)
+	parallel := fit(4)
+
+	probe := rand.New(rand.NewSource(22))
+	for i := 0; i < 50; i++ {
+		x := []float64{probe.NormFloat64(), probe.NormFloat64(), probe.NormFloat64(), probe.NormFloat64()}
+		ss, err := serial.Score(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ps, err := parallel.Score(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for c := range ss {
+			if math.Float64bits(ss[c]) != math.Float64bits(ps[c]) {
+				t.Fatalf("probe %d channel %d depends on worker count: %v vs %v", i, c, ss[c], ps[c])
+			}
+		}
+	}
+}

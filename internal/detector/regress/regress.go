@@ -10,6 +10,7 @@ import (
 	"math"
 
 	"github.com/navarchos/pdm/internal/detector"
+	"github.com/navarchos/pdm/internal/fitpool"
 	"github.com/navarchos/pdm/internal/gbt"
 )
 
@@ -47,20 +48,41 @@ func (d *Detector) Fit(ref [][]float64) error {
 	}
 	d.dim = dim
 	d.models = make([]*gbt.Regressor, dim)
-	X := make([][]float64, len(ref))
-	y := make([]float64, len(ref))
-	for c := 0; c < dim; c++ {
+	// Each channel's booster trains independently, so channels fan out
+	// across the fitpool (each with its own design-matrix buffers —
+	// results land in per-channel slots, making the fit worker-count
+	// independent). LegacyFitKernels also restores the serial
+	// channel-by-channel loop.
+	workers := fitpool.Workers()
+	if d.cfg.LegacyFitKernels {
+		workers = 1
+	}
+	if workers > dim {
+		workers = dim
+	}
+	errs := make([]error, dim)
+	buffers := make([]struct {
+		X [][]float64
+		y []float64
+	}, workers)
+	fitpool.Run(dim, workers, func(worker, c int) {
+		buf := &buffers[worker]
+		if buf.X == nil {
+			buf.X = make([][]float64, len(ref))
+			buf.y = make([]float64, len(ref))
+		}
 		for i, row := range ref {
-			X[i] = dropColumn(row, c)
-			y[i] = row[c]
+			buf.X[i] = dropColumn(row, c)
+			buf.y[i] = row[c]
 		}
 		cfg := d.cfg
 		cfg.Seed = d.cfg.Seed + int64(c) + 1
-		m, err := gbt.Train(X, y, cfg)
+		d.models[c], errs[c] = gbt.Train(buf.X, buf.y, cfg)
+	})
+	for _, err := range errs {
 		if err != nil {
 			return err
 		}
-		d.models[c] = m
 	}
 	if d.names == nil || len(d.names) != dim {
 		d.names = detector.NumberedChannels(dim)

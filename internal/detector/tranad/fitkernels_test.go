@@ -1,0 +1,140 @@
+package tranad
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/navarchos/pdm/internal/fitpool"
+)
+
+func synthRef(rng *rand.Rand, n, dim int) [][]float64 {
+	ref := make([][]float64, n)
+	for i := range ref {
+		row := make([]float64, dim)
+		for j := range row {
+			row[j] = math.Sin(float64(i)/7+float64(j)) + 0.1*rng.NormFloat64()
+		}
+		ref[i] = row
+	}
+	return ref
+}
+
+// TestFastFitBitIdenticalToLegacy trains the default (Batch 1) fast path
+// and the LegacyFitKernels path on the same reference and requires
+// Float64bits-identical weights and streaming scores: the kernel rewrite
+// must not move the optimisation trajectory by a single bit, which is
+// what keeps the grid-cell equivalence gate deterministic.
+func TestFastFitBitIdenticalToLegacy(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	ref := synthRef(rng, 120, 4)
+
+	legacy := New(Config{Epochs: 3, Seed: 5, LegacyFitKernels: true})
+	fast := New(Config{Epochs: 3, Seed: 5})
+	if err := legacy.Fit(ref); err != nil {
+		t.Fatal(err)
+	}
+	if err := fast.Fit(ref); err != nil {
+		t.Fatal(err)
+	}
+
+	lp, fp := legacy.params(), fast.params()
+	if len(lp) != len(fp) {
+		t.Fatalf("param count differs: %d vs %d", len(lp), len(fp))
+	}
+	for pi := range lp {
+		for j := range lp[pi].W {
+			if math.Float64bits(lp[pi].W[j]) != math.Float64bits(fp[pi].W[j]) {
+				t.Fatalf("param %d weight %d differs: legacy %v fast %v",
+					pi, j, lp[pi].W[j], fp[pi].W[j])
+			}
+		}
+	}
+
+	scoreRng := rand.New(rand.NewSource(6))
+	for i := 0; i < 40; i++ {
+		x := make([]float64, 4)
+		for j := range x {
+			x[j] = scoreRng.NormFloat64()
+		}
+		sl, err := legacy.Score(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sf, err := fast.Score(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Float64bits(sl[0]) != math.Float64bits(sf[0]) {
+			t.Fatalf("score %d differs: legacy %v fast %v", i, sl[0], sf[0])
+		}
+	}
+}
+
+// TestMinibatchDeterministicAcrossWorkers checks the minibatch contract:
+// the trained weights depend on Batch but not on how many fitpool
+// workers computed the per-window gradients.
+func TestMinibatchDeterministicAcrossWorkers(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	ref := synthRef(rng, 100, 3)
+
+	train := func(workers int) []float64 {
+		defer fitpool.SetWorkers(fitpool.Workers())
+		fitpool.SetWorkers(workers)
+		d := New(Config{Epochs: 2, Seed: 9, Batch: 4})
+		if err := d.Fit(ref); err != nil {
+			t.Fatal(err)
+		}
+		var flat []float64
+		for _, p := range d.params() {
+			flat = append(flat, p.W...)
+		}
+		return flat
+	}
+
+	serial := train(1)
+	parallel := train(4)
+	if len(serial) != len(parallel) {
+		t.Fatalf("weight count differs: %d vs %d", len(serial), len(parallel))
+	}
+	for i := range serial {
+		if math.Float64bits(serial[i]) != math.Float64bits(parallel[i]) {
+			t.Fatalf("weight %d depends on worker count: 1w %v 4w %v", i, serial[i], parallel[i])
+		}
+	}
+}
+
+// TestMinibatchTrainsUsableModel is a smoke check that Batch > 1
+// produces a model that still scores and separates an obvious level
+// shift from the training regime.
+func TestMinibatchTrainsUsableModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	ref := synthRef(rng, 150, 3)
+	d := New(Config{Epochs: 4, Seed: 2, Batch: 8})
+	if err := d.Fit(ref); err != nil {
+		t.Fatal(err)
+	}
+	var normal, shifted float64
+	for i := 0; i < 60; i++ {
+		s, err := d.Score(ref[i%len(ref)])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i >= 20 {
+			normal += s[0]
+		}
+	}
+	for i := 0; i < 40; i++ {
+		x := []float64{8, -8, 8}
+		s, err := d.Score(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i >= 10 {
+			shifted += s[0]
+		}
+	}
+	if !(shifted/30 > normal/40) {
+		t.Fatalf("level shift not separated: normal %v shifted %v", normal/40, shifted/30)
+	}
+}

@@ -1,0 +1,49 @@
+package tranad
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func mkref(n, dim int) [][]float64 {
+	rng := rand.New(rand.NewSource(1))
+	ref := make([][]float64, n)
+	for i := range ref {
+		row := make([]float64, dim)
+		for j := range row {
+			row[j] = rng.NormFloat64()
+		}
+		ref[i] = row
+	}
+	return ref
+}
+
+func benchCfg(legacy bool) Config {
+	cfg := Config{Window: 16, DModel: 48, Heads: 4, Epochs: 3, MaxWindows: 256, Seed: 1, LegacyFitKernels: legacy}
+	if !legacy {
+		cfg.Batch = 8
+	}
+	return cfg
+}
+
+func BenchmarkFitLegacy(b *testing.B) {
+	ref := mkref(200, 16)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d := New(benchCfg(true))
+		if err := d.Fit(ref); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFitFast(b *testing.B) {
+	ref := mkref(200, 16)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		d := New(benchCfg(false))
+		if err := d.Fit(ref); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

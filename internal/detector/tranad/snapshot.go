@@ -51,7 +51,7 @@ func (d *Detector) Restore(data []byte) error {
 		if err := r.Close(); err != nil {
 			return err
 		}
-		d.enc, d.dec1, d.fuse, d.dec2 = nil, nil, nil, nil
+		d.enc, d.dec1, d.fuse, d.dec2, d.master = nil, nil, nil, nil, nil
 		d.means, d.stds, d.ring = nil, nil, nil
 		d.dim, d.pos, d.n = 0, 0, 0
 		return nil
@@ -106,6 +106,7 @@ func (d *Detector) Restore(data []byte) error {
 	d.dim = dim
 	d.means, d.stds = means, stds
 	d.enc, d.dec1, d.fuse, d.dec2 = restored.enc, restored.dec1, restored.fuse, restored.dec2
+	d.master = restored.master
 	d.ring = ring
 	d.pos = n % len(ring)
 	d.n = n

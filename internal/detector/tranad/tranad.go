@@ -13,12 +13,23 @@
 // reconstruction model that learns healthy signal structure from Ref and
 // produces elevated errors on behavioural change, trainable with few
 // samples and epochs — is preserved.
+//
+// Fit runs on the scratch-reuse nn kernels by default: training windows
+// are zero-copy views into the standardised reference, every gradient
+// buffer is owned by the detector, and (at Batch 1, the default) the
+// optimisation trajectory is bit-identical to the legacy
+// allocate-per-call path preserved behind Config.LegacyFitKernels.
+// Batch > 1 switches to minibatch gradient accumulation: each batch's
+// per-window gradients are computed (in parallel across fitpool workers
+// on multicore hosts) into per-window slots and reduced in window order,
+// so results depend only on the Batch value, never on GOMAXPROCS.
 package tranad
 
 import (
 	"math/rand"
 
 	"github.com/navarchos/pdm/internal/detector"
+	"github.com/navarchos/pdm/internal/fitpool"
 	"github.com/navarchos/pdm/internal/mat"
 	"github.com/navarchos/pdm/internal/nn"
 )
@@ -42,6 +53,18 @@ type Config struct {
 	MaxWindows int
 	// Seed drives weight initialisation and shuffling (default 1).
 	Seed int64
+	// Batch is the number of windows whose gradients are accumulated
+	// into one Adam step (default 1, which reproduces the per-window
+	// SGD trajectory of the legacy path bit for bit). Larger batches
+	// train on the reassociating fast-dot kernels and fan window
+	// gradients across the fitpool; the trajectory then depends only on
+	// Batch, not on the worker count.
+	Batch int
+	// LegacyFitKernels restores the pre-optimisation allocate-per-call
+	// training path (PR 2's LegacyKernels precedent). It is the
+	// baseline leg of the fitperf benchmark and the oracle of the
+	// kernel-equivalence tests.
+	LegacyFitKernels bool
 }
 
 func (c *Config) defaults() {
@@ -69,6 +92,24 @@ func (c *Config) defaults() {
 	if c.Seed == 0 {
 		c.Seed = 1
 	}
+	if c.Batch <= 0 {
+		c.Batch = 1
+	}
+}
+
+// fitNet bundles one instance of the model's four sub-nets with the
+// scratch a training step needs. The detector's own nets form the
+// master fitNet; minibatch training builds additional replicas.
+type fitNet struct {
+	enc  *nn.Sequential
+	dec1 *nn.Sequential
+	fuse *nn.Linear
+	dec2 *nn.Sequential
+
+	params []*nn.Param
+
+	g1, g2, foc, x2, dz mat.Matrix
+	winView             mat.Matrix
 }
 
 // Detector is the TranAD-style reconstruction detector. It emits a
@@ -85,10 +126,14 @@ type Detector struct {
 	fuse *nn.Linear     // dm+d -> dm (self-conditioning input of decoder 2)
 	dec2 *nn.Sequential // dm -> d
 
+	master *fitNet // scratch bound to the nets above (fast path)
+
 	// streaming window of standardised samples
 	ring [][]float64
 	pos  int
 	n    int
+
+	swin mat.Matrix // Score window scratch (fast path)
 }
 
 // New returns a TranAD detector with the given configuration.
@@ -130,6 +175,7 @@ func (d *Detector) Fit(ref [][]float64) error {
 	rng := rand.New(rand.NewSource(d.cfg.Seed))
 	d.buildNet(dim, rng)
 	opt := nn.NewAdam(d.params(), d.cfg.LR)
+	opt.Legacy = d.cfg.LegacyFitKernels
 
 	// Training windows: consecutive slices of the standardised Ref,
 	// evenly subsampled down to MaxWindows.
@@ -151,15 +197,19 @@ func (d *Detector) Fit(ref [][]float64) error {
 		w = std.Rows
 	}
 
-	for epoch := 0; epoch < d.cfg.Epochs; epoch++ {
-		rng.Shuffle(len(starts), func(i, j int) { starts[i], starts[j] = starts[j], starts[i] })
-		for _, s := range starts {
-			win := mat.NewMatrix(w, dim)
-			for r := 0; r < w; r++ {
-				copy(win.Row(r), std.Row(s+r))
+	if d.cfg.LegacyFitKernels {
+		for epoch := 0; epoch < d.cfg.Epochs; epoch++ {
+			rng.Shuffle(len(starts), func(i, j int) { starts[i], starts[j] = starts[j], starts[i] })
+			for _, s := range starts {
+				win := mat.NewMatrix(w, dim)
+				for r := 0; r < w; r++ {
+					copy(win.Row(r), std.Row(s+r))
+				}
+				d.trainStepLegacy(win, opt)
 			}
-			d.trainStep(win, opt)
 		}
+	} else {
+		d.fitFast(std, starts, w, dim, rng, opt)
 	}
 
 	d.ring = make([][]float64, d.cfg.Window)
@@ -167,49 +217,205 @@ func (d *Detector) Fit(ref [][]float64) error {
 	return nil
 }
 
+// fitFast is the scratch-kernel training loop. Windows are views into
+// the standardised reference (the rows of one window are contiguous in
+// memory), so the epoch loop performs no copies and — once the layer
+// scratch is warm — no allocations.
+func (d *Detector) fitFast(std *mat.Matrix, starts []int, w, dim int, rng *rand.Rand, opt *nn.Adam) {
+	batch := d.cfg.Batch
+	if batch > len(starts) {
+		batch = len(starts)
+	}
+	workers := fitpool.Workers()
+	if workers > batch {
+		workers = batch
+	}
+
+	// Minibatch machinery, built only when a batch can actually span
+	// more than one window: per-window gradient slots plus net replicas
+	// for the extra workers.
+	var slots [][][]float64
+	var nets []*fitNet
+	var gradBufs [][][]float64
+	if batch > 1 {
+		slots = make([][][]float64, batch)
+		for i := range slots {
+			slots[i] = make([][]float64, len(d.master.params))
+			for pi, p := range d.master.params {
+				slots[i][pi] = make([]float64, len(p.G))
+			}
+		}
+		nets = make([]*fitNet, workers)
+		nets[0] = d.master
+		throwaway := rand.New(rand.NewSource(1))
+		for r := 1; r < workers; r++ {
+			nets[r] = d.newFitNet(dim, throwaway)
+		}
+		// Each net's original gradient buffers, restored after every
+		// chunk pass (the pass aliases them onto the window slots).
+		gradBufs = make([][][]float64, workers)
+		for r, n := range nets {
+			gradBufs[r] = make([][]float64, len(n.params))
+			for pi, p := range n.params {
+				gradBufs[r][pi] = p.G
+			}
+		}
+	}
+
+	for epoch := 0; epoch < d.cfg.Epochs; epoch++ {
+		rng.Shuffle(len(starts), func(i, j int) { starts[i], starts[j] = starts[j], starts[i] })
+		for lo := 0; lo < len(starts); lo += batch {
+			hi := lo + batch
+			if hi > len(starts) {
+				hi = len(starts)
+			}
+			chunk := starts[lo:hi]
+			if batch == 1 {
+				d.master.windowGrad(std, chunk[0], w, dim)
+			} else {
+				// Always reduce through per-window slots, even with one
+				// worker: direct sequential accumulation into G nests
+				// the additions differently and would make the bits
+				// depend on the worker count. The nets' gradient
+				// accumulators are pointed at the item's slot for the
+				// duration of the pass, so the window gradient lands in
+				// its slot without an extra copy.
+				for r := 1; r < workers; r++ {
+					nn.CopyWeights(nets[r].params, d.master.params)
+				}
+				fitpool.Run(len(chunk), workers, func(worker, item int) {
+					net := nets[worker]
+					slot := slots[item]
+					for pi, p := range net.params {
+						p.G = slot[pi]
+					}
+					nn.ZeroGrads(net.params)
+					net.windowGrad(std, chunk[item], w, dim)
+				})
+				// Restore every net's own gradient buffers (the master's
+				// are about to accumulate the reduction, and aliasing a
+				// slot would corrupt it).
+				for r := 0; r < workers; r++ {
+					for pi, p := range nets[r].params {
+						p.G = gradBufs[r][pi]
+					}
+				}
+				nn.ZeroGrads(d.master.params)
+				for item := range chunk {
+					for pi, p := range d.master.params {
+						mat.AddScaled(p.G, 1, slots[item][pi])
+					}
+				}
+			}
+			opt.Step()
+		}
+	}
+}
+
 // buildNet constructs the encoder, both decoders and the fusion layer
 // for input dimensionality dim. rng seeds the weight initialisation;
 // restore rebuilds the same architecture and then overwrites every
 // weight from the snapshot, so there the rng values are discarded.
 func (d *Detector) buildNet(dim int, rng *rand.Rand) {
+	net := d.newFitNet(dim, rng)
+	d.enc, d.dec1, d.fuse, d.dec2 = net.enc, net.dec1, net.fuse, net.dec2
+	d.master = net
+}
+
+// newFitNet builds one instance of the model (used for the detector
+// itself and for minibatch replicas) and applies the configured kernel
+// mode.
+func (d *Detector) newFitNet(dim int, rng *rand.Rand) *fitNet {
 	dm := d.cfg.DModel
-	d.enc = nn.NewSequential(
-		nn.NewLinear(dim, dm, rng),
-		nn.NewPositionalEncoding(dm),
-		nn.NewResidual(nn.NewSelfAttention(dm, d.cfg.Heads, rng)),
-		nn.NewLayerNorm(dm),
-		nn.NewResidual(nn.NewSequential(
-			nn.NewLinear(dm, 2*dm, rng),
-			nn.NewReLU(),
-			nn.NewLinear(2*dm, dm, rng),
-		)),
-		nn.NewLayerNorm(dm),
-	)
-	d.dec1 = nn.NewSequential(
+	net := &fitNet{
+		enc: nn.NewSequential(
+			nn.NewLinear(dim, dm, rng),
+			nn.NewPositionalEncoding(dm),
+			nn.NewResidual(nn.NewSelfAttention(dm, d.cfg.Heads, rng)),
+			nn.NewLayerNorm(dm),
+			nn.NewResidual(nn.NewSequential(
+				nn.NewLinear(dm, 2*dm, rng),
+				nn.NewReLU(),
+				nn.NewLinear(2*dm, dm, rng),
+			)),
+			nn.NewLayerNorm(dm),
+		),
+	}
+	net.dec1 = nn.NewSequential(
 		nn.NewLinear(dm, dm, rng),
 		nn.NewReLU(),
 		nn.NewLinear(dm, dim, rng),
 	)
-	d.fuse = nn.NewLinear(dm+dim, dm, rng)
-	d.dec2 = nn.NewSequential(
+	net.fuse = nn.NewLinear(dm+dim, dm, rng)
+	net.dec2 = nn.NewSequential(
 		nn.NewReLU(),
 		nn.NewLinear(dm, dim, rng),
 	)
+	net.params = net.collectParams()
+	for _, l := range []nn.Layer{net.enc, net.dec1, net.fuse, net.dec2} {
+		nn.SetLegacyKernels(l, d.cfg.LegacyFitKernels)
+		// The reassociating attention dots are only enabled where the
+		// bit-identical-to-legacy contract does not apply.
+		nn.SetFastDots(l, !d.cfg.LegacyFitKernels && d.cfg.Batch > 1)
+	}
+	return net
+}
+
+func (n *fitNet) collectParams() []*nn.Param {
+	var params []*nn.Param
+	params = append(params, n.enc.Params()...)
+	params = append(params, n.dec1.Params()...)
+	params = append(params, n.fuse.Params()...)
+	params = append(params, n.dec2.Params()...)
+	return params
 }
 
 // params collects every trainable parameter across the four sub-nets in
 // a fixed order (also the snapshot serialisation order).
 func (d *Detector) params() []*nn.Param {
-	var params []*nn.Param
-	params = append(params, d.enc.Params()...)
-	params = append(params, d.dec1.Params()...)
-	params = append(params, d.fuse.Params()...)
-	params = append(params, d.dec2.Params()...)
-	return params
+	return d.master.params
 }
 
-// trainStep runs one forward/backward pass on a window and applies Adam.
-func (d *Detector) trainStep(win *mat.Matrix, opt *nn.Adam) {
+// windowGrad runs one forward/backward pass on the window starting at
+// row s of std, accumulating parameter gradients (no optimiser step).
+// The window is a zero-copy view: w consecutive rows of std are
+// contiguous in its backing slice.
+func (n *fitNet) windowGrad(std *mat.Matrix, s, w, dim int) {
+	n.winView.Rows, n.winView.Cols = w, dim
+	n.winView.Data = std.Data[s*dim : (s+w)*dim]
+	n.forwardBackward(&n.winView)
+}
+
+// forwardBackward is the shared two-decoder loss pass of the fast path:
+// the same operations as trainStepLegacy, on detector-owned scratch.
+func (n *fitNet) forwardBackward(win *mat.Matrix) {
+	z := n.enc.Forward(win)
+	o1 := n.dec1.Forward(z)
+	_, g1 := nn.MSELossInto(&n.g1, o1, win)
+
+	x2 := concatColsInto(&n.x2, z, focusInto(&n.foc, o1, win))
+	o2 := n.dec2.Forward(n.fuse.Forward(x2))
+	_, g2 := nn.MSELossInto(&n.g2, o2, win)
+
+	dz1 := n.dec1.Backward(g1)
+	dx2 := n.fuse.Backward(n.dec2.Backward(g2))
+	// Only the z-columns of the fused input propagate into the encoder;
+	// the focus score is treated as a constant (stop-gradient).
+	dz := n.dz.EnsureShape(dz1.Rows, dz1.Cols)
+	copy(dz.Data, dz1.Data)
+	for r := 0; r < dz.Rows; r++ {
+		zrow := dz.Row(r)
+		frow := dx2.Row(r)
+		for c := 0; c < dz.Cols; c++ {
+			zrow[c] += frow[c]
+		}
+	}
+	n.enc.Backward(dz)
+}
+
+// trainStepLegacy runs one forward/backward pass on a window and applies
+// Adam, allocating every intermediate — the pre-optimisation baseline.
+func (d *Detector) trainStepLegacy(win *mat.Matrix, opt *nn.Adam) {
 	z := d.enc.Forward(win)
 	o1 := d.dec1.Forward(z)
 	_, g1 := nn.MSELoss(o1, win)
@@ -237,7 +443,12 @@ func (d *Detector) trainStep(win *mat.Matrix, opt *nn.Adam) {
 // focus returns the squared reconstruction error (O1 − W)², the
 // self-conditioning input of decoder 2.
 func focus(o1, win *mat.Matrix) *mat.Matrix {
-	f := mat.NewMatrix(win.Rows, win.Cols)
+	return focusInto(mat.NewMatrix(win.Rows, win.Cols), o1, win)
+}
+
+// focusInto is the allocation-free focus.
+func focusInto(f, o1, win *mat.Matrix) *mat.Matrix {
+	f.EnsureShape(win.Rows, win.Cols)
 	for i := range f.Data {
 		diff := o1.Data[i] - win.Data[i]
 		f.Data[i] = diff * diff
@@ -247,7 +458,12 @@ func focus(o1, win *mat.Matrix) *mat.Matrix {
 
 // concatCols returns [a | b] column-wise.
 func concatCols(a, b *mat.Matrix) *mat.Matrix {
-	out := mat.NewMatrix(a.Rows, a.Cols+b.Cols)
+	return concatColsInto(mat.NewMatrix(a.Rows, a.Cols+b.Cols), a, b)
+}
+
+// concatColsInto is the allocation-free concatCols.
+func concatColsInto(out, a, b *mat.Matrix) *mat.Matrix {
+	out.EnsureShape(a.Rows, a.Cols+b.Cols)
 	for r := 0; r < a.Rows; r++ {
 		copy(out.Row(r)[:a.Cols], a.Row(r))
 		copy(out.Row(r)[a.Cols:], b.Row(r))
@@ -266,11 +482,22 @@ func (d *Detector) Score(x []float64) ([]float64, error) {
 	if len(x) != d.dim {
 		return nil, detector.ErrDimension
 	}
-	std, err := mat.ApplyStandardization(x, d.means, d.stds)
-	if err != nil {
-		return nil, err
+	if d.cfg.LegacyFitKernels {
+		std, err := mat.ApplyStandardization(x, d.means, d.stds)
+		if err != nil {
+			return nil, err
+		}
+		d.ring[d.pos] = std
+	} else {
+		// Standardise into the ring slot in place: the scoring path
+		// allocates nothing once every slot exists.
+		if d.ring[d.pos] == nil {
+			d.ring[d.pos] = make([]float64, d.dim)
+		}
+		if _, err := mat.ApplyStandardizationInto(d.ring[d.pos], x, d.means, d.stds); err != nil {
+			return nil, err
+		}
 	}
-	d.ring[d.pos] = std
 	d.pos = (d.pos + 1) % len(d.ring)
 	if d.n < len(d.ring) {
 		d.n++
@@ -279,13 +506,26 @@ func (d *Detector) Score(x []float64) ([]float64, error) {
 		return []float64{0}, nil
 	}
 	w := len(d.ring)
-	win := mat.NewMatrix(w, d.dim)
+	var win *mat.Matrix
+	if d.cfg.LegacyFitKernels {
+		win = mat.NewMatrix(w, d.dim)
+	} else {
+		win = d.swin.EnsureShape(w, d.dim)
+	}
 	for r := 0; r < w; r++ {
 		copy(win.Row(r), d.ring[(d.pos+r)%w])
 	}
-	z := d.enc.Forward(win)
-	o1 := d.dec1.Forward(z)
-	o2 := d.dec2.Forward(d.fuse.Forward(concatCols(z, focus(o1, win))))
+	var z, o1, o2 *mat.Matrix
+	if d.cfg.LegacyFitKernels {
+		z = d.enc.Forward(win)
+		o1 = d.dec1.Forward(z)
+		o2 = d.dec2.Forward(d.fuse.Forward(concatCols(z, focus(o1, win))))
+	} else {
+		m := d.master
+		z = d.enc.Forward(win)
+		o1 = d.dec1.Forward(z)
+		o2 = d.dec2.Forward(d.fuse.Forward(concatColsInto(&m.x2, z, focusInto(&m.foc, o1, win))))
+	}
 	last := w - 1
 	var mse float64
 	for c := 0; c < d.dim; c++ {

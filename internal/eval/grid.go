@@ -9,6 +9,7 @@ import (
 
 	"github.com/navarchos/pdm/internal/core"
 	"github.com/navarchos/pdm/internal/detector"
+	"github.com/navarchos/pdm/internal/fitpool"
 	"github.com/navarchos/pdm/internal/fleet"
 	"github.com/navarchos/pdm/internal/obd"
 	"github.com/navarchos/pdm/internal/thresholds"
@@ -381,58 +382,41 @@ func collectTransformed(spec *GridSpec, kind transform.Kind, vehicles []string) 
 }
 
 // detectTraces replays one technique's detector over every vehicle's
-// cached transformed trace with a worker pool. Vehicles are independent:
-// each worker fits and scores its own detector instance; the cached
-// sample slices are shared read-only (detectors never mutate their
-// input or reference rows).
+// cached transformed trace, fanning the per-vehicle fits across the
+// process-wide fitpool (bounded additionally by spec.Parallelism).
+// Vehicles are independent: each fit gets its own detector instance,
+// results and errors land in per-vehicle slots, and the cached sample
+// slices are shared read-only (detectors never mutate their input or
+// reference rows) — so the outcome is worker-count independent.
 func detectTraces(spec *GridSpec, tech Technique, kind transform.Kind, featureNames []string, tts []vehicleTransformed) ([]vehicleTrace, error) {
 	traces := make([]vehicleTrace, len(tts))
-	workers := spec.Parallelism
-	if workers > len(tts) {
-		workers = len(tts)
+	errs := make([]error, len(tts))
+	bound := spec.Parallelism
+	if bound < 1 {
+		bound = 1
 	}
-	if workers < 1 {
-		workers = 1
-	}
-	idxCh := make(chan int)
-	var wg sync.WaitGroup
-	var mu sync.Mutex
-	var firstErr error
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range idxCh {
-				vt := tts[i]
-				tr := &core.Trace{}
-				det, err := spec.newDetector(tech, featureNames)
-				if err == nil {
-					err = core.DetectOnTrace(vt.vehicleID, vt.tt, core.DetectConfig{
-						Detector:      det,
-						Thresholder:   thresholds.NewSelfTuning(3), // placeholder; sweep is replayed offline
-						ProfileLength: spec.profileFor(kind),
-						Trace:         tr,
-					})
-				}
-				if err != nil {
-					mu.Lock()
-					if firstErr == nil {
-						firstErr = fmt.Errorf("eval: detect %s/%s on %s: %w", tech, kind, vt.vehicleID, err)
-					}
-					mu.Unlock()
-					continue
-				}
-				traces[i] = vehicleTrace{vehicleID: vt.vehicleID, trace: tr}
-			}
-		}()
-	}
-	for i := range tts {
-		idxCh <- i
-	}
-	close(idxCh)
-	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
+	fitpool.Run(len(tts), bound, func(_, i int) {
+		vt := tts[i]
+		tr := &core.Trace{}
+		det, err := spec.newDetector(tech, featureNames)
+		if err == nil {
+			err = core.DetectOnTrace(vt.vehicleID, vt.tt, core.DetectConfig{
+				Detector:      det,
+				Thresholder:   thresholds.NewSelfTuning(3), // placeholder; sweep is replayed offline
+				ProfileLength: spec.profileFor(kind),
+				Trace:         tr,
+			})
+		}
+		if err != nil {
+			errs[i] = fmt.Errorf("eval: detect %s/%s on %s: %w", tech, kind, vt.vehicleID, err)
+			return
+		}
+		traces[i] = vehicleTrace{vehicleID: vt.vehicleID, trace: tr}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
 	}
 	return traces, nil
 }

@@ -70,16 +70,40 @@ func ExtensionTechniques() []Technique { return []Technique{IsolationForest, MLP
 func (t Technique) UsesConstantThreshold() bool { return t == Grand || t == IsolationForest }
 
 // NewBaselineDetector builds the technique with its pre-optimisation
-// kernels where the repository keeps one (Grand's brute-force index and
-// linear p-value scan). Scores are identical to NewDetector's; only the
-// asymptotics differ. It is the reference leg of the grid-throughput
-// benchmark (experiments.GridPerf), so the measured speedup is against
-// the code as it stood before the transform-once grid.
+// kernels where the repository keeps one: Grand's brute-force index and
+// linear p-value scan, TranAD's allocate-per-call training loop and
+// XGBoost's exact (non-histogram) split search. Hyper-parameters match
+// NewDetector exactly — only the fit/score kernels differ, and for
+// Grand/TranAD the scores are bit-identical, while XGBoost's histogram
+// trees are structurally identical on discretised features. It is the
+// reference leg of the throughput benchmarks (experiments.GridPerf and
+// experiments.FitPerf) and of the grid cell-equivalence gate, so the
+// measured speedup is against the code as it stood before the kernel
+// work.
 func NewBaselineDetector(t Technique, featureNames []string, seed int64) (detector.Detector, error) {
-	if t == Grand {
+	switch t {
+	case Grand:
 		return grand.New(grand.Config{Measure: grand.KNN, LegacyKernels: true}), nil
+	case TranAD:
+		return tranad.New(tranad.Config{
+			Window:           8,
+			DModel:           12,
+			Heads:            2,
+			Epochs:           5,
+			MaxWindows:       256,
+			Seed:             seed,
+			LegacyFitKernels: true,
+		}), nil
+	case XGBoost:
+		return regress.New(featureNames, gbt.Config{
+			NumTrees:         25,
+			MaxDepth:         3,
+			Seed:             seed,
+			LegacyFitKernels: true,
+		}), nil
+	default:
+		return NewDetector(t, featureNames, seed)
 	}
-	return NewDetector(t, featureNames, seed)
 }
 
 // NewDetector builds a fresh detector instance for the technique.

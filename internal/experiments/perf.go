@@ -30,6 +30,9 @@ type PerfRun struct {
 // complete solution (correlation × closest-pair) replayed through the
 // sharded engine at increasing shard counts.
 type PerfResult struct {
+	// Env identifies the machine and toolchain that produced the run, so
+	// BENCH_<n>.json files remain comparable across PRs.
+	Env      Env       `json:"env"`
 	Vehicles int       `json:"vehicles"`
 	Records  int       `json:"records"`
 	Events   int       `json:"events"`
@@ -41,6 +44,9 @@ type PerfResult struct {
 	// Checkpoint, when present, is the live-checkpoint overhead exhibit
 	// measured in the same invocation.
 	Checkpoint *CheckpointPerfResult `json:"checkpoint,omitempty"`
+	// FitPerf, when present, is the fit-path acceleration exhibit
+	// (legacy vs kernel training loops) measured in the same invocation.
+	FitPerf *FitPerfResult `json:"fitperf,omitempty"`
 }
 
 // perfPipelineConfig is the complete solution without the warm-up
@@ -69,6 +75,7 @@ func Perf(o *Options, shardCounts []int) (*PerfResult, error) {
 	}
 	sort.Ints(shardCounts)
 	res := &PerfResult{
+		Env:      CaptureEnv(),
 		Vehicles: len(f.Vehicles),
 		Records:  len(f.Records),
 		Events:   len(f.Events),

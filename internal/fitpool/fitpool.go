@@ -1,0 +1,125 @@
+// Package fitpool bounds the process-wide concurrency of model refits.
+//
+// Every subsystem that parallelises fitting — the fleet engine's
+// asynchronous per-vehicle refits, the evaluation grid's per-vehicle
+// detector fits, gbt's feature-parallel split search and regress's
+// per-channel model training — draws workers from one GOMAXPROCS-sized
+// token pool instead of spawning its own unbounded goroutines. That
+// keeps a fleet engine refit from oversubscribing the machine when the
+// evaluation grid is also running, and it makes nesting safe by
+// construction: a parallel fit that was itself started from a pool
+// worker finds no free tokens and simply runs serially inline, with
+// zero goroutines spawned. On a single-CPU host every Run call
+// degenerates to an inline loop.
+//
+// Determinism contract: Run hands work items to workers by an atomic
+// counter, so *which* goroutine runs an item is scheduling-dependent —
+// callers that need deterministic results must make each item's output
+// independent of the worker that produced it (write to per-item slots,
+// reduce in item order). Every caller in this repository follows that
+// pattern; see DESIGN.md §11.
+package fitpool
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+var (
+	mu      sync.Mutex
+	tokens  chan struct{}
+	workers int
+)
+
+func init() { SetWorkers(runtime.GOMAXPROCS(0)) }
+
+// SetWorkers resizes the pool to n tokens (minimum 1). It is intended
+// for process start-up and tests; resizing while fits are in flight
+// redefines the bound only for subsequent acquisitions.
+func SetWorkers(n int) {
+	if n < 1 {
+		n = 1
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	workers = n
+	tokens = make(chan struct{}, n)
+	for i := 0; i < n; i++ {
+		tokens <- struct{}{}
+	}
+}
+
+// Workers returns the pool size.
+func Workers() int {
+	mu.Lock()
+	defer mu.Unlock()
+	return workers
+}
+
+func pool() chan struct{} {
+	mu.Lock()
+	defer mu.Unlock()
+	return tokens
+}
+
+// Acquire blocks until a fit token is free. Pair with Release.
+func Acquire() { <-pool() }
+
+// Release returns a token taken by Acquire or TryAcquire.
+func Release() { pool() <- struct{}{} }
+
+// TryAcquire takes a token only if one is free.
+func TryAcquire() bool {
+	select {
+	case <-pool():
+		return true
+	default:
+		return false
+	}
+}
+
+// Run executes fn(worker, item) for every item in [0, n), using the
+// calling goroutine as worker 0 and up to bound-1 helper goroutines,
+// each gated on a free pool token. Items are handed out by an atomic
+// counter; worker ids are dense in [0, bound). Run returns when every
+// item has completed. With bound <= 1, a single-item workload, or no
+// free tokens, it is a plain inline loop.
+func Run(n, bound int, fn func(worker, item int)) {
+	if n <= 0 {
+		return
+	}
+	if bound > n {
+		bound = n
+	}
+	if bound <= 1 {
+		for i := 0; i < n; i++ {
+			fn(0, i)
+		}
+		return
+	}
+	var next atomic.Int64
+	work := func(w int) {
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= n {
+				return
+			}
+			fn(w, i)
+		}
+	}
+	var wg sync.WaitGroup
+	for w := 1; w < bound; w++ {
+		if !TryAcquire() {
+			break
+		}
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			defer Release()
+			work(id)
+		}(w)
+	}
+	work(0)
+	wg.Wait()
+}

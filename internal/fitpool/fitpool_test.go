@@ -1,0 +1,80 @@
+package fitpool
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunCoversAllItems(t *testing.T) {
+	defer SetWorkers(runtime.GOMAXPROCS(0))
+	for _, w := range []int{1, 2, 8} {
+		SetWorkers(w)
+		for _, n := range []int{0, 1, 5, 100} {
+			var hits atomic.Int64
+			seen := make([]atomic.Bool, n+1)
+			Run(n, 4, func(worker, item int) {
+				hits.Add(1)
+				if seen[item].Swap(true) {
+					t.Errorf("workers=%d n=%d: item %d ran twice", w, n, item)
+				}
+			})
+			if int(hits.Load()) != n {
+				t.Fatalf("workers=%d n=%d: ran %d items", w, n, hits.Load())
+			}
+		}
+	}
+}
+
+func TestRunWorkerIDsDense(t *testing.T) {
+	defer SetWorkers(runtime.GOMAXPROCS(0))
+	SetWorkers(8)
+	var maxWorker atomic.Int64
+	Run(64, 4, func(worker, item int) {
+		for {
+			cur := maxWorker.Load()
+			if int64(worker) <= cur || maxWorker.CompareAndSwap(cur, int64(worker)) {
+				return
+			}
+		}
+	})
+	if maxWorker.Load() >= 4 {
+		t.Fatalf("worker id %d outside bound 4", maxWorker.Load())
+	}
+}
+
+func TestNestedRunStaysSerial(t *testing.T) {
+	defer SetWorkers(runtime.GOMAXPROCS(0))
+	SetWorkers(1)
+	// With one token held by an outer fit, the inner Run must not block
+	// and must complete inline.
+	Acquire()
+	defer Release()
+	done := 0
+	Run(10, 10, func(worker, item int) {
+		if worker != 0 {
+			t.Errorf("helper goroutine spawned with no free tokens")
+		}
+		done++
+	})
+	if done != 10 {
+		t.Fatalf("inline run completed %d/10 items", done)
+	}
+}
+
+func TestTryAcquireBounded(t *testing.T) {
+	defer SetWorkers(runtime.GOMAXPROCS(0))
+	SetWorkers(2)
+	if !TryAcquire() || !TryAcquire() {
+		t.Fatal("could not take the two configured tokens")
+	}
+	if TryAcquire() {
+		t.Fatal("third TryAcquire succeeded on a two-token pool")
+	}
+	Release()
+	if !TryAcquire() {
+		t.Fatal("token not reusable after Release")
+	}
+	Release()
+	Release()
+}

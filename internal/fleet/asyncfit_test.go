@@ -1,0 +1,116 @@
+package fleet
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/navarchos/pdm/internal/core"
+	"github.com/navarchos/pdm/internal/detector"
+)
+
+// engineAlarmsMode replays the shared test fleet with the given fit
+// mode and returns the sorted alarms.
+func engineAlarmsMode(t *testing.T, syncFits bool, shards int) []detector.Alarm {
+	t.Helper()
+	f := smallFleet()
+	e, err := NewEngine(Config{
+		NewConfig: func(string) (core.Config, error) { return testConfig(), nil },
+		Shards:    shards,
+		BatchSize: 7,
+		SyncFits:  syncFits,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []detector.Alarm
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for a := range e.Alarms() {
+			out = append(out, a)
+		}
+	}()
+	if err := e.Replay(f.Records, f.Events); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+	sortAlarms(out)
+	return out
+}
+
+// TestAsyncFitsMatchSyncFits is the asynchronous-refit determinism
+// guarantee: parking a fitting vehicle's envelopes and replaying them
+// after the fit must yield exactly the alarms of inline fitting, for any
+// shard count.
+func TestAsyncFitsMatchSyncFits(t *testing.T) {
+	want := engineAlarmsMode(t, true, 1)
+	if len(want) == 0 {
+		t.Fatal("test fleet produced no alarms; equivalence check is vacuous")
+	}
+	for _, shards := range []int{1, 3} {
+		got := engineAlarmsMode(t, false, shards)
+		if len(got) != len(want) {
+			t.Fatalf("shards=%d: async %d alarms, sync %d", shards, len(got), len(want))
+		}
+		for i := range got {
+			g, w := got[i], want[i]
+			if g.VehicleID != w.VehicleID || !g.Time.Equal(w.Time) ||
+				g.Channel != w.Channel || g.Score != w.Score || g.Threshold != w.Threshold {
+				t.Fatalf("shards=%d: alarm %d differs:\n got %+v\nwant %+v", shards, i, g, w)
+			}
+		}
+	}
+}
+
+// failingFitDetector scores nothing and fails its first Fit — the
+// asynchronous error path must drop the vehicle exactly like an inline
+// fit error, without wedging the shard.
+type failingFitDetector struct{}
+
+var errFitBoom = errors.New("fit boom")
+
+func (failingFitDetector) Name() string          { return "failing" }
+func (failingFitDetector) Fit([][]float64) error { return errFitBoom }
+func (failingFitDetector) Score([]float64) ([]float64, error) {
+	return nil, detector.ErrNotFitted
+}
+func (failingFitDetector) Channels() int          { return 1 }
+func (failingFitDetector) ChannelNames() []string { return []string{"x"} }
+
+// TestAsyncFitErrorDropsVehicle checks an asynchronous fit failure is
+// surfaced through Err and the engine still drains cleanly.
+func TestAsyncFitErrorDropsVehicle(t *testing.T) {
+	f := smallFleet()
+	e, err := NewEngine(Config{
+		NewConfig: func(string) (core.Config, error) {
+			cfg := testConfig()
+			cfg.Detector = failingFitDetector{}
+			return cfg, nil
+		},
+		Shards:    2,
+		BatchSize: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for range e.Alarms() {
+		}
+	}()
+	if err := e.Replay(f.Records, f.Events); err != nil {
+		t.Fatal(err)
+	}
+	err = e.Close()
+	<-done
+	if !errors.Is(err, errFitBoom) {
+		t.Fatalf("Close error = %v, want wrapped errFitBoom", err)
+	}
+	if e.Stats().Vehicles != 0 {
+		t.Fatalf("failed vehicles still active: %+v", e.Stats())
+	}
+}

@@ -25,10 +25,23 @@ import (
 
 	"github.com/navarchos/pdm/internal/core"
 	"github.com/navarchos/pdm/internal/detector"
+	"github.com/navarchos/pdm/internal/fitpool"
 	"github.com/navarchos/pdm/internal/obd"
 	"github.com/navarchos/pdm/internal/obs"
 	"github.com/navarchos/pdm/internal/timeseries"
 )
+
+// FitDeferrer is the optional handler seam behind asynchronous refits:
+// handlers that support it (core.Pipeline does) raise profile-fill fits
+// as pending closures instead of fitting inline, and the engine runs the
+// closure on a fitpool worker while the shard keeps scoring its other
+// vehicles. Envelopes for the fitting vehicle are parked and replayed in
+// arrival order once the fit lands, so per-vehicle behaviour stays
+// bit-identical to synchronous fits.
+type FitDeferrer interface {
+	SetDeferFits(bool)
+	TakePendingFit() func() error
+}
 
 // ErrSkipVehicle can be returned by Config.NewConfig to tell the engine
 // that a vehicle is not part of this run: its records and events are
@@ -88,6 +101,14 @@ type Config struct {
 	// advisory; leave it unset when every alarm must be observed, and
 	// drain Alarms() concurrently.
 	DropAlarms bool
+	// SyncFits forces profile-fill refits to run inline on the shard
+	// goroutine (the pre-optimisation behaviour). By default fits of
+	// FitDeferrer handlers run asynchronously on fitpool workers, so one
+	// vehicle's expensive refit never serialises the rest of its shard's
+	// batch; the fitting vehicle's envelopes are parked and replayed in
+	// order when the fit completes, keeping per-vehicle alarms
+	// bit-identical either way.
+	SyncFits bool
 	// Observer, when non-nil, registers the engine's fleet-level
 	// metrics in the observer's registry: per-shard queue depth and
 	// counters (collection-time callbacks, free on the hot path), a
@@ -149,6 +170,13 @@ type shard struct {
 
 	handlers map[string]Handler
 	skip     map[string]bool
+
+	// Asynchronous refits. busy[id] exists exactly while a fit for
+	// vehicle id is in flight; its value is the queue of envelopes that
+	// arrived for the vehicle meanwhile, replayed in order when the fit
+	// lands on fitDone. Both are touched only by the shard goroutine.
+	busy    map[string][]envelope
+	fitDone chan fitResult
 
 	vehicles  atomic.Int64
 	recordsIn atomic.Uint64
@@ -231,6 +259,8 @@ func newEngineStopped(cfg Config) (*Engine, error) {
 			in:       make(chan []envelope, cfg.QueueDepth),
 			handlers: map[string]Handler{},
 			skip:     map[string]bool{},
+			busy:     map[string][]envelope{},
+			fitDone:  make(chan fitResult),
 		}
 	}
 	e.registerMetrics()
@@ -539,69 +569,163 @@ func (e *Engine) Handlers(fn func(vehicleID string, h Handler)) {
 	}
 }
 
+// fitResult is an asynchronous fit completion, delivered back to the
+// owning shard goroutine.
+type fitResult struct {
+	vehicleID string
+	err       error
+}
+
 // run is the shard loop: the lock-free hot path. It exclusively owns
-// s.pipes, so pipeline calls need no synchronisation.
+// s.handlers, so pipeline calls need no synchronisation; asynchronous
+// fit completions re-enter the loop through s.fitDone and are therefore
+// landed by the same goroutine that owns the handler.
 func (e *Engine) run(s *shard) {
 	defer e.wg.Done()
-	for batch := range s.in {
-		var batchStart time.Time
-		if e.batchH != nil {
-			batchStart = time.Now()
-		}
-		sawBarrier := false
-		for i := range batch {
-			env := &batch[i]
-			if env.bar != nil {
-				sawBarrier = true
-				// Checkpoint barrier: acknowledge and park at this batch
-				// boundary until the checkpointer releases the fleet.
-				env.bar.ack.Done()
-				<-env.bar.resume
-				continue
-			}
-			if env.isEvent {
-				s.eventsIn.Add(1)
-				if h, ok := e.handlerFor(s, env.ev.VehicleID); ok {
-					h.HandleEvent(env.ev)
-				}
-				continue
-			}
-			s.recordsIn.Add(1)
-			h, ok := e.handlerFor(s, env.rec.VehicleID)
+	for {
+		select {
+		case batch, ok := <-s.in:
 			if !ok {
-				continue
+				e.drainFits(s)
+				return
 			}
-			before := h.ScoredSamples()
-			alarms, err := h.HandleRecord(env.rec)
-			s.scored.Add(h.ScoredSamples() - before)
-			if err != nil {
-				e.setErr(fmt.Errorf("fleet: vehicle %s: %w", env.rec.VehicleID, err))
-				delete(s.handlers, env.rec.VehicleID)
-				s.skip[env.rec.VehicleID] = true
-				s.vehicles.Add(-1)
-				continue
-			}
-			for _, a := range alarms {
-				if e.cfg.DropAlarms {
-					select {
-					case e.alarmCh <- a:
-						s.alarms.Add(1)
-					default:
-						s.drops.Add(1)
-					}
-				} else {
-					e.alarmCh <- a
-					s.alarms.Add(1)
-				}
-			}
+			e.runBatch(s, batch)
+		case res := <-s.fitDone:
+			e.finishFit(s, res)
 		}
-		// Barrier batches spend their time parked waiting on the
-		// checkpointer; recording that wait would drown the histogram.
-		if e.batchH != nil && !sawBarrier {
-			e.batchH.Observe(time.Since(batchStart).Seconds())
+	}
+}
+
+func (e *Engine) runBatch(s *shard, batch []envelope) {
+	var batchStart time.Time
+	if e.batchH != nil {
+		batchStart = time.Now()
+	}
+	sawBarrier := false
+	for i := range batch {
+		env := &batch[i]
+		if env.bar != nil {
+			sawBarrier = true
+			// Checkpoint barrier: a checkpoint must observe fully
+			// settled handler state, so in-flight fits are drained
+			// (replaying their parked envelopes) before the shard
+			// acknowledges and parks at this batch boundary.
+			e.drainFits(s)
+			env.bar.ack.Done()
+			<-env.bar.resume
+			continue
 		}
-		batch = batch[:0]
-		e.pool.Put(&batch)
+		e.processEnv(s, env)
+	}
+	// Barrier batches spend their time parked waiting on the
+	// checkpointer; recording that wait would drown the histogram.
+	if e.batchH != nil && !sawBarrier {
+		e.batchH.Observe(time.Since(batchStart).Seconds())
+	}
+	batch = batch[:0]
+	e.pool.Put(&batch)
+}
+
+// processEnv routes one envelope: parked when its vehicle has a fit in
+// flight (preserving arrival order), delivered otherwise.
+func (e *Engine) processEnv(s *shard, env *envelope) {
+	id := env.rec.VehicleID
+	if env.isEvent {
+		id = env.ev.VehicleID
+	}
+	if parked, inFlight := s.busy[id]; inFlight {
+		s.busy[id] = append(parked, *env)
+		return
+	}
+	e.deliver(s, env, id)
+}
+
+// deliver feeds one envelope to its vehicle's handler and, when the
+// handler raised a deferred fit, launches the fit on a fitpool worker
+// and marks the vehicle busy.
+func (e *Engine) deliver(s *shard, env *envelope, id string) {
+	if env.isEvent {
+		s.eventsIn.Add(1)
+		if h, ok := e.handlerFor(s, id); ok {
+			h.HandleEvent(env.ev)
+		}
+		return
+	}
+	s.recordsIn.Add(1)
+	h, ok := e.handlerFor(s, id)
+	if !ok {
+		return
+	}
+	before := h.ScoredSamples()
+	alarms, err := h.HandleRecord(env.rec)
+	s.scored.Add(h.ScoredSamples() - before)
+	if err != nil {
+		e.failVehicle(s, id, err)
+		return
+	}
+	for _, a := range alarms {
+		if e.cfg.DropAlarms {
+			select {
+			case e.alarmCh <- a:
+				s.alarms.Add(1)
+			default:
+				s.drops.Add(1)
+			}
+		} else {
+			e.alarmCh <- a
+			s.alarms.Add(1)
+		}
+	}
+	if e.cfg.SyncFits {
+		return
+	}
+	fd, ok := h.(FitDeferrer)
+	if !ok {
+		return
+	}
+	fit := fd.TakePendingFit()
+	if fit == nil {
+		return
+	}
+	s.busy[id] = nil // in flight; parked envelopes append here
+	go func() {
+		fitpool.Acquire()
+		err := fit()
+		fitpool.Release()
+		s.fitDone <- fitResult{vehicleID: id, err: err}
+	}()
+}
+
+// failVehicle drops a vehicle after a handler error, exactly as the
+// synchronous path always has: record the error, forget the handler,
+// skip the vehicle's future envelopes.
+func (e *Engine) failVehicle(s *shard, id string, err error) {
+	e.setErr(fmt.Errorf("fleet: vehicle %s: %w", id, err))
+	delete(s.handlers, id)
+	s.skip[id] = true
+	s.vehicles.Add(-1)
+}
+
+// finishFit lands one asynchronous fit completion: a failed fit drops
+// the vehicle like an inline fit error would, and either way the
+// envelopes parked during the fit replay in arrival order. A replayed
+// envelope may raise the vehicle's next fit, re-parking the remainder.
+func (e *Engine) finishFit(s *shard, res fitResult) {
+	parked := s.busy[res.vehicleID]
+	delete(s.busy, res.vehicleID)
+	if res.err != nil {
+		e.failVehicle(s, res.vehicleID, res.err)
+	}
+	for i := range parked {
+		e.processEnv(s, &parked[i])
+	}
+}
+
+// drainFits blocks until the shard has no fit in flight, landing each
+// completion (and its parked replay) as it arrives.
+func (e *Engine) drainFits(s *shard) {
+	for len(s.busy) > 0 {
+		e.finishFit(s, <-s.fitDone)
 	}
 }
 
@@ -628,8 +752,24 @@ func (e *Engine) handlerFor(s *shard, vehicleID string) (Handler, bool) {
 }
 
 // buildHandler constructs a vehicle's handler through whichever factory
-// the config provides.
+// the config provides, enabling deferred fits on handlers that support
+// them unless SyncFits pins the engine to inline fitting. Checkpoint
+// restore also builds handlers here, so a restored fleet inherits the
+// same fit mode.
 func (e *Engine) buildHandler(vehicleID string) (Handler, error) {
+	h, err := e.newHandler(vehicleID)
+	if err != nil {
+		return nil, err
+	}
+	if !e.cfg.SyncFits {
+		if fd, ok := h.(FitDeferrer); ok {
+			fd.SetDeferFits(true)
+		}
+	}
+	return h, nil
+}
+
+func (e *Engine) newHandler(vehicleID string) (Handler, error) {
 	if e.cfg.NewHandler != nil {
 		h, err := e.cfg.NewHandler(vehicleID)
 		if err != nil {

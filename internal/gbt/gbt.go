@@ -25,6 +25,14 @@ type Config struct {
 	Subsample      float64 // row subsample fraction per tree (default 1)
 	ColSample      float64 // feature subsample fraction per tree (default 1)
 	Seed           int64   // RNG seed for subsampling (default 1)
+
+	// LegacyFitKernels restores the exact greedy split search over
+	// pre-sorted row orderings (the pre-optimisation path). The default
+	// is the pre-binned histogram search of hist.go, which proposes the
+	// same midpoint thresholds whenever a feature has at most 256
+	// distinct values. Predictions do not depend on this flag's value at
+	// predict time; it only selects the training algorithm.
+	LegacyFitKernels bool
 }
 
 func (c *Config) defaults() {
@@ -128,15 +136,28 @@ func Train(X [][]float64, y []float64, cfg Config) (*Regressor, error) {
 	}
 	grad := make([]float64, len(y))
 
-	// Pre-sorted feature orderings, shared across trees.
-	order := make([][]int, dim)
-	for f := 0; f < dim; f++ {
-		idx := make([]int, len(X))
-		for i := range idx {
-			idx[i] = i
+	// Pre-sorted feature orderings (legacy exact scan only) or the
+	// one-off feature binning (histogram scan): either is computed once
+	// and shared across all boosting rounds.
+	var order [][]int
+	var bins *histBins
+	var hb *histBuilder
+	if cfg.LegacyFitKernels {
+		order = make([][]int, dim)
+		for f := 0; f < dim; f++ {
+			idx := make([]int, len(X))
+			for i := range idx {
+				idx[i] = i
+			}
+			sort.SliceStable(idx, func(a, b int) bool { return X[idx[a]][f] < X[idx[b]][f] })
+			order[f] = idx
 		}
-		sort.SliceStable(idx, func(a, b int) bool { return X[idx[a]][f] < X[idx[b]][f] })
-		order[f] = idx
+	} else {
+		bins = buildBins(X, dim)
+		hb = &histBuilder{
+			X: X, grad: grad, cfg: cfg, bins: bins, dim: dim,
+			cands: make([]histCand, dim),
+		}
 	}
 
 	for round := 0; round < cfg.NumTrees; round++ {
@@ -145,11 +166,18 @@ func Train(X [][]float64, y []float64, cfg Config) (*Regressor, error) {
 		}
 		inBag := sampleRows(len(X), cfg.Subsample, rng)
 		feats := sampleFeatures(dim, cfg.ColSample, rng)
-		b := &treeBuilder{
-			X: X, grad: grad, cfg: cfg,
-			order: order, inBag: inBag, feats: feats,
+		var tr tree
+		if cfg.LegacyFitKernels {
+			b := &treeBuilder{
+				X: X, grad: grad, cfg: cfg,
+				order: order, inBag: inBag, feats: feats,
+			}
+			tr = b.build()
+		} else {
+			hb.inBag, hb.feats = inBag, feats
+			hb.tr = tree{}
+			tr = hb.build()
 		}
-		tr := b.build()
 		r.trees = append(r.trees, tr)
 		for i := range pred {
 			pred[i] += cfg.LearningRate * tr.predict(X[i])

@@ -1,0 +1,327 @@
+package mat
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+)
+
+// Dense fit-path kernels.
+//
+// These are the building blocks the neural fit path (internal/nn) is
+// written against. Two properties matter as much as speed:
+//
+//   - Determinism: MatMul and AddScaled accumulate each output element
+//     strictly in k-order (the reduction index), so they are bit-identical
+//     to the scalar triple loops they replace. Parallelism only splits
+//     the *row* dimension, whose outputs are independent, so a parallel
+//     MatMul produces the same bits as a serial one.
+//   - Zero allocation: every kernel writes into a caller-owned dst. The
+//     only allocations are inside EnsureShape when a scratch matrix has
+//     to grow, which happens once per layer lifetime.
+//
+// DotUnrolled4 is the exception to the determinism rule: it keeps four
+// accumulators and therefore reassociates the reduction. It is for
+// consumers without a bit-exactness contract (diagnostics, benchmarks),
+// and MatMulT documents which variant it uses.
+
+// matMulParallelFlops is the flop count (rows·cols·inner) above which
+// MatMul fans row blocks out across GOMAXPROCS goroutines. Below it the
+// goroutine handoff costs more than the arithmetic. The default is sized
+// so the tiny per-window matmuls of a TranAD fit (8×12 · 12×24) stay
+// serial while profile-sized products go wide on multicore hardware.
+var matMulParallelFlops = 1 << 16
+
+// matMulBlockRows is the row-block granule of the parallel path.
+const matMulBlockRows = 32
+
+// SetMatMulParallelFlops overrides the parallel threshold (rows·cols·
+// inner flops). It exists for tests and benchmarks; n <= 0 forces every
+// product onto the parallel path.
+func SetMatMulParallelFlops(n int) { matMulParallelFlops = n }
+
+// MatMulParallelFlops returns the current parallel threshold.
+func MatMulParallelFlops() int { return matMulParallelFlops }
+
+// EnsureShape reshapes m to r×c, reusing the backing slice when it is
+// large enough and reallocating (once) when it is not. Contents are NOT
+// zeroed; callers that accumulate must zero explicitly. It returns m.
+func (m *Matrix) EnsureShape(r, c int) *Matrix {
+	if r < 0 || c < 0 {
+		panic(fmt.Sprintf("mat: EnsureShape(%d, %d): negative dimension", r, c))
+	}
+	n := r * c
+	if cap(m.Data) < n {
+		m.Data = make([]float64, n)
+	}
+	m.Data = m.Data[:n]
+	m.Rows, m.Cols = r, c
+	return m
+}
+
+// Zero sets every element of m to 0 and returns m.
+func (m *Matrix) Zero() *Matrix {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+	return m
+}
+
+// AddScaled computes dst[i] += alpha*x[i] (the BLAS axpy). Elements are
+// independent, so both the four-wide unrolled Go loop and the AVX kernel
+// (separate VMULPD/VADDPD per lane, never an FMA) produce bits identical
+// to the scalar loop. It panics on length mismatch — the kernels are
+// internal plumbing, so a mismatch is a programming error.
+func AddScaled(dst []float64, alpha float64, x []float64) {
+	if len(dst) != len(x) {
+		panic(fmt.Sprintf("mat: AddScaled: len(dst)=%d len(x)=%d", len(dst), len(x)))
+	}
+	i := 0
+	if hasAVX && len(dst) >= 8 {
+		n := len(dst) &^ 7
+		axpyAVX(alpha, x[:n], dst[:n])
+		i = n
+	}
+	n := i + (len(dst)-i)&^3
+	for ; i < n; i += 4 {
+		dst[i] += alpha * x[i]
+		dst[i+1] += alpha * x[i+1]
+		dst[i+2] += alpha * x[i+2]
+		dst[i+3] += alpha * x[i+3]
+	}
+	for ; i < len(dst); i++ {
+		dst[i] += alpha * x[i]
+	}
+}
+
+// DotUnrolled4 returns the inner product of x and y using four
+// accumulators. It is ~2-3× faster than Dot on long vectors but
+// reassociates the sum, so its result may differ from Dot in the last
+// ulps — use it only where bit-exactness against the serial reduction is
+// not contracted. It panics on length mismatch.
+func DotUnrolled4(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("mat: DotUnrolled4: len(x)=%d len(y)=%d", len(x), len(y)))
+	}
+	i := 0
+	var s float64
+	if hasFMA && len(x) >= 16 {
+		n := len(x) &^ 15
+		s = dotFMA(x[:n], y[:n])
+		i = n
+	}
+	var s0, s1, s2, s3 float64
+	n := i + (len(x)-i)&^3
+	for ; i < n; i += 4 {
+		s0 += x[i] * y[i]
+		s1 += x[i+1] * y[i+1]
+		s2 += x[i+2] * y[i+2]
+		s3 += x[i+3] * y[i+3]
+	}
+	s += (s0 + s1) + (s2 + s3)
+	for ; i < len(x); i++ {
+		s += x[i] * y[i]
+	}
+	return s
+}
+
+// AdamStep applies one Adam optimiser update in place:
+//
+//	m = β1·m + (1-β1)·g
+//	v = β2·v + (1-β2)·g²
+//	w -= lr · (m/bc1) / (sqrt(v/bc2) + eps)
+//
+// where bc1/bc2 are the bias-correction denominators 1-β1ᵗ and 1-β2ᵗ.
+// Gradients are NOT cleared — callers zero them separately. The update
+// is elementwise, and the AVX kernel replays the scalar operation
+// sequence with correctly-rounded vector ops, so SIMD and scalar
+// produce identical bits. Panics on length mismatch.
+func AdamStep(w, g, m, v []float64, beta1, beta2, bc1, bc2, lr, eps float64) {
+	if len(g) != len(w) || len(m) != len(w) || len(v) != len(w) {
+		panic(fmt.Sprintf("mat: AdamStep: len(w)=%d len(g)=%d len(m)=%d len(v)=%d",
+			len(w), len(g), len(m), len(v)))
+	}
+	omb1, omb2 := 1-beta1, 1-beta2
+	i := 0
+	if hasAVX && len(w) >= 4 {
+		n := len(w) &^ 3
+		adamAVX(w[:n], g[:n], m[:n], v[:n], beta1, omb1, beta2, omb2, bc1, bc2, lr, eps)
+		i = n
+	}
+	for ; i < len(w); i++ {
+		gj := g[i]
+		m[i] = beta1*m[i] + omb1*gj
+		v[i] = beta2*v[i] + omb2*gj*gj
+		mh := m[i] / bc1
+		vh := v[i] / bc2
+		w[i] -= lr * mh / (math.Sqrt(vh) + eps)
+	}
+}
+
+// LinBwdFast is the fused dense-layer backward row update. For each
+// k < len(x) it accumulates the weight gradient and computes the input
+// gradient in a single pass over W:
+//
+//	wg[k·out:(k+1)·out] += x[k]·g   (elementwise — bit-exact lanes)
+//	dx[k] = Σ_j g[j]·w[k·out+j]     (reassociated reduction)
+//
+// where out = len(g). The dots reassociate (FMA where available), so
+// this kernel is for fast-dots consumers only — the bit-exact path
+// keeps its in-order scalar reduction. Panics on length mismatch.
+func LinBwdFast(x, g, w, wg, dx []float64) {
+	in, out := len(x), len(g)
+	if len(dx) != in || len(w) != in*out || len(wg) != in*out {
+		panic(fmt.Sprintf("mat: LinBwdFast: len(x)=%d len(g)=%d len(w)=%d len(wg)=%d len(dx)=%d",
+			in, out, len(w), len(wg), len(dx)))
+	}
+	if hasFMA && in > 0 && out >= 8 && out&7 == 0 {
+		linBwdFMA(x, g, w, wg, dx)
+		return
+	}
+	for k := 0; k < in; k++ {
+		AddScaled(wg[k*out:(k+1)*out], x[k], g)
+		dx[k] = DotUnrolled4(g, w[k*out:(k+1)*out])
+	}
+}
+
+// LinFwd computes one dense-layer forward row, out = b + x·W (W is
+// len(x)×len(out) row-major), skipping exact-zero inputs the way the
+// scalar loop does (post-ReLU rows are sparse). Both the AVX kernel and
+// the Go fallback produce bits identical to the scalar loop. Panics on
+// length mismatch.
+func LinFwd(x, b, w, out []float64) {
+	in, width := len(x), len(out)
+	if len(b) != width || len(w) != in*width {
+		panic(fmt.Sprintf("mat: LinFwd: len(x)=%d len(b)=%d len(w)=%d len(out)=%d",
+			in, len(b), len(w), width))
+	}
+	if hasAVX && width >= 8 && width&7 == 0 {
+		linFwdAVX(x, b, w, out)
+		return
+	}
+	copy(out, b)
+	for k, v := range x {
+		if v == 0 {
+			continue
+		}
+		AddScaled(out, v, w[k*width:(k+1)*width])
+	}
+}
+
+// SIMDMode reports which vector kernel classes the running CPU enables
+// ("avx+fma", "avx" or "scalar"). Recorded in benchmark metadata so
+// perf numbers are interpretable across machines.
+func SIMDMode() string { return simdMode() }
+
+// MatMul computes dst = a·b (a is r×k, b is k×c) and returns dst, which
+// is reshaped to r×c via EnsureShape. dst must not alias a or b.
+//
+// Each output row accumulates as row += a[i][k]·b.Row(k) in k-order —
+// exactly the axpy order of the scalar loops the nn layers used before,
+// so results are bit-identical to those loops. Products above the
+// package parallel threshold split their rows into blocks across
+// GOMAXPROCS goroutines; rows are independent, so the bits don't change.
+func MatMul(dst, a, b *Matrix) *Matrix {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("mat: MatMul: a is %dx%d, b is %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	if dst == a || dst == b {
+		panic("mat: MatMul: dst must not alias an operand")
+	}
+	dst.EnsureShape(a.Rows, b.Cols)
+	if a.Rows*a.Cols*b.Cols < matMulParallelFlops || runtime.GOMAXPROCS(0) == 1 || a.Rows < 2 {
+		matMulRows(dst, a, b, 0, a.Rows)
+		return dst
+	}
+	workers := runtime.GOMAXPROCS(0)
+	blocks := (a.Rows + matMulBlockRows - 1) / matMulBlockRows
+	if workers > blocks {
+		workers = blocks
+	}
+	var next int
+	var mu sync.Mutex
+	take := func() (int, bool) {
+		mu.Lock()
+		blk := next
+		next++
+		mu.Unlock()
+		return blk, blk < blocks
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				blk, ok := take()
+				if !ok {
+					return
+				}
+				lo := blk * matMulBlockRows
+				hi := lo + matMulBlockRows
+				if hi > a.Rows {
+					hi = a.Rows
+				}
+				matMulRows(dst, a, b, lo, hi)
+			}
+		}()
+	}
+	wg.Wait()
+	return dst
+}
+
+// matMulRows computes rows [lo, hi) of dst = a·b with k-ordered axpy
+// accumulation.
+func matMulRows(dst, a, b *Matrix, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		out := dst.Row(i)
+		for j := range out {
+			out[j] = 0
+		}
+		arow := a.Row(i)
+		for k, v := range arow {
+			AddScaled(out, v, b.Row(k))
+		}
+	}
+}
+
+// MatMulT computes dst = a·bᵀ (a is r×k, b is c×k) and returns dst,
+// reshaped to r×c. dst must not alias a or b. Each output element is a
+// row-row inner product evaluated with DotUnrolled4, so MatMulT inherits
+// its reassociation: use it where bit-exactness against a serial
+// reduction is not contracted (the in-order alternative is MatMul with an
+// explicitly transposed operand).
+func MatMulT(dst, a, b *Matrix) *Matrix {
+	if a.Cols != b.Cols {
+		panic(fmt.Sprintf("mat: MatMulT: a is %dx%d, b is %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	if dst == a || dst == b {
+		panic("mat: MatMulT: dst must not alias an operand")
+	}
+	dst.EnsureShape(a.Rows, b.Rows)
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		out := dst.Row(i)
+		for j := 0; j < b.Rows; j++ {
+			out[j] = DotUnrolled4(arow, b.Row(j))
+		}
+	}
+	return dst
+}
+
+// TransposeInto writes mᵀ into dst (reshaped to Cols×Rows) and returns
+// dst. dst must not alias m.
+func (m *Matrix) TransposeInto(dst *Matrix) *Matrix {
+	if dst == m {
+		panic("mat: TransposeInto: dst must not alias m")
+	}
+	dst.EnsureShape(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			dst.Data[j*m.Rows+i] = v
+		}
+	}
+	return dst
+}

@@ -1,0 +1,271 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"runtime"
+	"testing"
+)
+
+func randMatrix(rng *rand.Rand, r, c int) *Matrix {
+	m := NewMatrix(r, c)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+// matMulNaive is the reference: per-output-element accumulation in
+// k-order, the same order the kernels contract to preserve.
+func matMulNaive(a, b *Matrix) *Matrix {
+	out := NewMatrix(a.Rows, b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < b.Cols; j++ {
+			var s float64
+			for k := 0; k < a.Cols; k++ {
+				s += a.At(i, k) * b.At(k, j)
+			}
+			out.Set(i, j, s)
+		}
+	}
+	return out
+}
+
+func TestMatMulBitIdenticalToNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, dims := range [][3]int{{1, 1, 1}, {3, 5, 4}, {8, 12, 24}, {64, 17, 33}, {130, 9, 7}} {
+		a := randMatrix(rng, dims[0], dims[1])
+		b := randMatrix(rng, dims[1], dims[2])
+		want := matMulNaive(a, b)
+		got := MatMul(NewMatrix(0, 0), a, b)
+		if got.Rows != want.Rows || got.Cols != want.Cols {
+			t.Fatalf("dims %v: got %dx%d", dims, got.Rows, got.Cols)
+		}
+		for i := range want.Data {
+			if math.Float64bits(got.Data[i]) != math.Float64bits(want.Data[i]) {
+				t.Fatalf("dims %v: element %d: got %v want %v (not bit-identical)", dims, i, got.Data[i], want.Data[i])
+			}
+		}
+	}
+}
+
+func TestMatMulParallelBitIdentical(t *testing.T) {
+	prevProcs := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prevProcs)
+	prevFlops := MatMulParallelFlops()
+	SetMatMulParallelFlops(0) // force the parallel path
+	defer SetMatMulParallelFlops(prevFlops)
+
+	rng := rand.New(rand.NewSource(2))
+	a := randMatrix(rng, 257, 31)
+	b := randMatrix(rng, 31, 19)
+	want := matMulNaive(a, b)
+	got := MatMul(NewMatrix(0, 0), a, b)
+	for i := range want.Data {
+		if math.Float64bits(got.Data[i]) != math.Float64bits(want.Data[i]) {
+			t.Fatalf("parallel MatMul diverges from serial at element %d", i)
+		}
+	}
+}
+
+func TestMatMulReusesDst(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := randMatrix(rng, 6, 4)
+	b := randMatrix(rng, 4, 5)
+	dst := NewMatrix(10, 10) // larger than needed: must shrink in place
+	backing := &dst.Data[0]
+	MatMul(dst, a, b)
+	if dst.Rows != 6 || dst.Cols != 5 {
+		t.Fatalf("dst not reshaped: %dx%d", dst.Rows, dst.Cols)
+	}
+	if &dst.Data[0] != backing {
+		t.Fatal("dst reallocated despite sufficient capacity")
+	}
+	allocs := testing.AllocsPerRun(100, func() { MatMul(dst, a, b) })
+	if allocs != 0 {
+		t.Fatalf("MatMul into warm dst allocates %v times", allocs)
+	}
+}
+
+func TestMatMulTMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a := randMatrix(rng, 7, 13)
+	b := randMatrix(rng, 9, 13) // b is c×k: dst = a·bᵀ is 7×9
+	got := MatMulT(NewMatrix(0, 0), a, b)
+	for i := 0; i < 7; i++ {
+		for j := 0; j < 9; j++ {
+			var want float64
+			for k := 0; k < 13; k++ {
+				want += a.At(i, k) * b.At(j, k)
+			}
+			if d := math.Abs(got.At(i, j) - want); d > 1e-12 {
+				t.Fatalf("(%d,%d): got %v want %v", i, j, got.At(i, j), want)
+			}
+		}
+	}
+}
+
+func TestAddScaledBitIdenticalToScalarLoop(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, n := range []int{0, 1, 3, 4, 7, 8, 33} {
+		x := make([]float64, n)
+		dst := make([]float64, n)
+		want := make([]float64, n)
+		for i := 0; i < n; i++ {
+			x[i] = rng.NormFloat64()
+			dst[i] = rng.NormFloat64()
+			want[i] = dst[i]
+		}
+		alpha := rng.NormFloat64()
+		for i := range want {
+			want[i] += alpha * x[i]
+		}
+		AddScaled(dst, alpha, x)
+		for i := range want {
+			if math.Float64bits(dst[i]) != math.Float64bits(want[i]) {
+				t.Fatalf("n=%d element %d: got %v want %v", n, i, dst[i], want[i])
+			}
+		}
+	}
+}
+
+func TestDotUnrolled4MatchesDot(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for _, n := range []int{0, 1, 2, 3, 4, 5, 8, 9, 100} {
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := 0; i < n; i++ {
+			x[i] = rng.NormFloat64()
+			y[i] = rng.NormFloat64()
+		}
+		want, err := Dot(x, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := DotUnrolled4(x, y)
+		scale := math.Abs(want)
+		if scale < 1 {
+			scale = 1
+		}
+		if math.Abs(got-want) > 1e-12*scale {
+			t.Fatalf("n=%d: got %v want %v", n, got, want)
+		}
+	}
+}
+
+func TestKernelPanicsOnMismatch(t *testing.T) {
+	expectPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: no panic on dimension mismatch", name)
+			}
+		}()
+		fn()
+	}
+	expectPanic("AddScaled", func() { AddScaled(make([]float64, 3), 1, make([]float64, 4)) })
+	expectPanic("DotUnrolled4", func() { DotUnrolled4(make([]float64, 3), make([]float64, 4)) })
+	expectPanic("MatMul", func() { MatMul(NewMatrix(0, 0), NewMatrix(2, 3), NewMatrix(4, 2)) })
+	expectPanic("MatMulT", func() { MatMulT(NewMatrix(0, 0), NewMatrix(2, 3), NewMatrix(2, 4)) })
+	expectPanic("ColInto", func() { NewMatrix(3, 2).ColInto(make([]float64, 2), 0) })
+	a := NewMatrix(2, 2)
+	expectPanic("MatMul alias", func() { MatMul(a, a, NewMatrix(2, 2)) })
+}
+
+func TestColIntoMatchesColZeroAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	m := randMatrix(rng, 17, 5)
+	dst := make([]float64, m.Rows)
+	for j := 0; j < m.Cols; j++ {
+		want := m.Col(j)
+		got := m.ColInto(dst, j)
+		for i := range want {
+			if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+				t.Fatalf("col %d row %d: got %v want %v", j, i, got[i], want[i])
+			}
+		}
+	}
+	allocs := testing.AllocsPerRun(100, func() { m.ColInto(dst, 3) })
+	if allocs != 0 {
+		t.Fatalf("ColInto allocates %v times per call", allocs)
+	}
+}
+
+func TestEnsureShapeAndZero(t *testing.T) {
+	m := NewMatrix(4, 4)
+	backing := &m.Data[0]
+	m.EnsureShape(2, 3)
+	if m.Rows != 2 || m.Cols != 3 || len(m.Data) != 6 {
+		t.Fatalf("EnsureShape shrink: %dx%d len %d", m.Rows, m.Cols, len(m.Data))
+	}
+	if &m.Data[0] != backing {
+		t.Fatal("EnsureShape reallocated a sufficient backing slice")
+	}
+	m.EnsureShape(5, 5)
+	if len(m.Data) != 25 {
+		t.Fatalf("EnsureShape grow: len %d", len(m.Data))
+	}
+	m.Data[7] = 42
+	m.Zero()
+	for i, v := range m.Data {
+		if v != 0 {
+			t.Fatalf("Zero left element %d = %v", i, v)
+		}
+	}
+}
+
+func TestTransposeInto(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	m := randMatrix(rng, 5, 3)
+	tr := m.TransposeInto(NewMatrix(0, 0))
+	if tr.Rows != 3 || tr.Cols != 5 {
+		t.Fatalf("transpose dims %dx%d", tr.Rows, tr.Cols)
+	}
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			if m.At(i, j) != tr.At(j, i) {
+				t.Fatalf("(%d,%d) mismatch", i, j)
+			}
+		}
+	}
+}
+
+func BenchmarkMatMul(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	x := randMatrix(rng, 64, 64)
+	y := randMatrix(rng, 64, 64)
+	dst := NewMatrix(64, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMul(dst, x, y)
+	}
+}
+
+func BenchmarkDotUnrolled4(b *testing.B) {
+	rng := rand.New(rand.NewSource(10))
+	x := make([]float64, 1024)
+	y := make([]float64, 1024)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+		y[i] = rng.NormFloat64()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkFloat = DotUnrolled4(x, y)
+	}
+}
+
+func BenchmarkColInto(b *testing.B) {
+	rng := rand.New(rand.NewSource(11))
+	m := randMatrix(rng, 512, 16)
+	dst := make([]float64, m.Rows)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.ColInto(dst, i%m.Cols)
+	}
+}
+
+var sinkFloat float64

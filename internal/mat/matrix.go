@@ -49,11 +49,20 @@ func (m *Matrix) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
 
 // Col returns a copy of column j.
 func (m *Matrix) Col(j int) []float64 {
-	out := make([]float64, m.Rows)
-	for i := 0; i < m.Rows; i++ {
-		out[i] = m.Data[i*m.Cols+j]
+	return m.ColInto(make([]float64, m.Rows), j)
+}
+
+// ColInto gathers column j into dst, which must have length m.Rows, and
+// returns dst. It is the allocation-free form of Col for callers that
+// walk many columns (CorrelationMatrix, ColStds).
+func (m *Matrix) ColInto(dst []float64, j int) []float64 {
+	if len(dst) != m.Rows {
+		panic(fmt.Sprintf("mat: ColInto: len(dst)=%d, Rows=%d", len(dst), m.Rows))
 	}
-	return out
+	for i := 0; i < m.Rows; i++ {
+		dst[i] = m.Data[i*m.Cols+j]
+	}
+	return dst
 }
 
 // Clone returns a deep copy of the matrix.
@@ -94,17 +103,25 @@ func (m *Matrix) ColStds() []float64 {
 		}
 		return out
 	}
-	means := m.ColMeans()
-	for i := 0; i < m.Rows; i++ {
-		row := m.Row(i)
-		for j, v := range row {
-			d := v - means[j]
-			out[j] += d * d
-		}
-	}
+	// Gather each column once and reduce it contiguously. The per-column
+	// accumulation order (row index ascending, mean then squared
+	// deviations, both scaled by 1/rows) matches the row-major loops this
+	// replaces bit for bit.
 	inv := 1 / float64(m.Rows)
-	for j := range out {
-		out[j] = math.Sqrt(out[j] * inv)
+	buf := make([]float64, m.Rows)
+	for j := 0; j < m.Cols; j++ {
+		m.ColInto(buf, j)
+		var mean float64
+		for _, v := range buf {
+			mean += v
+		}
+		mean *= inv
+		var ss float64
+		for _, v := range buf {
+			d := v - mean
+			ss += d * d
+		}
+		out[j] = math.Sqrt(ss * inv)
 	}
 	return out
 }
@@ -114,9 +131,12 @@ func (m *Matrix) ColStds() []float64 {
 // with themselves.
 func (m *Matrix) CorrelationMatrix() (*Matrix, error) {
 	out := NewMatrix(m.Cols, m.Cols)
+	// One backing slab for all gathered columns instead of an
+	// allocation per column.
+	back := make([]float64, m.Cols*m.Rows)
 	cols := make([][]float64, m.Cols)
 	for j := 0; j < m.Cols; j++ {
-		cols[j] = m.Col(j)
+		cols[j] = m.ColInto(back[j*m.Rows:(j+1)*m.Rows], j)
 	}
 	for a := 0; a < m.Cols; a++ {
 		out.Set(a, a, 1)
@@ -171,10 +191,15 @@ func (m *Matrix) Standardize() (out *Matrix, means, stds []float64) {
 // ApplyStandardization projects x (a single row) into the standardized
 // space defined by means and stds.
 func ApplyStandardization(x, means, stds []float64) ([]float64, error) {
-	if len(x) != len(means) || len(x) != len(stds) {
+	return ApplyStandardizationInto(make([]float64, len(x)), x, means, stds)
+}
+
+// ApplyStandardizationInto is the allocation-free ApplyStandardization:
+// it writes into out, which must have x's length, and returns out.
+func ApplyStandardizationInto(out, x, means, stds []float64) ([]float64, error) {
+	if len(x) != len(means) || len(x) != len(stds) || len(out) != len(x) {
 		return nil, ErrDimension
 	}
-	out := make([]float64, len(x))
 	for j := range x {
 		out[j] = x[j] - means[j]
 		if stds[j] > 0 {

@@ -1,0 +1,88 @@
+package mat
+
+// SIMD dispatch for the fit-path kernels on amd64.
+//
+// The assembly kernels in simd_amd64.s come in two bit-exactness
+// classes, mirroring the package's determinism contract:
+//
+//   - axpyAVX and adamAVX are elementwise: each output element is
+//     produced by exactly the scalar sequence of IEEE-754 operations
+//     (separate multiply and add — never a fused multiply-add), just on
+//     four lanes at a time. Their results are bit-identical to the pure
+//     Go loops, so AddScaled and AdamStep stay inside the bit-exact
+//     contract even when vectorised.
+//   - dotFMA keeps four vector accumulators and uses VFMADD231PD, so it
+//     reassociates and changes rounding. It only ever backs
+//     DotUnrolled4, which already documents reassociation.
+//
+// Feature detection is done once at init via CPUID/XGETBV (AVX needs
+// both the CPU flag and OS-enabled YMM state). GOAMD64=v1 binaries
+// therefore still run on any amd64 and light up the fast kernels only
+// where the hardware has them.
+
+// Implemented in simd_amd64.s.
+func cpuidex(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+func xgetbv0() (eax, edx uint32)
+
+// axpyAVX computes y[i] += alpha*x[i] for len(x) elements. len(x) must
+// be a positive multiple of 8; the caller handles tails.
+func axpyAVX(alpha float64, x, y []float64)
+
+// dotFMA returns the FMA-reassociated inner product of x and y. len(x)
+// must be a positive multiple of 16; the caller handles tails.
+func dotFMA(x, y []float64) float64
+
+// adamAVX applies the Adam update to 4k elements (len(w) must be a
+// positive multiple of 4; the caller handles tails). The per-element
+// operation sequence matches adamScalar exactly.
+func adamAVX(w, g, m, v []float64, b1, omb1, b2, omb2, bc1, bc2, lr, eps float64)
+
+// linBwdFMA fuses the dense-layer weight-gradient axpy and the
+// input-gradient dots into one pass over W. len(g) must be a positive
+// multiple of 8. Reassociates the dots (FMA): fast-dots callers only.
+func linBwdFMA(x, g, w, wg, dx []float64)
+
+// linFwdAVX computes out = b + x·W in one call, bit-identical to the
+// scalar loop (including its zero-input skip). len(out) must be a
+// positive multiple of 8.
+func linFwdAVX(x, b, w, out []float64)
+
+var (
+	hasAVX bool // VMULPD/VADDPD/VDIVPD/VSQRTPD kernels usable
+	hasFMA bool // VFMADD231PD dot kernel usable
+)
+
+func init() {
+	maxID, _, _, _ := cpuidex(0, 0)
+	if maxID < 1 {
+		return
+	}
+	_, _, ecx, _ := cpuidex(1, 0)
+	const (
+		fmaBit     = 1 << 12
+		osxsaveBit = 1 << 27
+		avxBit     = 1 << 28
+	)
+	if ecx&osxsaveBit == 0 || ecx&avxBit == 0 {
+		return
+	}
+	// XCR0 bits 1 (SSE) and 2 (YMM) must both be OS-enabled.
+	xlo, _ := xgetbv0()
+	if xlo&6 != 6 {
+		return
+	}
+	hasAVX = true
+	hasFMA = ecx&fmaBit != 0
+}
+
+// simdMode reports the kernel classes in use, for bench metadata.
+func simdMode() string {
+	switch {
+	case hasAVX && hasFMA:
+		return "avx+fma"
+	case hasAVX:
+		return "avx"
+	default:
+		return "scalar"
+	}
+}

@@ -1,0 +1,237 @@
+#include "textflag.h"
+
+// CPUID with explicit EAX/ECX inputs.
+// func cpuidex(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuidex(SB), NOSPLIT, $0-24
+	MOVL eaxIn+0(FP), AX
+	MOVL ecxIn+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// XGETBV with ECX=0 (XCR0). Only called once OSXSAVE is confirmed.
+// func xgetbv0() (eax, edx uint32)
+TEXT ·xgetbv0(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET
+
+// y[i] += alpha*x[i], len(x) a positive multiple of 8. Elementwise
+// multiply-then-add (no FMA), so every lane produces exactly the bits
+// of the scalar loop.
+// func axpyAVX(alpha float64, x, y []float64)
+TEXT ·axpyAVX(SB), NOSPLIT, $0-56
+	VBROADCASTSD alpha+0(FP), Y0
+	MOVQ x_base+8(FP), SI
+	MOVQ y_base+32(FP), DI
+	MOVQ x_len+16(FP), CX
+	XORQ AX, AX
+
+axpyloop:
+	VMOVUPD (SI)(AX*8), Y1
+	VMOVUPD 32(SI)(AX*8), Y2
+	VMULPD  Y0, Y1, Y1
+	VMULPD  Y0, Y2, Y2
+	VADDPD  (DI)(AX*8), Y1, Y1
+	VADDPD  32(DI)(AX*8), Y2, Y2
+	VMOVUPD Y1, (DI)(AX*8)
+	VMOVUPD Y2, 32(DI)(AX*8)
+	ADDQ $8, AX
+	CMPQ AX, CX
+	JL   axpyloop
+	VZEROUPPER
+	RET
+
+// Inner product with four vector accumulators and fused multiply-adds.
+// Reassociates: DotUnrolled4 callers only. len(x) a positive multiple
+// of 16.
+// func dotFMA(x, y []float64) float64
+TEXT ·dotFMA(SB), NOSPLIT, $0-56
+	MOVQ x_base+0(FP), SI
+	MOVQ y_base+24(FP), DI
+	MOVQ x_len+8(FP), CX
+	VXORPD Y0, Y0, Y0
+	VXORPD Y1, Y1, Y1
+	VXORPD Y2, Y2, Y2
+	VXORPD Y3, Y3, Y3
+	XORQ AX, AX
+
+dotloop:
+	VMOVUPD (SI)(AX*8), Y4
+	VMOVUPD 32(SI)(AX*8), Y5
+	VMOVUPD 64(SI)(AX*8), Y6
+	VMOVUPD 96(SI)(AX*8), Y7
+	VFMADD231PD (DI)(AX*8), Y4, Y0
+	VFMADD231PD 32(DI)(AX*8), Y5, Y1
+	VFMADD231PD 64(DI)(AX*8), Y6, Y2
+	VFMADD231PD 96(DI)(AX*8), Y7, Y3
+	ADDQ $16, AX
+	CMPQ AX, CX
+	JL   dotloop
+
+	VADDPD Y1, Y0, Y0
+	VADDPD Y3, Y2, Y2
+	VADDPD Y2, Y0, Y0
+	VEXTRACTF128 $1, Y0, X1
+	VADDPD X1, X0, X0
+	VHADDPD X0, X0, X0
+	VMOVSD X0, ret+48(FP)
+	VZEROUPPER
+	RET
+
+// One Adam update over 4k elements (len(w) a positive multiple of 4).
+// The lane arithmetic replays adamScalar's exact operation sequence —
+// separate multiplies and adds, correctly-rounded VSQRTPD/VDIVPD — so
+// the result is bit-identical to the pure Go loop.
+// func adamAVX(w, g, m, v []float64, b1, omb1, b2, omb2, bc1, bc2, lr, eps float64)
+TEXT ·adamAVX(SB), NOSPLIT, $0-160
+	MOVQ w_base+0(FP), DI
+	MOVQ g_base+24(FP), SI
+	MOVQ m_base+48(FP), R8
+	MOVQ v_base+72(FP), R9
+	MOVQ w_len+8(FP), CX
+	VBROADCASTSD b1+96(FP), Y8
+	VBROADCASTSD omb1+104(FP), Y9
+	VBROADCASTSD b2+112(FP), Y10
+	VBROADCASTSD omb2+120(FP), Y11
+	VBROADCASTSD bc1+128(FP), Y12
+	VBROADCASTSD bc2+136(FP), Y13
+	VBROADCASTSD lr+144(FP), Y14
+	VBROADCASTSD eps+152(FP), Y15
+	XORQ AX, AX
+
+adamloop:
+	VMOVUPD (SI)(AX*8), Y0      // g
+	VMOVUPD (R8)(AX*8), Y1      // m
+	VMOVUPD (R9)(AX*8), Y2      // v
+	VMULPD  Y8, Y1, Y1          // b1*m
+	VMULPD  Y9, Y0, Y3          // omb1*g
+	VADDPD  Y3, Y1, Y1          // m' = b1*m + omb1*g
+	VMULPD  Y10, Y2, Y2         // b2*v
+	VMULPD  Y11, Y0, Y4         // omb2*g
+	VMULPD  Y0, Y4, Y4          // (omb2*g)*g
+	VADDPD  Y4, Y2, Y2          // v' = b2*v + omb2*g*g
+	VMOVUPD Y1, (R8)(AX*8)
+	VMOVUPD Y2, (R9)(AX*8)
+	VDIVPD  Y12, Y1, Y1         // mh = m'/bc1
+	VDIVPD  Y13, Y2, Y2         // vh = v'/bc2
+	VSQRTPD Y2, Y2              // sqrt(vh)
+	VADDPD  Y15, Y2, Y2         // sqrt(vh)+eps
+	VMULPD  Y14, Y1, Y1         // lr*mh
+	VDIVPD  Y2, Y1, Y1          // step = lr*mh/(sqrt(vh)+eps)
+	VMOVUPD (DI)(AX*8), Y5
+	VSUBPD  Y1, Y5, Y5          // w -= step
+	VMOVUPD Y5, (DI)(AX*8)
+	ADDQ $4, AX
+	CMPQ AX, CX
+	JL   adamloop
+	VZEROUPPER
+	RET
+
+// Fused dense-layer backward row update, one pass over W and its
+// gradient: for each k, wg[k*out:] += x[k]*g (elementwise lanes, no
+// FMA) and dx[k] = dot(g, w[k*out:]) (FMA-reassociated). out = len(g)
+// a positive multiple of 8; len(x) = len(dx) = rows of W.
+// func linBwdFMA(x, g, w, wg, dx []float64)
+TEXT ·linBwdFMA(SB), NOSPLIT, $0-120
+	MOVQ x_base+0(FP), R9
+	MOVQ x_len+8(FP), R10   // in
+	MOVQ g_base+24(FP), SI
+	MOVQ g_len+32(FP), CX   // out
+	MOVQ w_base+48(FP), DI
+	MOVQ wg_base+72(FP), R8
+	MOVQ dx_base+96(FP), DX
+	XORQ R11, R11           // k
+
+lbk:
+	VBROADCASTSD (R9)(R11*8), Y0
+	VXORPD Y1, Y1, Y1       // dot accumulators
+	VXORPD Y2, Y2, Y2
+	XORQ AX, AX             // j
+
+lbj:
+	VMOVUPD (SI)(AX*8), Y4
+	VMOVUPD 32(SI)(AX*8), Y5
+	VMULPD  Y0, Y4, Y6
+	VMULPD  Y0, Y5, Y7
+	VADDPD  (R8)(AX*8), Y6, Y6
+	VADDPD  32(R8)(AX*8), Y7, Y7
+	VMOVUPD Y6, (R8)(AX*8)
+	VMOVUPD Y7, 32(R8)(AX*8)
+	VFMADD231PD (DI)(AX*8), Y4, Y1
+	VFMADD231PD 32(DI)(AX*8), Y5, Y2
+	ADDQ $8, AX
+	CMPQ AX, CX
+	JL   lbj
+
+	VADDPD Y2, Y1, Y1
+	VEXTRACTF128 $1, Y1, X2
+	VADDPD X2, X1, X1
+	VHADDPD X1, X1, X1
+	VMOVSD X1, (DX)(R11*8)
+	LEAQ (DI)(CX*8), DI
+	LEAQ (R8)(CX*8), R8
+	INCQ R11
+	CMPQ R11, R10
+	JL   lbk
+	VZEROUPPER
+	RET
+
+// Fused dense-layer forward row: out = b, then out += x[k]*w[k*out:]
+// for every k with x[k] != 0 (matching the scalar path's post-ReLU
+// zero skip; NaN x[k] is processed, as in the scalar path). Elementwise
+// multiply-then-add lanes only, so the result is bit-identical to the
+// scalar loop. len(out) = len(b) a positive multiple of 8.
+// func linFwdAVX(x, b, w, out []float64)
+TEXT ·linFwdAVX(SB), NOSPLIT, $0-96
+	MOVQ x_base+0(FP), R9
+	MOVQ x_len+8(FP), R10   // in
+	MOVQ b_base+24(FP), BX
+	MOVQ w_base+48(FP), DI
+	MOVQ out_base+72(FP), DX
+	MOVQ out_len+80(FP), CX // out width
+
+	XORQ AX, AX
+fwdcopy:
+	VMOVUPD (BX)(AX*8), Y1
+	VMOVUPD 32(BX)(AX*8), Y2
+	VMOVUPD Y1, (DX)(AX*8)
+	VMOVUPD Y2, 32(DX)(AX*8)
+	ADDQ $8, AX
+	CMPQ AX, CX
+	JL   fwdcopy
+
+	VXORPD X3, X3, X3
+	XORQ R11, R11           // k
+fwdk:
+	VMOVSD (R9)(R11*8), X0
+	VUCOMISD X3, X0
+	JP   fwddo              // NaN: unordered → process like scalar path
+	JE   fwdskip            // exact zero → skip row k of W
+fwddo:
+	VBROADCASTSD (R9)(R11*8), Y0
+	XORQ AX, AX
+fwdj:
+	VMOVUPD (DI)(AX*8), Y1
+	VMOVUPD 32(DI)(AX*8), Y2
+	VMULPD  Y0, Y1, Y1
+	VMULPD  Y0, Y2, Y2
+	VADDPD  (DX)(AX*8), Y1, Y1
+	VADDPD  32(DX)(AX*8), Y2, Y2
+	VMOVUPD Y1, (DX)(AX*8)
+	VMOVUPD Y2, 32(DX)(AX*8)
+	ADDQ $8, AX
+	CMPQ AX, CX
+	JL   fwdj
+fwdskip:
+	LEAQ (DI)(CX*8), DI
+	INCQ R11
+	CMPQ R11, R10
+	JL   fwdk
+	VZEROUPPER
+	RET

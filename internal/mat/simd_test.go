@@ -1,0 +1,196 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// addScaledScalar is the reference axpy: the exact loop the SIMD kernel
+// must reproduce bit-for-bit.
+func addScaledScalar(dst []float64, alpha float64, x []float64) {
+	for i := range dst {
+		dst[i] += alpha * x[i]
+	}
+}
+
+// adamStepScalar is the reference Adam update (mirrors the historic
+// nn.Adam loop).
+func adamStepScalar(w, g, m, v []float64, beta1, beta2, bc1, bc2, lr, eps float64) {
+	for j := range w {
+		gj := g[j]
+		m[j] = beta1*m[j] + (1-beta1)*gj
+		v[j] = beta2*v[j] + (1-beta2)*gj*gj
+		mh := m[j] / bc1
+		vh := v[j] / bc2
+		w[j] -= lr * mh / (math.Sqrt(vh) + eps)
+	}
+}
+
+func randVec(rng *rand.Rand, n int) []float64 {
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	return x
+}
+
+// TestAddScaledBitIdentical drives AddScaled (whatever kernel the CPU
+// dispatches to) against the scalar reference at every length across
+// the SIMD blocking boundaries.
+func TestAddScaledBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for n := 0; n <= 67; n++ {
+		x := randVec(rng, n)
+		dst := randVec(rng, n)
+		want := append([]float64(nil), dst...)
+		alpha := rng.NormFloat64()
+		AddScaled(dst, alpha, x)
+		addScaledScalar(want, alpha, x)
+		for i := range dst {
+			if math.Float64bits(dst[i]) != math.Float64bits(want[i]) {
+				t.Fatalf("n=%d i=%d: AddScaled=%x scalar=%x (simd=%s)",
+					n, i, math.Float64bits(dst[i]), math.Float64bits(want[i]), SIMDMode())
+			}
+		}
+	}
+}
+
+// TestAdamStepBitIdentical checks the vectorised Adam update replays
+// the scalar operation sequence exactly, including denormal-ish tiny
+// gradients and the sqrt/div tail.
+func TestAdamStepBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for n := 0; n <= 67; n++ {
+		w, g := randVec(rng, n), randVec(rng, n)
+		m, v := randVec(rng, n), randVec(rng, n)
+		for i := range v {
+			v[i] = math.Abs(v[i]) * 1e-3 // v must stay non-negative
+			if i%7 == 0 {
+				g[i] *= 1e-150
+			}
+		}
+		w2 := append([]float64(nil), w...)
+		g2 := append([]float64(nil), g...)
+		m2 := append([]float64(nil), m...)
+		v2 := append([]float64(nil), v...)
+		AdamStep(w, g, m, v, 0.9, 0.999, 0.19, 0.0299, 1e-3, 1e-8)
+		adamStepScalar(w2, g2, m2, v2, 0.9, 0.999, 0.19, 0.0299, 1e-3, 1e-8)
+		for i := range w {
+			if math.Float64bits(w[i]) != math.Float64bits(w2[i]) ||
+				math.Float64bits(m[i]) != math.Float64bits(m2[i]) ||
+				math.Float64bits(v[i]) != math.Float64bits(v2[i]) {
+				t.Fatalf("n=%d i=%d: AdamStep diverges from scalar (simd=%s)", n, i, SIMDMode())
+			}
+		}
+	}
+}
+
+// TestDotUnrolled4Accuracy sanity-checks the reassociated dot (FMA
+// kernel included) against a compensated reference within a small
+// relative error — bit-equality is explicitly NOT contracted here.
+func TestDotUnrolled4Accuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for _, n := range []int{0, 1, 4, 15, 16, 17, 31, 32, 33, 64, 1000} {
+		x, y := randVec(rng, n), randVec(rng, n)
+		var want float64
+		for i := range x {
+			want += x[i] * y[i]
+		}
+		got := DotUnrolled4(x, y)
+		if math.Abs(got-want) > 1e-9*(1+math.Abs(want)) {
+			t.Fatalf("n=%d: DotUnrolled4=%g reference=%g (simd=%s)", n, got, want, SIMDMode())
+		}
+	}
+}
+
+func BenchmarkAddScaled(b *testing.B) {
+	x := randVec(rand.New(rand.NewSource(1)), 256)
+	dst := make([]float64, 256)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		AddScaled(dst, 1.0000001, x)
+	}
+}
+
+func BenchmarkAdamStep(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	w, g := randVec(rng, 4096), randVec(rng, 4096)
+	m, v := randVec(rng, 4096), make([]float64, 4096)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		AdamStep(w, g, m, v, 0.9, 0.999, 0.1, 0.01, 1e-3, 1e-8)
+	}
+}
+
+// TestLinBwdFastMatchesReference checks the fused backward kernel
+// against the unfused per-row reference at assorted shapes, including
+// non-multiple-of-8 widths that exercise the Go fallback.
+func TestLinBwdFastMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for _, shape := range [][2]int{{1, 8}, {3, 16}, {10, 48}, {48, 48}, {5, 7}, {7, 24}, {4, 0}} {
+		in, out := shape[0], shape[1]
+		x, g := randVec(rng, in), randVec(rng, out)
+		w := randVec(rng, in*out)
+		wg := randVec(rng, in*out)
+		dx := make([]float64, in)
+		wg2 := append([]float64(nil), wg...)
+		dx2 := make([]float64, in)
+		LinBwdFast(x, g, w, wg, dx)
+		for k := 0; k < in; k++ {
+			addScaledScalar(wg2[k*out:(k+1)*out], x[k], g)
+			var acc float64
+			for j := 0; j < out; j++ {
+				acc += g[j] * w[k*out+j]
+			}
+			dx2[k] = acc
+		}
+		for i := range wg {
+			// axpy lanes are bit-exact.
+			if math.Float64bits(wg[i]) != math.Float64bits(wg2[i]) {
+				t.Fatalf("in=%d out=%d: wg[%d] differs (simd=%s)", in, out, i, SIMDMode())
+			}
+		}
+		for k := range dx {
+			// dots reassociate: tolerance, not bits.
+			if math.Abs(dx[k]-dx2[k]) > 1e-9*(1+math.Abs(dx2[k])) {
+				t.Fatalf("in=%d out=%d: dx[%d]=%g want %g (simd=%s)", in, out, k, dx[k], dx2[k], SIMDMode())
+			}
+		}
+	}
+}
+
+// TestLinFwdBitIdentical checks the fused forward kernel against the
+// scalar zero-skipping loop, bit for bit, including rows with exact
+// zeros (post-ReLU sparsity) and widths that exercise the Go fallback.
+func TestLinFwdBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	for _, shape := range [][2]int{{1, 8}, {3, 16}, {10, 48}, {48, 48}, {5, 7}, {7, 24}, {0, 8}} {
+		in, out := shape[0], shape[1]
+		x := randVec(rng, in)
+		for i := range x {
+			if i%3 == 0 {
+				x[i] = 0 // exercise the zero skip
+			}
+		}
+		b, w := randVec(rng, out), randVec(rng, in*out)
+		got := make([]float64, out)
+		want := make([]float64, out)
+		LinFwd(x, b, w, got)
+		copy(want, b)
+		for k, v := range x {
+			if v == 0 {
+				continue
+			}
+			for j := 0; j < out; j++ {
+				want[j] += v * w[k*out+j]
+			}
+		}
+		for j := range got {
+			if math.Float64bits(got[j]) != math.Float64bits(want[j]) {
+				t.Fatalf("in=%d out=%d: out[%d]=%x want %x (simd=%s)",
+					in, out, j, math.Float64bits(got[j]), math.Float64bits(want[j]), SIMDMode())
+			}
+		}
+	}
+}

@@ -103,7 +103,7 @@ func Median(x []float64) float64 {
 // behaviour. It copies x and returns NaN for an empty slice or q outside
 // [0, 1].
 func Quantile(x []float64, q float64) float64 {
-	if len(x) == 0 || q < 0 || q > 1 {
+	if len(x) == 0 || math.IsNaN(q) || q < 0 || q > 1 {
 		return math.NaN()
 	}
 	c := make([]float64, len(x))

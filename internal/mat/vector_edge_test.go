@@ -1,0 +1,144 @@
+package mat
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// Edge-case coverage for the order-statistics helpers: tiny inputs, NaN
+// handling, the q=0/1 interpolation boundaries, and the insertion/merge
+// sort crossover.
+
+func TestQuantileTinyInputs(t *testing.T) {
+	// len 1: every valid q returns the single element.
+	for _, q := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		if got := Quantile([]float64{7}, q); got != 7 {
+			t.Fatalf("Quantile([7], %v) = %v, want 7", q, got)
+		}
+	}
+	if got := Median([]float64{-3}); got != -3 {
+		t.Fatalf("Median([-3]) = %v", got)
+	}
+	// len 2: boundaries hit the order statistics exactly, interior
+	// interpolates linearly between them.
+	x := []float64{10, 20}
+	if got := Quantile(x, 0); got != 10 {
+		t.Fatalf("q=0 of [10,20] = %v, want 10", got)
+	}
+	if got := Quantile(x, 1); got != 20 {
+		t.Fatalf("q=1 of [10,20] = %v, want 20", got)
+	}
+	if got := Quantile(x, 0.5); got != 15 {
+		t.Fatalf("q=0.5 of [10,20] = %v, want 15", got)
+	}
+	if got := Quantile(x, 0.25); got != 12.5 {
+		t.Fatalf("q=0.25 of [10,20] = %v, want 12.5", got)
+	}
+	if got := Median(x); got != 15 {
+		t.Fatalf("Median([10,20]) = %v", got)
+	}
+}
+
+func TestQuantileBoundariesExactOnLargerInput(t *testing.T) {
+	// q=0 and q=1 must return min and max exactly (lo == hi, no
+	// interpolation arithmetic that could perturb the value).
+	x := []float64{0.3, -1.7, 2.9, 0.1, -0.4}
+	if got := Quantile(x, 0); got != -1.7 {
+		t.Fatalf("q=0 = %v, want -1.7", got)
+	}
+	if got := Quantile(x, 1); got != 2.9 {
+		t.Fatalf("q=1 = %v, want 2.9", got)
+	}
+	// Input must not be reordered by the copy-and-sort.
+	want := []float64{0.3, -1.7, 2.9, 0.1, -0.4}
+	for i := range x {
+		if x[i] != want[i] {
+			t.Fatal("Quantile mutated its input")
+		}
+	}
+}
+
+func TestQuantileInvalidQ(t *testing.T) {
+	x := []float64{1, 2, 3}
+	for _, q := range []float64{-0.001, 1.001, math.NaN(), math.Inf(1), math.Inf(-1)} {
+		if got := Quantile(x, q); !math.IsNaN(got) {
+			t.Fatalf("Quantile(x, %v) = %v, want NaN", q, got)
+		}
+	}
+}
+
+func TestQuantileNaNInput(t *testing.T) {
+	// All-NaN input yields NaN at every quantile.
+	allNaN := []float64{math.NaN(), math.NaN()}
+	for _, q := range []float64{0, 0.5, 1} {
+		if got := Quantile(allNaN, q); !math.IsNaN(got) {
+			t.Fatalf("all-NaN Quantile(q=%v) = %v, want NaN", q, got)
+		}
+	}
+	if got := Median([]float64{math.NaN()}); !math.IsNaN(got) {
+		t.Fatalf("Median([NaN]) = %v, want NaN", got)
+	}
+	// Mixed NaN input must not panic; the result is either NaN or one
+	// of the finite members (NaN ordering under comparison sorts is
+	// unspecified, matching sort.Float64s).
+	mixed := []float64{math.NaN(), 1, 2, math.NaN(), 3}
+	for _, q := range []float64{0, 0.5, 1} {
+		got := Quantile(mixed, q)
+		if !math.IsNaN(got) && (got < 1 || got > 3) {
+			t.Fatalf("mixed-NaN Quantile(q=%v) = %v, outside member range", q, got)
+		}
+	}
+}
+
+func TestSortCrossoverThreshold(t *testing.T) {
+	// insertionSort hands off to mergeSort above 64 elements. Exercise
+	// both sides of the crossover (and the exact boundary) with
+	// adversarial and random inputs; each must agree with sort.Float64s.
+	rng := rand.New(rand.NewSource(42))
+	for _, n := range []int{63, 64, 65, 66, 128, 257} {
+		for _, gen := range []string{"reversed", "random", "constant"} {
+			x := make([]float64, n)
+			for i := range x {
+				switch gen {
+				case "reversed":
+					x[i] = float64(n - i)
+				case "random":
+					x[i] = rng.NormFloat64()
+				case "constant":
+					x[i] = 5
+				}
+			}
+			want := make([]float64, n)
+			copy(want, x)
+			sort.Float64s(want)
+			insertionSort(x)
+			for i := range x {
+				if x[i] != want[i] {
+					t.Fatalf("n=%d %s: element %d = %v, want %v", n, gen, i, x[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestQuantileCrossoverConsistency(t *testing.T) {
+	// The same distribution must give the same quantiles whether the
+	// sort ran on the insertion path (n=64) or the merge path (n=65,
+	// with one duplicated element that cannot change the median).
+	small := make([]float64, 64)
+	rng := rand.New(rand.NewSource(43))
+	for i := range small {
+		small[i] = rng.NormFloat64()
+	}
+	sorted := make([]float64, len(small))
+	copy(sorted, small)
+	sort.Float64s(sorted)
+	pos := 0.5 * float64(len(small)-1)
+	lo, hi := int(math.Floor(pos)), int(math.Ceil(pos))
+	want := sorted[lo]*(1-(pos-float64(lo))) + sorted[hi]*(pos-float64(lo))
+	if got := Median(small); got != want {
+		t.Fatalf("insertion-path median = %v, want %v", got, want)
+	}
+}

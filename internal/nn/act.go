@@ -6,9 +6,16 @@ import (
 	"github.com/navarchos/pdm/internal/mat"
 )
 
+// The activations share one shape: an element-wise map on Forward and an
+// element-wise gate on Backward. The default fast path writes into
+// layer-owned scratch (zero allocations once warm); the math is
+// element-wise, so fast and legacy outputs are bit-identical.
+
 // ReLU is the rectified linear activation.
 type ReLU struct {
-	mask []bool
+	mask    []bool
+	legacy  bool
+	out, dx mat.Matrix
 }
 
 // NewReLU returns a ReLU layer.
@@ -16,7 +23,13 @@ func NewReLU() *ReLU { return &ReLU{} }
 
 // Forward implements Layer.
 func (r *ReLU) Forward(x *mat.Matrix) *mat.Matrix {
-	out := x.Clone()
+	var out *mat.Matrix
+	if r.legacy {
+		out = x.Clone()
+	} else {
+		out = r.out.EnsureShape(x.Rows, x.Cols)
+		copy(out.Data, x.Data)
+	}
 	if cap(r.mask) < len(out.Data) {
 		r.mask = make([]bool, len(out.Data))
 	}
@@ -34,7 +47,13 @@ func (r *ReLU) Forward(x *mat.Matrix) *mat.Matrix {
 
 // Backward implements Layer.
 func (r *ReLU) Backward(grad *mat.Matrix) *mat.Matrix {
-	out := grad.Clone()
+	var out *mat.Matrix
+	if r.legacy {
+		out = grad.Clone()
+	} else {
+		out = r.dx.EnsureShape(grad.Rows, grad.Cols)
+		copy(out.Data, grad.Data)
+	}
 	for i := range out.Data {
 		if !r.mask[i] {
 			out.Data[i] = 0
@@ -48,7 +67,9 @@ func (r *ReLU) Params() []*Param { return nil }
 
 // Sigmoid is the logistic activation.
 type Sigmoid struct {
-	y *mat.Matrix
+	y       *mat.Matrix
+	legacy  bool
+	out, dx mat.Matrix
 }
 
 // NewSigmoid returns a Sigmoid layer.
@@ -56,7 +77,13 @@ func NewSigmoid() *Sigmoid { return &Sigmoid{} }
 
 // Forward implements Layer.
 func (s *Sigmoid) Forward(x *mat.Matrix) *mat.Matrix {
-	out := x.Clone()
+	var out *mat.Matrix
+	if s.legacy {
+		out = x.Clone()
+	} else {
+		out = s.out.EnsureShape(x.Rows, x.Cols)
+		copy(out.Data, x.Data)
+	}
 	for i, v := range out.Data {
 		out.Data[i] = 1 / (1 + math.Exp(-v))
 	}
@@ -66,7 +93,13 @@ func (s *Sigmoid) Forward(x *mat.Matrix) *mat.Matrix {
 
 // Backward implements Layer.
 func (s *Sigmoid) Backward(grad *mat.Matrix) *mat.Matrix {
-	out := grad.Clone()
+	var out *mat.Matrix
+	if s.legacy {
+		out = grad.Clone()
+	} else {
+		out = s.dx.EnsureShape(grad.Rows, grad.Cols)
+		copy(out.Data, grad.Data)
+	}
 	for i := range out.Data {
 		y := s.y.Data[i]
 		out.Data[i] *= y * (1 - y)
@@ -79,7 +112,9 @@ func (s *Sigmoid) Params() []*Param { return nil }
 
 // Tanh is the hyperbolic-tangent activation.
 type Tanh struct {
-	y *mat.Matrix
+	y       *mat.Matrix
+	legacy  bool
+	out, dx mat.Matrix
 }
 
 // NewTanh returns a Tanh layer.
@@ -87,7 +122,13 @@ func NewTanh() *Tanh { return &Tanh{} }
 
 // Forward implements Layer.
 func (t *Tanh) Forward(x *mat.Matrix) *mat.Matrix {
-	out := x.Clone()
+	var out *mat.Matrix
+	if t.legacy {
+		out = x.Clone()
+	} else {
+		out = t.out.EnsureShape(x.Rows, x.Cols)
+		copy(out.Data, x.Data)
+	}
 	for i, v := range out.Data {
 		out.Data[i] = math.Tanh(v)
 	}
@@ -97,7 +138,13 @@ func (t *Tanh) Forward(x *mat.Matrix) *mat.Matrix {
 
 // Backward implements Layer.
 func (t *Tanh) Backward(grad *mat.Matrix) *mat.Matrix {
-	out := grad.Clone()
+	var out *mat.Matrix
+	if t.legacy {
+		out = grad.Clone()
+	} else {
+		out = t.dx.EnsureShape(grad.Rows, grad.Cols)
+		copy(out.Data, grad.Data)
+	}
 	for i := range out.Data {
 		y := t.y.Data[i]
 		out.Data[i] *= 1 - y*y

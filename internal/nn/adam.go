@@ -9,9 +9,15 @@ import (
 // Adam is the Adam optimiser (Kingma & Ba) over a parameter set.
 type Adam struct {
 	LR, Beta1, Beta2, Eps float64
-	params                []*Param
-	m, v                  [][]float64
-	t                     int
+	// Legacy pins Step to the original scalar update loop. The
+	// mat.AdamStep kernel is bit-identical to it (the SIMD lanes replay
+	// the same IEEE operation sequence), so the flag exists purely to
+	// keep the LegacyFitKernels baseline an honest measurement of the
+	// pre-kernel fit path.
+	Legacy bool
+	params []*Param
+	m, v   [][]float64
+	t      int
 }
 
 // NewAdam builds an optimiser for params with the given learning rate
@@ -35,6 +41,11 @@ func (a *Adam) Step() {
 	bc2 := 1 - math.Pow(a.Beta2, float64(a.t))
 	for i, p := range a.params {
 		m, v := a.m[i], a.v[i]
+		if !a.Legacy {
+			mat.AdamStep(p.W, p.G, m, v, a.Beta1, a.Beta2, bc1, bc2, a.LR, a.Eps)
+			p.ZeroGrad()
+			continue
+		}
 		for j := range p.W {
 			g := p.G[j]
 			m[j] = a.Beta1*m[j] + (1-a.Beta1)*g
@@ -50,7 +61,14 @@ func (a *Adam) Step() {
 // MSELoss returns the mean squared error between pred and target along
 // with the gradient dL/dpred (already divided by the element count).
 func MSELoss(pred, target *mat.Matrix) (float64, *mat.Matrix) {
-	grad := mat.NewMatrix(pred.Rows, pred.Cols)
+	return MSELossInto(mat.NewMatrix(pred.Rows, pred.Cols), pred, target)
+}
+
+// MSELossInto is the allocation-free MSELoss: it writes the gradient
+// into grad (reshaped to pred's dimensions) and returns the loss with
+// grad. The arithmetic is element-wise and identical to MSELoss.
+func MSELossInto(grad, pred, target *mat.Matrix) (float64, *mat.Matrix) {
+	grad.EnsureShape(pred.Rows, pred.Cols)
 	n := float64(len(pred.Data))
 	var loss float64
 	for i := range pred.Data {

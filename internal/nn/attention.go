@@ -10,15 +10,36 @@ import (
 // SelfAttention is multi-head scaled dot-product self-attention over a
 // sequence: the input matrix's rows are sequence positions, its columns
 // the model dimension. Dim must be divisible by Heads.
+//
+// The default fast path packs each head's Q/K/V column slice into
+// contiguous scratch and runs the score and mixing products through
+// mat.MatMul, whose k-ordered axpy accumulation reproduces the legacy
+// scalar loops bit for bit; every intermediate lives in layer-owned
+// scratch, so a warm layer allocates nothing per call. With
+// SetFastDots the attention-gradient product additionally switches to
+// mat.MatMulT/DotUnrolled4, which reassociates the reduction — tranad
+// enables it only for minibatch training, where no bit-exactness against
+// the legacy per-window trajectory is contracted.
 type SelfAttention struct {
 	Dim, Heads, dk int
 	wq, wk, wv, wo *Linear
+
+	legacy   bool
+	fastDots bool
 
 	// caches
 	x       *mat.Matrix
 	q, k, v *mat.Matrix
 	attn    []*mat.Matrix // per head: seq×seq softmax weights
 	concat  *mat.Matrix
+
+	// fast-path scratch, grown once
+	attnS        []*mat.Matrix
+	concatS      mat.Matrix
+	qh, kh, vh   mat.Matrix
+	khT, oh, doh mat.Matrix
+	dAttn        mat.Matrix
+	dQ, dK, dV   mat.Matrix
 }
 
 // NewSelfAttention builds a multi-head self-attention block.
@@ -37,8 +58,74 @@ func NewSelfAttention(dim, heads int, rng *rand.Rand) *SelfAttention {
 	}
 }
 
+// packHead copies head h's column slice of src (seq×Dim) into dst,
+// reshaped to seq×dk.
+func (a *SelfAttention) packHead(dst *mat.Matrix, src *mat.Matrix, h int) *mat.Matrix {
+	off := h * a.dk
+	dst.EnsureShape(src.Rows, a.dk)
+	for i := 0; i < src.Rows; i++ {
+		copy(dst.Row(i), src.Row(i)[off:off+a.dk])
+	}
+	return dst
+}
+
 // Forward implements Layer.
 func (a *SelfAttention) Forward(x *mat.Matrix) *mat.Matrix {
+	if a.legacy {
+		return a.forwardLegacy(x)
+	}
+	a.x = x
+	a.q = a.wq.Forward(x)
+	a.k = a.wk.Forward(x)
+	a.v = a.wv.Forward(x)
+	seq := x.Rows
+	if len(a.attnS) < a.Heads {
+		a.attnS = make([]*mat.Matrix, a.Heads)
+		for h := range a.attnS {
+			a.attnS[h] = &mat.Matrix{}
+		}
+	}
+	a.attn = a.attnS[:a.Heads]
+	a.concat = a.concatS.EnsureShape(seq, a.Dim)
+	scale := 1 / math.Sqrt(float64(a.dk))
+	for h := 0; h < a.Heads; h++ {
+		off := h * a.dk
+		qh := a.packHead(&a.qh, a.q, h)
+		kh := a.packHead(&a.kh, a.k, h)
+		vh := a.packHead(&a.vh, a.v, h)
+		// scores = Qh Kh^T * scale — MatMul against the transposed key
+		// block accumulates over t in the same order as the legacy
+		// row-row dots — then softmax per row.
+		attn := mat.MatMul(a.attnS[h], qh, kh.TransposeInto(&a.khT))
+		for i := 0; i < seq; i++ {
+			srow := attn.Row(i)
+			maxv := math.Inf(-1)
+			for j := range srow {
+				srow[j] *= scale
+				if srow[j] > maxv {
+					maxv = srow[j]
+				}
+			}
+			var sum float64
+			for j := range srow {
+				srow[j] = math.Exp(srow[j] - maxv)
+				sum += srow[j]
+			}
+			inv := 1 / sum
+			for j := range srow {
+				srow[j] *= inv
+			}
+		}
+		// out_h = attn · Vh, written into the concat slot.
+		oh := mat.MatMul(&a.oh, attn, vh)
+		for i := 0; i < seq; i++ {
+			copy(a.concat.Row(i)[off:off+a.dk], oh.Row(i))
+		}
+	}
+	return a.wo.Forward(a.concat)
+}
+
+func (a *SelfAttention) forwardLegacy(x *mat.Matrix) *mat.Matrix {
 	a.x = x
 	a.q = a.wq.Forward(x)
 	a.k = a.wk.Forward(x)
@@ -101,29 +188,56 @@ func (a *SelfAttention) Forward(x *mat.Matrix) *mat.Matrix {
 func (a *SelfAttention) Backward(grad *mat.Matrix) *mat.Matrix {
 	seq := a.x.Rows
 	dConcat := a.wo.Backward(grad)
-	dQ := mat.NewMatrix(seq, a.Dim)
-	dK := mat.NewMatrix(seq, a.Dim)
-	dV := mat.NewMatrix(seq, a.Dim)
+	var dQ, dK, dV *mat.Matrix
+	if a.legacy {
+		dQ = mat.NewMatrix(seq, a.Dim)
+		dK = mat.NewMatrix(seq, a.Dim)
+		dV = mat.NewMatrix(seq, a.Dim)
+	} else {
+		dQ = a.dQ.EnsureShape(seq, a.Dim).Zero()
+		dK = a.dK.EnsureShape(seq, a.Dim).Zero()
+		dV = a.dV.EnsureShape(seq, a.Dim).Zero()
+	}
 	scale := 1 / math.Sqrt(float64(a.dk))
 
 	for h := 0; h < a.Heads; h++ {
 		off := h * a.dk
 		attn := a.attn[h]
 		// dV += attn^T · dOut_h ; dAttn = dOut_h · Vh^T.
-		dAttn := mat.NewMatrix(seq, seq)
-		for i := 0; i < seq; i++ {
-			doi := dConcat.Row(i)[off : off+a.dk]
-			arow := attn.Row(i)
-			darow := dAttn.Row(i)
-			for j := 0; j < seq; j++ {
-				vj := a.v.Row(j)[off : off+a.dk]
-				dvj := dV.Row(j)[off : off+a.dk]
-				var dot float64
-				for t := 0; t < a.dk; t++ {
-					dvj[t] += arow[j] * doi[t]
-					dot += doi[t] * vj[t]
+		var dAttn *mat.Matrix
+		if a.legacy {
+			dAttn = mat.NewMatrix(seq, seq)
+		} else {
+			dAttn = a.dAttn.EnsureShape(seq, seq)
+		}
+		if !a.legacy && a.fastDots {
+			// Reassociating path: dAttn as one MatMulT over the packed
+			// head blocks, then the dV axpy sweep.
+			doh := a.packHead(&a.doh, dConcat, h)
+			vh := a.packHead(&a.vh, a.v, h)
+			mat.MatMulT(dAttn, doh, vh)
+			for i := 0; i < seq; i++ {
+				arow := attn.Row(i)
+				doi := doh.Row(i)
+				for j := 0; j < seq; j++ {
+					mat.AddScaled(dV.Row(j)[off:off+a.dk], arow[j], doi)
 				}
-				darow[j] = dot
+			}
+		} else {
+			for i := 0; i < seq; i++ {
+				doi := dConcat.Row(i)[off : off+a.dk]
+				arow := attn.Row(i)
+				darow := dAttn.Row(i)
+				for j := 0; j < seq; j++ {
+					vj := a.v.Row(j)[off : off+a.dk]
+					dvj := dV.Row(j)[off : off+a.dk]
+					var dot float64
+					for t := 0; t < a.dk; t++ {
+						dvj[t] += arow[j] * doi[t]
+						dot += doi[t] * vj[t]
+					}
+					darow[j] = dot
+				}
 			}
 		}
 		// Softmax backward per row: dS = attn ⊙ (dAttn - rowsum(dAttn ⊙ attn)).
@@ -178,26 +292,61 @@ func (a *SelfAttention) Params() []*Param {
 }
 
 // PositionalEncoding adds fixed sinusoidal position information to a
-// sequence (rows = positions). It has no parameters.
+// sequence (rows = positions). It has no parameters. The fast path
+// computes the encoding table once and replays it by addition; the table
+// entries come from the same expression the legacy path evaluates, so
+// both paths add identical values.
 type PositionalEncoding struct {
-	Dim int
+	Dim    int
+	legacy bool
+	pe     mat.Matrix
+	out    mat.Matrix
 }
 
 // NewPositionalEncoding returns the standard sinusoidal encoder.
 func NewPositionalEncoding(dim int) *PositionalEncoding { return &PositionalEncoding{Dim: dim} }
 
+// peAt is the sinusoidal table entry for one (position, channel) pair.
+func (p *PositionalEncoding) peAt(pos, j int) float64 {
+	angle := float64(pos) / math.Pow(10000, float64(2*(j/2))/float64(p.Dim))
+	if j%2 == 0 {
+		return math.Sin(angle)
+	}
+	return math.Cos(angle)
+}
+
 // Forward implements Layer.
 func (p *PositionalEncoding) Forward(x *mat.Matrix) *mat.Matrix {
-	out := x.Clone()
-	for pos := 0; pos < out.Rows; pos++ {
-		row := out.Row(pos)
-		for j := 0; j < out.Cols; j++ {
-			angle := float64(pos) / math.Pow(10000, float64(2*(j/2))/float64(p.Dim))
-			if j%2 == 0 {
-				row[j] += math.Sin(angle)
-			} else {
-				row[j] += math.Cos(angle)
+	if p.legacy {
+		out := x.Clone()
+		for pos := 0; pos < out.Rows; pos++ {
+			row := out.Row(pos)
+			for j := 0; j < out.Cols; j++ {
+				row[j] += p.peAt(pos, j)
 			}
+		}
+		return out
+	}
+	if p.pe.Rows < x.Rows || p.pe.Cols != x.Cols {
+		rows := x.Rows
+		if p.pe.Rows > rows {
+			rows = p.pe.Rows
+		}
+		p.pe.EnsureShape(rows, x.Cols)
+		for pos := 0; pos < rows; pos++ {
+			row := p.pe.Row(pos)
+			for j := 0; j < x.Cols; j++ {
+				row[j] = p.peAt(pos, j)
+			}
+		}
+	}
+	out := p.out.EnsureShape(x.Rows, x.Cols)
+	for pos := 0; pos < x.Rows; pos++ {
+		row := out.Row(pos)
+		xrow := x.Row(pos)
+		perow := p.pe.Row(pos)
+		for j := range row {
+			row[j] = xrow[j] + perow[j]
 		}
 	}
 	return out
@@ -211,7 +360,10 @@ func (p *PositionalEncoding) Params() []*Param { return nil }
 
 // Residual wraps a layer with a skip connection: y = x + f(x).
 type Residual struct {
-	Inner Layer
+	Inner  Layer
+	legacy bool
+	out    mat.Matrix
+	dout   mat.Matrix
 }
 
 // NewResidual wraps inner with a skip connection.
@@ -220,7 +372,13 @@ func NewResidual(inner Layer) *Residual { return &Residual{Inner: inner} }
 // Forward implements Layer.
 func (r *Residual) Forward(x *mat.Matrix) *mat.Matrix {
 	y := r.Inner.Forward(x)
-	out := y.Clone()
+	var out *mat.Matrix
+	if r.legacy {
+		out = y.Clone()
+	} else {
+		out = r.out.EnsureShape(y.Rows, y.Cols)
+		copy(out.Data, y.Data)
+	}
 	for i := range out.Data {
 		out.Data[i] += x.Data[i]
 	}
@@ -230,7 +388,13 @@ func (r *Residual) Forward(x *mat.Matrix) *mat.Matrix {
 // Backward implements Layer.
 func (r *Residual) Backward(grad *mat.Matrix) *mat.Matrix {
 	dInner := r.Inner.Backward(grad)
-	out := dInner.Clone()
+	var out *mat.Matrix
+	if r.legacy {
+		out = dInner.Clone()
+	} else {
+		out = r.dout.EnsureShape(dInner.Rows, dInner.Cols)
+		copy(out.Data, dInner.Data)
+	}
 	for i := range out.Data {
 		out.Data[i] += grad.Data[i]
 	}

@@ -7,10 +7,25 @@ import (
 )
 
 // Linear is a fully connected layer: y = xW + b with W of shape in×out.
+//
+// The default fast path writes into layer-owned scratch matrices via the
+// mat axpy kernels: zero allocations once the scratch is warm, and
+// bit-identical outputs to the legacy allocate-per-call path (the axpy
+// accumulation visits k in the same order the scalar loops did). The
+// legacy path is retained behind SetLegacyKernels as the fit-perf
+// baseline and as the oracle for the equivalence tests.
 type Linear struct {
 	In, Out int
 	w, b    *Param
 	x       *mat.Matrix // cached input
+	legacy  bool
+	// fastDots routes the input-gradient dots of Backward through
+	// mat.DotUnrolled4 (FMA-reassociated where the CPU has it). Like the
+	// attention fastDots flag it abandons bit-exactness against the
+	// legacy reduction order, so it is only switched on where no such
+	// contract exists (tranad minibatch training).
+	fastDots bool
+	out, dx  mat.Matrix // scratch, grown once
 }
 
 // NewLinear creates a Glorot-initialised dense layer using rng.
@@ -22,6 +37,18 @@ func NewLinear(in, out int, rng *rand.Rand) *Linear {
 
 // Forward implements Layer.
 func (l *Linear) Forward(x *mat.Matrix) *mat.Matrix {
+	if l.legacy {
+		return l.forwardLegacy(x)
+	}
+	l.x = x
+	out := l.out.EnsureShape(x.Rows, l.Out)
+	for i := 0; i < x.Rows; i++ {
+		mat.LinFwd(x.Row(i), l.b.W, l.w.W, out.Row(i))
+	}
+	return out
+}
+
+func (l *Linear) forwardLegacy(x *mat.Matrix) *mat.Matrix {
 	l.x = x
 	out := mat.NewMatrix(x.Rows, l.Out)
 	for i := 0; i < x.Rows; i++ {
@@ -44,6 +71,37 @@ func (l *Linear) Forward(x *mat.Matrix) *mat.Matrix {
 
 // Backward implements Layer.
 func (l *Linear) Backward(grad *mat.Matrix) *mat.Matrix {
+	if l.legacy {
+		return l.backwardLegacy(grad)
+	}
+	dx := l.dx.EnsureShape(l.x.Rows, l.In)
+	for i := 0; i < grad.Rows; i++ {
+		gi := grad.Row(i)
+		xi := l.x.Row(i)
+		di := dx.Row(i)
+		// db += g ; dW += x^T g ; dx = g W^T — split into an axpy per
+		// W row plus a dot. The axpy is elementwise and stays inside
+		// the bit-exact contract; the dot is in-order by default and
+		// FMA-reassociated when fastDots is on.
+		mat.AddScaled(l.b.G, 1, gi)
+		if l.fastDots {
+			mat.LinBwdFast(xi, gi, l.w.W, l.w.G, di)
+			continue
+		}
+		for k := 0; k < l.In; k++ {
+			mat.AddScaled(l.w.G[k*l.Out:(k+1)*l.Out], xi[k], gi)
+			wrow := l.w.W[k*l.Out : (k+1)*l.Out]
+			var acc float64
+			for j := 0; j < l.Out; j++ {
+				acc += gi[j] * wrow[j]
+			}
+			di[k] = acc
+		}
+	}
+	return dx
+}
+
+func (l *Linear) backwardLegacy(grad *mat.Matrix) *mat.Matrix {
 	dx := mat.NewMatrix(l.x.Rows, l.In)
 	for i := 0; i < grad.Rows; i++ {
 		gi := grad.Row(i)

@@ -77,6 +77,100 @@ func (s *Sequential) Params() []*Param {
 	return out
 }
 
+// SetLegacyKernels switches layer (recursively, through Sequential,
+// Residual and SelfAttention wrappers) between the default scratch-reuse
+// fit kernels and the legacy allocate-per-call implementations. Both
+// paths produce bit-identical outputs; the legacy path exists as the
+// fit-perf baseline and as the oracle for the kernel-equivalence tests.
+func SetLegacyKernels(layer Layer, legacy bool) {
+	switch l := layer.(type) {
+	case *Sequential:
+		for _, inner := range l.Layers {
+			SetLegacyKernels(inner, legacy)
+		}
+	case *Residual:
+		l.legacy = legacy
+		SetLegacyKernels(l.Inner, legacy)
+	case *SelfAttention:
+		l.legacy = legacy
+		SetLegacyKernels(l.wq, legacy)
+		SetLegacyKernels(l.wk, legacy)
+		SetLegacyKernels(l.wv, legacy)
+		SetLegacyKernels(l.wo, legacy)
+	case *Linear:
+		l.legacy = legacy
+	case *LayerNorm:
+		l.legacy = legacy
+	case *PositionalEncoding:
+		l.legacy = legacy
+	case *ReLU:
+		l.legacy = legacy
+	case *Sigmoid:
+		l.legacy = legacy
+	case *Tanh:
+		l.legacy = legacy
+	}
+}
+
+// SetFastDots enables the reassociating reductions — the attention
+// gradient product (mat.MatMulT over four accumulators) on every
+// SelfAttention block and the FMA input-gradient dots on every Linear —
+// under layer. It trades bit-exactness against the legacy reduction
+// order for speed, so it is only enabled where no such contract exists
+// (tranad minibatch training). It has no effect on legacy-mode layers.
+func SetFastDots(layer Layer, on bool) {
+	switch l := layer.(type) {
+	case *Sequential:
+		for _, inner := range l.Layers {
+			SetFastDots(inner, on)
+		}
+	case *Residual:
+		SetFastDots(l.Inner, on)
+	case *SelfAttention:
+		l.fastDots = on
+		SetFastDots(l.wq, on)
+		SetFastDots(l.wk, on)
+		SetFastDots(l.wv, on)
+		SetFastDots(l.wo, on)
+	case *Linear:
+		l.fastDots = on
+	}
+}
+
+// CopyWeights copies the weight values of src into dst. The two
+// parameter lists must come from identically shaped networks. It is the
+// replica-synchronisation step of minibatch-parallel training.
+func CopyWeights(dst, src []*Param) {
+	if len(dst) != len(src) {
+		panic("nn: CopyWeights: parameter count mismatch")
+	}
+	for i, p := range dst {
+		copy(p.W, src[i].W)
+	}
+}
+
+// AddGrads accumulates src's gradients into dst's. Reducing replica
+// gradients through this in a fixed replica order keeps minibatch
+// training deterministic regardless of how many goroutines computed
+// them.
+func AddGrads(dst, src []*Param) {
+	if len(dst) != len(src) {
+		panic("nn: AddGrads: parameter count mismatch")
+	}
+	for i, p := range dst {
+		// alpha=1 is exact (1·x == x bitwise), so the SIMD axpy keeps
+		// the reduction bit-identical to the scalar loop.
+		mat.AddScaled(p.G, 1, src[i].G)
+	}
+}
+
+// ZeroGrads clears every gradient accumulator in params.
+func ZeroGrads(params []*Param) {
+	for _, p := range params {
+		p.ZeroGrad()
+	}
+}
+
 // xavierInit fills w with Glorot-uniform values scaled by fan-in/out.
 func xavierInit(rng *rand.Rand, w []float64, fanIn, fanOut int) {
 	scale := math.Sqrt(6 / float64(fanIn+fanOut))

@@ -8,6 +8,11 @@ import (
 
 // LayerNorm normalises each row to zero mean and unit variance and
 // applies a learned per-feature gain and bias.
+//
+// The fast path reuses layer-owned scratch for the output, the cached
+// x-hat, the inverse deviations and the per-row dxhat work vector (the
+// legacy path allocated dxhat once per row per Backward). The reduction
+// orders are unchanged, so fast and legacy are bit-identical.
 type LayerNorm struct {
 	Dim   int
 	Eps   float64
@@ -15,6 +20,11 @@ type LayerNorm struct {
 	bias  *Param
 	xhat  *mat.Matrix
 	isdev []float64 // 1/std per row
+
+	legacy   bool
+	out, dx  mat.Matrix
+	xhatS    mat.Matrix
+	dxhatRow []float64
 }
 
 // NewLayerNorm returns a layer norm over rows of width dim.
@@ -28,13 +38,40 @@ func NewLayerNorm(dim int) *LayerNorm {
 
 // Forward implements Layer.
 func (l *LayerNorm) Forward(x *mat.Matrix) *mat.Matrix {
-	out := mat.NewMatrix(x.Rows, x.Cols)
-	l.xhat = mat.NewMatrix(x.Rows, x.Cols)
-	l.isdev = make([]float64, x.Rows)
+	var out *mat.Matrix
+	if l.legacy {
+		out = mat.NewMatrix(x.Rows, x.Cols)
+		l.xhat = mat.NewMatrix(x.Rows, x.Cols)
+		l.isdev = make([]float64, x.Rows)
+	} else {
+		out = l.out.EnsureShape(x.Rows, x.Cols)
+		l.xhat = l.xhatS.EnsureShape(x.Rows, x.Cols)
+		if cap(l.isdev) < x.Rows {
+			l.isdev = make([]float64, x.Rows)
+		}
+		l.isdev = l.isdev[:x.Rows]
+	}
 	for i := 0; i < x.Rows; i++ {
 		row := x.Row(i)
-		m := mat.Mean(row)
-		v := mat.Variance(row)
+		var m, v float64
+		if l.legacy {
+			m = mat.Mean(row)
+			v = mat.Variance(row)
+		} else {
+			// The same reductions mat.Mean and mat.Variance perform
+			// (identical order, so identical bits), fused into two
+			// passes over the row instead of three.
+			for _, xv := range row {
+				m += xv
+			}
+			m /= float64(len(row))
+			var ss float64
+			for _, xv := range row {
+				d := xv - m
+				ss += d * d
+			}
+			v = ss / float64(len(row))
+		}
 		inv := 1 / math.Sqrt(v+l.Eps)
 		l.isdev[i] = inv
 		xh := l.xhat.Row(i)
@@ -49,7 +86,15 @@ func (l *LayerNorm) Forward(x *mat.Matrix) *mat.Matrix {
 
 // Backward implements Layer.
 func (l *LayerNorm) Backward(grad *mat.Matrix) *mat.Matrix {
-	dx := mat.NewMatrix(grad.Rows, grad.Cols)
+	var dx *mat.Matrix
+	if l.legacy {
+		dx = mat.NewMatrix(grad.Rows, grad.Cols)
+	} else {
+		dx = l.dx.EnsureShape(grad.Rows, grad.Cols)
+		if cap(l.dxhatRow) < l.Dim {
+			l.dxhatRow = make([]float64, l.Dim)
+		}
+	}
 	n := float64(l.Dim)
 	for i := 0; i < grad.Rows; i++ {
 		g := grad.Row(i)
@@ -61,7 +106,12 @@ func (l *LayerNorm) Backward(grad *mat.Matrix) *mat.Matrix {
 		}
 		// dxhat = g * gain; standard layer-norm input gradient.
 		var sumDx, sumDxXh float64
-		dxhat := make([]float64, l.Dim)
+		var dxhat []float64
+		if l.legacy {
+			dxhat = make([]float64, l.Dim)
+		} else {
+			dxhat = l.dxhatRow[:l.Dim]
+		}
 		for j := 0; j < l.Dim; j++ {
 			dxhat[j] = g[j] * l.gain.W[j]
 			sumDx += dxhat[j]
