@@ -1,13 +1,14 @@
 GO ?= go
 
-.PHONY: ci check vet build test race grid-equiv resume-gate fuzz-smoke bench-smoke bench-json vet-obs obs-overhead fitperf-smoke bench-micro
+.PHONY: ci check vet build test race race-fleet grid-equiv resume-gate fuzz-smoke bench-smoke bench-json vet-obs obs-overhead fitperf-smoke scoreperf-smoke bench-micro
 
 ## ci: the full gate — vet (incl. the obs metric-doc check), build,
-## race-enabled tests, the grid equivalence gate, the checkpoint resume
-## gate, the fit-kernel equivalence smoke, the observer overhead gate, a
-## codec fuzz smoke, bench smoke, and a perf run appended to
-## BENCH_<n>.json.
-ci: vet-obs build race grid-equiv resume-gate fitperf-smoke obs-overhead fuzz-smoke bench-smoke bench-json
+## race-enabled tests (plus a focused race pass over the concurrent
+## fleet/fitpool packages), the grid equivalence gate, the checkpoint
+## resume gate, the fit-kernel and score-path equivalence smokes, the
+## observer overhead gate, a codec fuzz smoke, bench smoke, and a perf
+## run appended to BENCH_<n>.json.
+ci: vet-obs build race race-fleet grid-equiv resume-gate fitperf-smoke scoreperf-smoke obs-overhead fuzz-smoke bench-smoke bench-json
 
 ## check: the fast inner-loop gate — vet, build, and the plain test
 ## suite, with none of ci's race/equivalence/bench machinery.
@@ -24,6 +25,14 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+## race-fleet: a focused race pass over the two packages whose
+## goroutines share state by design — the sharded engine (busy-map
+## parking, fitDone handoff, checkpoint barriers, batch pool) and the
+## fitpool — with count=2 so the scheduler interleaves differently
+## across runs.
+race-fleet:
+	$(GO) test -race -count=2 ./internal/fleet/... ./internal/fitpool/...
 
 ## grid-equiv: the transform-once cached grid must reproduce the
 ## pre-cache reference implementation cell-for-cell, and materialise
@@ -79,8 +88,21 @@ bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkFleetThroughput|BenchmarkScoreInto|BenchmarkPipelineSteadyState|BenchmarkPipelineObserved' -benchtime 1x \
 		./internal/fleet/ ./internal/detector/closestpair/ ./internal/core/
 
+## scoreperf-smoke: the score-path gates at test scale — the scorer
+## bit-identity and alloc-free oracles (tranad three-tier scorers,
+## restore survival, regress/grand scratch paths, warm-start
+## determinism), then a small scoreperf run whose equivalence leg
+## replays the tranad grid column through the full-window and last-row
+## scorers and (-scoreperf-strict) exits non-zero unless every cell is
+## identical and the last-row scorer is >=2x the full-window one.
+scoreperf-smoke:
+	$(GO) test -run 'TestScorePaths|TestScoreLastRow|TestScoreInto|TestScoreWrapper|TestWarmStart|TestGrandScoreInto' \
+		./internal/detector/tranad/ ./internal/detector/regress/ ./internal/detector/grand/
+	$(GO) run ./cmd/navarchos-bench -experiment scoreperf -scale small -scoreperf-strict
+
 ## bench-json: one fleet-engine perf run at bench scale, with the
-## fit-path acceleration exhibit embedded, appended to BENCH_<n>.json
-## so the performance trajectory stays machine-readable across PRs.
+## fit-path and score-path acceleration exhibits embedded, appended to
+## BENCH_<n>.json so the performance trajectory stays machine-readable
+## across PRs.
 bench-json:
-	$(GO) run ./cmd/navarchos-bench -experiment perf,fitperf -json
+	$(GO) run ./cmd/navarchos-bench -experiment perf,fitperf,scoreperf -json

@@ -8,15 +8,16 @@
 //	navarchos-bench -scale small         # quick pass
 //
 // Experiments: fig1 fig2 fig4 fig5 fig6 fig7 table1 table2 table3 fig8
-// baselines perf gridperf checkpoint fitperf all.
+// baselines perf gridperf checkpoint fitperf scoreperf all.
 //
 // With -json, the perf experiment additionally writes its
 // throughput/latency results to BENCH_<n>.json (smallest unused n), so
 // the performance trajectory stays machine-readable across PRs; a
-// gridperf, checkpoint or fitperf run in the same invocation is
-// embedded under "grid" / "checkpoint" / "fitperf". Every JSON file
-// carries an "env" header (go version, GOMAXPROCS, git revision, SIMD
-// class) identifying the producing machine.
+// gridperf, checkpoint, fitperf or scoreperf run in the same
+// invocation is embedded under "grid" / "checkpoint" / "fitperf" /
+// "scoreperf". Every JSON file carries an "env" header (go version,
+// GOMAXPROCS, git revision, SIMD class) identifying the producing
+// machine.
 //
 // -cpuprofile and -memprofile write pprof profiles covering the whole
 // run (the memory profile is taken at exit, after a final GC).
@@ -61,6 +62,7 @@ func main() {
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	debugAddr := flag.String("debug-addr", "", "serve /metrics, /debug/vars and /debug/pprof/* on this address while experiments run")
 	fitperfStrict := flag.Bool("fitperf-strict", false, "fail fitperf unless every equivalence-grid cell matches (test-scale gate; bench-scale raw/delta XGBoost cells may differ by design)")
+	scoreperfStrict := flag.Bool("scoreperf-strict", false, "fail scoreperf unless every equivalence cell matches and the tranad last-row scorer beats the full-window scorer by >=2x")
 	flag.Parse()
 
 	stop, err := startProfiles(*cpuProfile, *memProfile)
@@ -236,6 +238,26 @@ func main() {
 			fatalf("fitperf: -fitperf-strict set and legacy/current fit kernels disagree on grid cells")
 		}
 	}
+	var scorePerf *experiments.ScorePerfResult
+	if has("scoreperf") {
+		ran = true
+		sp, err := experiments.ScorePerf(opts)
+		if err != nil {
+			fatal(err)
+		}
+		scorePerf = sp
+		sp.Render(out)
+		fmt.Fprintln(out)
+		if !sp.TranAD.BitIdentical || !sp.Regress.BitIdentical {
+			fatalf("scoreperf: legacy and current scoring paths disagree bit-for-bit")
+		}
+		if !sp.Equivalence.CellsMatch {
+			fatalf("scoreperf: full-window and last-row scorers disagree on grid cells")
+		}
+		if *scoreperfStrict && sp.TranAD.SpeedupVsFull < 2 {
+			fatalf("scoreperf: -scoreperf-strict set and tranad last-row speedup vs full-window is %.2fx (< 2x)", sp.TranAD.SpeedupVsFull)
+		}
+	}
 	if has("perf") || *jsonOut {
 		ran = true
 		r, err := experiments.Perf(opts, nil)
@@ -245,6 +267,7 @@ func main() {
 		r.Grid = gridPerf
 		r.Checkpoint = ckptPerf
 		r.FitPerf = fitPerf
+		r.ScorePerf = scorePerf
 		r.Render(out)
 		fmt.Fprintln(out)
 		if *jsonOut {
@@ -256,7 +279,7 @@ func main() {
 		}
 	}
 	if !ran {
-		fatalf("unknown experiment %q (want fig1 fig2 fig4 fig5 fig6 fig7 table1 table2 table3 fig8 baselines perf gridperf checkpoint fitperf or all)", *experiment)
+		fatalf("unknown experiment %q (want fig1 fig2 fig4 fig5 fig6 fig7 table1 table2 table3 fig8 baselines perf gridperf checkpoint fitperf scoreperf or all)", *experiment)
 	}
 }
 

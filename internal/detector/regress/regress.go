@@ -21,6 +21,8 @@ type Detector struct {
 	names  []string
 	models []*gbt.Regressor
 	dim    int
+
+	dropBuf []float64 // ScoreInto scratch: x without the target column
 }
 
 // New returns a regression detector. featureNames labels the channels
@@ -93,6 +95,45 @@ func (d *Detector) Fit(ref [][]float64) error {
 // Score implements detector.Detector: per channel, the absolute error of
 // predicting that feature from the others.
 func (d *Detector) Score(x []float64) ([]float64, error) {
+	out := make([]float64, d.Channels())
+	if err := d.ScoreInto(x, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ScoreInto implements detector.IntoScorer: Score with both the result
+// and the per-channel dropped-column vectors in detector-owned scratch.
+// gbt prediction walks fitted trees without allocating, so a warm
+// ScoreInto is allocation-free — at fleet rates the two slices Score
+// built per record (dim+1 allocations each call) were the regression
+// path's dominant garbage.
+func (d *Detector) ScoreInto(x, dst []float64) error {
+	if d.models == nil {
+		return detector.ErrNotFitted
+	}
+	if len(x) != d.dim || len(dst) != d.dim {
+		return detector.ErrDimension
+	}
+	if cap(d.dropBuf) < d.dim-1 {
+		d.dropBuf = make([]float64, d.dim-1)
+	}
+	drop := d.dropBuf[:d.dim-1]
+	for c := 0; c < d.dim; c++ {
+		copy(drop, x[:c])
+		copy(drop[c:], x[c+1:])
+		pred := d.models[c].Predict(drop)
+		dst[c] = math.Abs(pred - x[c])
+	}
+	return nil
+}
+
+// ScoreLegacy is the pre-optimisation scorer, kept as the reference leg
+// of the scoring benchmark (experiments.ScorePerf): per channel it
+// allocates a fresh dropped-column vector, plus the result slice —
+// dim+1 allocations per record. Bit-identical to Score and ScoreInto;
+// only the buffer handling differs.
+func (d *Detector) ScoreLegacy(x []float64) ([]float64, error) {
 	if d.models == nil {
 		return nil, detector.ErrNotFitted
 	}

@@ -1,0 +1,195 @@
+package tranad
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// scoreStream feeds n pseudo-random samples (deterministic in seed) to
+// d and returns every score.
+func scoreStream(t *testing.T, d *Detector, seed int64, n, dim int) []float64 {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]float64, 0, n)
+	x := make([]float64, dim)
+	s := make([]float64, 1)
+	for i := 0; i < n; i++ {
+		for j := range x {
+			x[j] = rng.NormFloat64()
+		}
+		if err := d.ScoreInto(x, s); err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, s[0])
+	}
+	return out
+}
+
+// TestScorePathsBitIdentical trains three identically seeded detectors
+// — legacy kernels, scratch-kernel full-window, and the default
+// last-row path — and requires Float64bits-identical scores across a
+// long stream. The last-row path must be a strict arithmetic subset of
+// the full pass: any reassociation or skipped operation shows up here.
+func TestScorePathsBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	ref := synthRef(rng, 140, 5)
+
+	mk := func(mut func(*Config)) *Detector {
+		cfg := Config{Epochs: 3, Seed: 7}
+		mut(&cfg)
+		d := New(cfg)
+		if err := d.Fit(ref); err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	legacy := mk(func(c *Config) { c.LegacyFitKernels = true })
+	full := mk(func(c *Config) { c.FullWindowScore = true })
+	last := mk(func(c *Config) {})
+
+	sl := scoreStream(t, legacy, 23, 80, 5)
+	sf := scoreStream(t, full, 23, 80, 5)
+	sr := scoreStream(t, last, 23, 80, 5)
+	for i := range sl {
+		if math.Float64bits(sl[i]) != math.Float64bits(sf[i]) {
+			t.Fatalf("score %d: full-window %v differs from legacy %v", i, sf[i], sl[i])
+		}
+		if math.Float64bits(sl[i]) != math.Float64bits(sr[i]) {
+			t.Fatalf("score %d: last-row %v differs from legacy %v", i, sr[i], sl[i])
+		}
+	}
+}
+
+// TestScoreLastRowSurvivesRestore checkpoints the default detector
+// mid-stream (with a warm projection cache), restores into a fresh
+// instance, and requires the continuation to match the uninterrupted
+// stream bit for bit — the Snapshotter contract, now covering the
+// cached-projection invalidation in Restore.
+func TestScoreLastRowSurvivesRestore(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	ref := synthRef(rng, 120, 4)
+
+	d := New(Config{Epochs: 2, Seed: 3})
+	if err := d.Fit(ref); err != nil {
+		t.Fatal(err)
+	}
+	stream := rand.New(rand.NewSource(31))
+	samples := make([][]float64, 60)
+	for i := range samples {
+		row := make([]float64, 4)
+		for j := range row {
+			row[j] = stream.NormFloat64()
+		}
+		samples[i] = row
+	}
+
+	want := make([]float64, 0, len(samples))
+	s := make([]float64, 1)
+	var snap []byte
+	for i, x := range samples {
+		if i == 25 {
+			var err error
+			if snap, err = d.Snapshot(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := d.ScoreInto(x, s); err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, s[0])
+	}
+
+	re := New(Config{Epochs: 2, Seed: 3})
+	if err := re.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	for i := 25; i < len(samples); i++ {
+		if err := re.ScoreInto(samples[i], s); err != nil {
+			t.Fatal(err)
+		}
+		if math.Float64bits(s[0]) != math.Float64bits(want[i]) {
+			t.Fatalf("restored score %d differs: got %v want %v", i, s[0], want[i])
+		}
+	}
+}
+
+// TestScoreIntoAllocFree pins the zero-allocation contract of the warm
+// default scoring path (and of the full-window path, which PR 5
+// already made alloc-free).
+func TestScoreIntoAllocFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	ref := synthRef(rng, 100, 6)
+	for _, tc := range []struct {
+		name string
+		cfg  Config
+	}{
+		{"last-row", Config{Epochs: 2, Seed: 5}},
+		{"full-window", Config{Epochs: 2, Seed: 5, FullWindowScore: true}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			d := New(tc.cfg)
+			if err := d.Fit(ref); err != nil {
+				t.Fatal(err)
+			}
+			x := make([]float64, 6)
+			s := make([]float64, 1)
+			stream := rand.New(rand.NewSource(43))
+			next := func() {
+				for j := range x {
+					x[j] = stream.NormFloat64()
+				}
+			}
+			// Warm every ring slot, the scratch and the kernels.
+			for i := 0; i < 32; i++ {
+				next()
+				if err := d.ScoreInto(x, s); err != nil {
+					t.Fatal(err)
+				}
+			}
+			allocs := testing.AllocsPerRun(200, func() {
+				next()
+				if err := d.ScoreInto(x, s); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if allocs != 0 {
+				t.Fatalf("warm ScoreInto allocates %v times per record", allocs)
+			}
+		})
+	}
+}
+
+// TestScoreWrapperMatchesScoreInto keeps the allocating Score in lock
+// step with ScoreInto (it is a thin wrapper, but the equivalence is
+// what callers of the plain Detector interface rely on).
+func TestScoreWrapperMatchesScoreInto(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	ref := synthRef(rng, 90, 3)
+	a := New(Config{Epochs: 2, Seed: 13})
+	b := New(Config{Epochs: 2, Seed: 13})
+	if err := a.Fit(ref); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Fit(ref); err != nil {
+		t.Fatal(err)
+	}
+	stream := rand.New(rand.NewSource(59))
+	x := make([]float64, 3)
+	s := make([]float64, 1)
+	for i := 0; i < 40; i++ {
+		for j := range x {
+			x[j] = stream.NormFloat64()
+		}
+		got, err := a.Score(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := b.ScoreInto(x, s); err != nil {
+			t.Fatal(err)
+		}
+		if math.Float64bits(got[0]) != math.Float64bits(s[0]) {
+			t.Fatalf("sample %d: Score %v vs ScoreInto %v", i, got[0], s[0])
+		}
+	}
+}

@@ -110,5 +110,6 @@ func (d *Detector) Restore(data []byte) error {
 	d.ring = ring
 	d.pos = n % len(ring)
 	d.n = n
+	d.resetInferCache()
 	return nil
 }

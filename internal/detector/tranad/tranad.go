@@ -26,6 +26,7 @@
 package tranad
 
 import (
+	"math"
 	"math/rand"
 
 	"github.com/navarchos/pdm/internal/detector"
@@ -65,6 +66,29 @@ type Config struct {
 	// baseline leg of the fitperf benchmark and the oracle of the
 	// kernel-equivalence tests.
 	LegacyFitKernels bool
+	// FullWindowScore pins scoring to the full-window forward pass (the
+	// whole ring mapped through every layer each record) instead of the
+	// default last-row path, which only evaluates the positions a score
+	// actually depends on. Both are bit-identical to the legacy scorer;
+	// the flag exists so scoreperf can measure the last-row win against
+	// an honest scratch-kernel baseline.
+	FullWindowScore bool
+	// WarmStart seeds a refit from the previous fit's weights instead of
+	// reinitialising: when the detector has already been fitted at the
+	// same dimensionality, Fit keeps the trained parameters, trains for
+	// at most WarmEpochs and stops early once an epoch improves the loss
+	// by less than WarmTol (relative). Asynchronous fleet refits re-fit
+	// the same detector instance after every profile refill, so warm
+	// starts cut the dominant refit cost to the few epochs needed to
+	// track drift. Not available on the legacy path, and intentionally
+	// NOT bit-identical to a cold fit — equivalence gates must leave it
+	// unset.
+	WarmStart bool
+	// WarmEpochs is the warm refit epoch budget (default max(1, Epochs/2)).
+	WarmEpochs int
+	// WarmTol is the relative epoch-over-epoch loss improvement under
+	// which a warm refit stops early (default 1e-3).
+	WarmTol float64
 }
 
 func (c *Config) defaults() {
@@ -95,6 +119,15 @@ func (c *Config) defaults() {
 	if c.Batch <= 0 {
 		c.Batch = 1
 	}
+	if c.WarmEpochs <= 0 {
+		c.WarmEpochs = c.Epochs / 2
+		if c.WarmEpochs < 1 {
+			c.WarmEpochs = 1
+		}
+	}
+	if c.WarmTol <= 0 {
+		c.WarmTol = 1e-3
+	}
 }
 
 // fitNet bundles one instance of the model's four sub-nets with the
@@ -106,10 +139,33 @@ type fitNet struct {
 	fuse *nn.Linear
 	dec2 *nn.Sequential
 
+	// inf holds typed references to the individual layers inside the
+	// sequentials above, in evaluation order, for the last-row scoring
+	// path: per-record inference walks the layers directly through
+	// their ApplyRow/AttendLast kernels instead of Forward-mapping the
+	// whole window.
+	inf inferRefs
+
 	params []*nn.Param
 
 	g1, g2, foc, x2, dz mat.Matrix
 	winView             mat.Matrix
+}
+
+// inferRefs names the layers of one model instance for row-level
+// inference. fuse is the detector's fuse Linear and is not repeated
+// here.
+type inferRefs struct {
+	encLin *nn.Linear             // dim -> dm input projection
+	pe     *nn.PositionalEncoding // sinusoidal table
+	attn   *nn.SelfAttention      // inside the first residual block
+	ln1    *nn.LayerNorm          // post-attention norm
+	ffn1   *nn.Linear             // dm -> 2dm
+	ffn2   *nn.Linear             // 2dm -> dm
+	ln2    *nn.LayerNorm          // post-FFN norm
+	dec1a  *nn.Linear             // dm -> dm
+	dec1b  *nn.Linear             // dm -> dim
+	dec2b  *nn.Linear             // dm -> dim (after the fuse ReLU)
 }
 
 // Detector is the TranAD-style reconstruction detector. It emits a
@@ -133,7 +189,31 @@ type Detector struct {
 	pos  int
 	n    int
 
-	swin mat.Matrix // Score window scratch (fast path)
+	swin mat.Matrix // Score window scratch (full-window fast path)
+
+	// last-row scoring state: the input projection of each ring slot is
+	// position-independent, so it is computed once when the slot is
+	// (re)written and replayed until then. linOK goes false wholesale
+	// whenever the weights or the ring change under the cache (Fit,
+	// Restore).
+	linCache [][]float64
+	linOK    []bool
+	sc       scoreScratch
+}
+
+// scoreScratch holds the per-detector row buffers of the last-row
+// scoring path; everything is sized once per fit, so a warm Score
+// allocates nothing.
+type scoreScratch struct {
+	l1           mat.Matrix // window after input projection + positional encoding
+	attnOut      []float64  // dm: attention output for the last row
+	res1, ln1row []float64  // dm
+	ffnH         []float64  // 2dm
+	ffnOut, res2 []float64  // dm
+	zLast        []float64  // dm: encoder output for the last row
+	d1h, fuseOut []float64  // dm
+	o1, o2       []float64  // dim: both decoders' last-row reconstructions
+	x2           []float64  // dm+dim: fused decoder-2 input
 }
 
 // New returns a TranAD detector with the given configuration.
@@ -164,6 +244,10 @@ func (d *Detector) Fit(ref [][]float64) error {
 			return detector.ErrDimension
 		}
 	}
+	// Warm start: an already-fitted detector at the same dimensionality
+	// keeps its trained weights and runs a short budgeted refit instead
+	// of a cold retrain.
+	warm := d.cfg.WarmStart && !d.cfg.LegacyFitKernels && d.master != nil && d.dim == dim
 	d.dim = dim
 	refM, err := mat.FromRows(ref)
 	if err != nil {
@@ -173,7 +257,9 @@ func (d *Detector) Fit(ref [][]float64) error {
 	d.means, d.stds = means, stds
 
 	rng := rand.New(rand.NewSource(d.cfg.Seed))
-	d.buildNet(dim, rng)
+	if !warm {
+		d.buildNet(dim, rng)
+	}
 	opt := nn.NewAdam(d.params(), d.cfg.LR)
 	opt.Legacy = d.cfg.LegacyFitKernels
 
@@ -209,19 +295,28 @@ func (d *Detector) Fit(ref [][]float64) error {
 			}
 		}
 	} else {
-		d.fitFast(std, starts, w, dim, rng, opt)
+		epochs, tol := d.cfg.Epochs, 0.0
+		if warm {
+			epochs, tol = d.cfg.WarmEpochs, d.cfg.WarmTol
+		}
+		d.fitFast(std, starts, w, dim, rng, opt, epochs, tol)
 	}
 
 	d.ring = make([][]float64, d.cfg.Window)
 	d.pos, d.n = 0, 0
+	d.resetInferCache()
 	return nil
 }
 
 // fitFast is the scratch-kernel training loop. Windows are views into
 // the standardised reference (the rows of one window are contiguous in
 // memory), so the epoch loop performs no copies and — once the layer
-// scratch is warm — no allocations.
-func (d *Detector) fitFast(std *mat.Matrix, starts []int, w, dim int, rng *rand.Rand, opt *nn.Adam) {
+// scratch is warm — no allocations. epochs bounds the pass count; a
+// positive tol additionally stops after any epoch whose summed window
+// loss improved on the previous epoch's by less than tol relative (the
+// warm-start early-stop budget; cold fits pass tol 0 and always run
+// every epoch).
+func (d *Detector) fitFast(std *mat.Matrix, starts []int, w, dim int, rng *rand.Rand, opt *nn.Adam, epochs int, tol float64) {
 	batch := d.cfg.Batch
 	if batch > len(starts) {
 		batch = len(starts)
@@ -262,7 +357,13 @@ func (d *Detector) fitFast(std *mat.Matrix, starts []int, w, dim int, rng *rand.
 		}
 	}
 
-	for epoch := 0; epoch < d.cfg.Epochs; epoch++ {
+	var lossSlots []float64
+	if batch > 1 {
+		lossSlots = make([]float64, batch)
+	}
+	var prevLoss float64
+	for epoch := 0; epoch < epochs; epoch++ {
+		var epochLoss float64
 		rng.Shuffle(len(starts), func(i, j int) { starts[i], starts[j] = starts[j], starts[i] })
 		for lo := 0; lo < len(starts); lo += batch {
 			hi := lo + batch
@@ -271,7 +372,7 @@ func (d *Detector) fitFast(std *mat.Matrix, starts []int, w, dim int, rng *rand.
 			}
 			chunk := starts[lo:hi]
 			if batch == 1 {
-				d.master.windowGrad(std, chunk[0], w, dim)
+				epochLoss += d.master.windowGrad(std, chunk[0], w, dim)
 			} else {
 				// Always reduce through per-window slots, even with one
 				// worker: direct sequential accumulation into G nests
@@ -290,7 +391,7 @@ func (d *Detector) fitFast(std *mat.Matrix, starts []int, w, dim int, rng *rand.
 						p.G = slot[pi]
 					}
 					nn.ZeroGrads(net.params)
-					net.windowGrad(std, chunk[item], w, dim)
+					lossSlots[item] = net.windowGrad(std, chunk[item], w, dim)
 				})
 				// Restore every net's own gradient buffers (the master's
 				// are about to accumulate the reduction, and aliasing a
@@ -302,6 +403,10 @@ func (d *Detector) fitFast(std *mat.Matrix, starts []int, w, dim int, rng *rand.
 				}
 				nn.ZeroGrads(d.master.params)
 				for item := range chunk {
+					// Loss slots reduce in item order like the gradient
+					// slots, so the early-stop decision is as
+					// worker-count-independent as the weights.
+					epochLoss += lossSlots[item]
 					for pi, p := range d.master.params {
 						mat.AddScaled(p.G, 1, slots[item][pi])
 					}
@@ -309,6 +414,10 @@ func (d *Detector) fitFast(std *mat.Matrix, starts []int, w, dim int, rng *rand.
 			}
 			opt.Step()
 		}
+		if tol > 0 && epoch > 0 && prevLoss-epochLoss < tol*math.Abs(prevLoss) {
+			break
+		}
+		prevLoss = epochLoss
 	}
 }
 
@@ -327,30 +436,49 @@ func (d *Detector) buildNet(dim int, rng *rand.Rand) {
 // mode.
 func (d *Detector) newFitNet(dim int, rng *rand.Rand) *fitNet {
 	dm := d.cfg.DModel
+	// Layers are constructed in the exact order of the original
+	// composite literals so the rng draws (and therefore the initial
+	// weights) are unchanged; the locals feed both the sequentials and
+	// the inferRefs.
+	encLin := nn.NewLinear(dim, dm, rng)
+	pe := nn.NewPositionalEncoding(dm)
+	attn := nn.NewSelfAttention(dm, d.cfg.Heads, rng)
+	ln1 := nn.NewLayerNorm(dm)
+	ffn1 := nn.NewLinear(dm, 2*dm, rng)
+	ffn2 := nn.NewLinear(2*dm, dm, rng)
+	ln2 := nn.NewLayerNorm(dm)
 	net := &fitNet{
 		enc: nn.NewSequential(
-			nn.NewLinear(dim, dm, rng),
-			nn.NewPositionalEncoding(dm),
-			nn.NewResidual(nn.NewSelfAttention(dm, d.cfg.Heads, rng)),
-			nn.NewLayerNorm(dm),
+			encLin,
+			pe,
+			nn.NewResidual(attn),
+			ln1,
 			nn.NewResidual(nn.NewSequential(
-				nn.NewLinear(dm, 2*dm, rng),
+				ffn1,
 				nn.NewReLU(),
-				nn.NewLinear(2*dm, dm, rng),
+				ffn2,
 			)),
-			nn.NewLayerNorm(dm),
+			ln2,
 		),
 	}
+	dec1a := nn.NewLinear(dm, dm, rng)
+	dec1b := nn.NewLinear(dm, dim, rng)
 	net.dec1 = nn.NewSequential(
-		nn.NewLinear(dm, dm, rng),
+		dec1a,
 		nn.NewReLU(),
-		nn.NewLinear(dm, dim, rng),
+		dec1b,
 	)
 	net.fuse = nn.NewLinear(dm+dim, dm, rng)
+	dec2b := nn.NewLinear(dm, dim, rng)
 	net.dec2 = nn.NewSequential(
 		nn.NewReLU(),
-		nn.NewLinear(dm, dim, rng),
+		dec2b,
 	)
+	net.inf = inferRefs{
+		encLin: encLin, pe: pe, attn: attn,
+		ln1: ln1, ffn1: ffn1, ffn2: ffn2, ln2: ln2,
+		dec1a: dec1a, dec1b: dec1b, dec2b: dec2b,
+	}
 	net.params = net.collectParams()
 	for _, l := range []nn.Layer{net.enc, net.dec1, net.fuse, net.dec2} {
 		nn.SetLegacyKernels(l, d.cfg.LegacyFitKernels)
@@ -377,25 +505,28 @@ func (d *Detector) params() []*nn.Param {
 }
 
 // windowGrad runs one forward/backward pass on the window starting at
-// row s of std, accumulating parameter gradients (no optimiser step).
-// The window is a zero-copy view: w consecutive rows of std are
-// contiguous in its backing slice.
-func (n *fitNet) windowGrad(std *mat.Matrix, s, w, dim int) {
+// row s of std, accumulating parameter gradients (no optimiser step)
+// and returning the window's summed two-decoder loss. The window is a
+// zero-copy view: w consecutive rows of std are contiguous in its
+// backing slice.
+func (n *fitNet) windowGrad(std *mat.Matrix, s, w, dim int) float64 {
 	n.winView.Rows, n.winView.Cols = w, dim
 	n.winView.Data = std.Data[s*dim : (s+w)*dim]
-	n.forwardBackward(&n.winView)
+	return n.forwardBackward(&n.winView)
 }
 
 // forwardBackward is the shared two-decoder loss pass of the fast path:
-// the same operations as trainStepLegacy, on detector-owned scratch.
-func (n *fitNet) forwardBackward(win *mat.Matrix) {
+// the same operations as trainStepLegacy, on detector-owned scratch. It
+// returns the summed loss of both decoders (the warm-start early-stop
+// signal).
+func (n *fitNet) forwardBackward(win *mat.Matrix) float64 {
 	z := n.enc.Forward(win)
 	o1 := n.dec1.Forward(z)
-	_, g1 := nn.MSELossInto(&n.g1, o1, win)
+	l1, g1 := nn.MSELossInto(&n.g1, o1, win)
 
 	x2 := concatColsInto(&n.x2, z, focusInto(&n.foc, o1, win))
 	o2 := n.dec2.Forward(n.fuse.Forward(x2))
-	_, g2 := nn.MSELossInto(&n.g2, o2, win)
+	l2, g2 := nn.MSELossInto(&n.g2, o2, win)
 
 	dz1 := n.dec1.Backward(g1)
 	dx2 := n.fuse.Backward(n.dec2.Backward(g2))
@@ -411,6 +542,7 @@ func (n *fitNet) forwardBackward(win *mat.Matrix) {
 		}
 	}
 	n.enc.Backward(dz)
+	return l1 + l2
 }
 
 // trainStepLegacy runs one forward/backward pass on a window and applies
@@ -474,64 +606,12 @@ func concatColsInto(out, a, b *mat.Matrix) *mat.Matrix {
 // Score implements detector.Detector: it appends x to the streaming
 // window and returns the averaged two-decoder reconstruction error of
 // the window's last position. Until the window fills the score is 0 (no
-// alarm can fire while context is insufficient).
+// alarm can fire while context is insufficient). The allocation-free
+// equivalent is ScoreInto (score.go).
 func (d *Detector) Score(x []float64) ([]float64, error) {
-	if d.enc == nil {
-		return nil, detector.ErrNotFitted
+	out := make([]float64, 1)
+	if err := d.ScoreInto(x, out); err != nil {
+		return nil, err
 	}
-	if len(x) != d.dim {
-		return nil, detector.ErrDimension
-	}
-	if d.cfg.LegacyFitKernels {
-		std, err := mat.ApplyStandardization(x, d.means, d.stds)
-		if err != nil {
-			return nil, err
-		}
-		d.ring[d.pos] = std
-	} else {
-		// Standardise into the ring slot in place: the scoring path
-		// allocates nothing once every slot exists.
-		if d.ring[d.pos] == nil {
-			d.ring[d.pos] = make([]float64, d.dim)
-		}
-		if _, err := mat.ApplyStandardizationInto(d.ring[d.pos], x, d.means, d.stds); err != nil {
-			return nil, err
-		}
-	}
-	d.pos = (d.pos + 1) % len(d.ring)
-	if d.n < len(d.ring) {
-		d.n++
-	}
-	if d.n < len(d.ring) {
-		return []float64{0}, nil
-	}
-	w := len(d.ring)
-	var win *mat.Matrix
-	if d.cfg.LegacyFitKernels {
-		win = mat.NewMatrix(w, d.dim)
-	} else {
-		win = d.swin.EnsureShape(w, d.dim)
-	}
-	for r := 0; r < w; r++ {
-		copy(win.Row(r), d.ring[(d.pos+r)%w])
-	}
-	var z, o1, o2 *mat.Matrix
-	if d.cfg.LegacyFitKernels {
-		z = d.enc.Forward(win)
-		o1 = d.dec1.Forward(z)
-		o2 = d.dec2.Forward(d.fuse.Forward(concatCols(z, focus(o1, win))))
-	} else {
-		m := d.master
-		z = d.enc.Forward(win)
-		o1 = d.dec1.Forward(z)
-		o2 = d.dec2.Forward(d.fuse.Forward(concatColsInto(&m.x2, z, focusInto(&m.foc, o1, win))))
-	}
-	last := w - 1
-	var mse float64
-	for c := 0; c < d.dim; c++ {
-		d1 := o1.At(last, c) - win.At(last, c)
-		d2 := o2.At(last, c) - win.At(last, c)
-		mse += (d1*d1 + d2*d2) / 2
-	}
-	return []float64{mse / float64(d.dim)}, nil
+	return out, nil
 }

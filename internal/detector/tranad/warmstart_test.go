@@ -1,0 +1,149 @@
+package tranad
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/navarchos/pdm/internal/fitpool"
+)
+
+// TestWarmStartReusesWeights refits a WarmStart detector on a second
+// reference and checks the refit started from the first fit's weights
+// rather than a fresh initialisation: a cold refit with the same seed
+// lands on different weights than the warm one.
+func TestWarmStartReusesWeights(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	ref1 := synthRef(rng, 120, 4)
+	ref2 := synthRef(rng, 120, 4)
+
+	warm := New(Config{Epochs: 3, Seed: 5, WarmStart: true})
+	cold := New(Config{Epochs: 3, Seed: 5})
+	if err := warm.Fit(ref1); err != nil {
+		t.Fatal(err)
+	}
+	if err := cold.Fit(ref1); err != nil {
+		t.Fatal(err)
+	}
+	// First fits are identical: WarmStart only changes refits.
+	wp, cp := warm.params(), cold.params()
+	for pi := range wp {
+		for j := range wp[pi].W {
+			if math.Float64bits(wp[pi].W[j]) != math.Float64bits(cp[pi].W[j]) {
+				t.Fatalf("first fit differs with WarmStart set (param %d weight %d)", pi, j)
+			}
+		}
+	}
+
+	if err := warm.Fit(ref2); err != nil {
+		t.Fatal(err)
+	}
+	if err := cold.Fit(ref2); err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for pi := range wp {
+		for j := range wp[pi].W {
+			if math.Float64bits(wp[pi].W[j]) != math.Float64bits(cp[pi].W[j]) {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Fatal("warm refit produced identical weights to a cold refit; warm start did not engage")
+	}
+}
+
+// TestWarmStartDimensionChangeFallsBack changes the feature
+// dimensionality between fits; the warm path cannot reuse weights then
+// and must rebuild without error.
+func TestWarmStartDimensionChangeFallsBack(t *testing.T) {
+	rng := rand.New(rand.NewSource(67))
+	d := New(Config{Epochs: 2, Seed: 3, WarmStart: true})
+	if err := d.Fit(synthRef(rng, 100, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Fit(synthRef(rng, 100, 5)); err != nil {
+		t.Fatal(err)
+	}
+	x := make([]float64, 5)
+	if _, err := d.Score(x); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWarmStartScoresUsableAfterRefit smoke-checks that a warm refit
+// still yields a model that separates a level shift, and that the
+// refitted detector scores through the last-row path without error.
+func TestWarmStartScoresUsableAfterRefit(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	ref := synthRef(rng, 150, 3)
+	d := New(Config{Epochs: 4, Seed: 2, WarmStart: true})
+	if err := d.Fit(ref); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Fit(synthRef(rng, 150, 3)); err != nil {
+		t.Fatal(err)
+	}
+	var normal, shifted float64
+	for i := 0; i < 60; i++ {
+		s, err := d.Score(ref[i%len(ref)])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i >= 20 {
+			normal += s[0]
+		}
+	}
+	for i := 0; i < 40; i++ {
+		s, err := d.Score([]float64{8, -8, 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i >= 10 {
+			shifted += s[0]
+		}
+	}
+	if !(shifted/30 > normal/40) {
+		t.Fatalf("level shift not separated after warm refit: normal %v shifted %v", normal/40, shifted/30)
+	}
+}
+
+// TestWarmStartDeterministicAcrossWorkers extends the minibatch
+// determinism contract to warm refits: the early-stop decision reduces
+// per-item losses in item order, so the refit trajectory must not
+// depend on the fitpool worker count.
+func TestWarmStartDeterministicAcrossWorkers(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	ref1 := synthRef(rng, 100, 3)
+	ref2 := synthRef(rng, 100, 3)
+
+	train := func(workers int) []float64 {
+		defer fitpool.SetWorkers(fitpool.Workers())
+		fitpool.SetWorkers(workers)
+		d := New(Config{Epochs: 2, Seed: 9, Batch: 4, WarmStart: true})
+		if err := d.Fit(ref1); err != nil {
+			t.Fatal(err)
+		}
+		if err := d.Fit(ref2); err != nil {
+			t.Fatal(err)
+		}
+		var flat []float64
+		for _, p := range d.params() {
+			flat = append(flat, p.W...)
+		}
+		return flat
+	}
+
+	serial := train(1)
+	parallel := train(4)
+	if len(serial) != len(parallel) {
+		t.Fatalf("weight count differs: %d vs %d", len(serial), len(parallel))
+	}
+	for i := range serial {
+		if math.Float64bits(serial[i]) != math.Float64bits(parallel[i]) {
+			t.Fatalf("warm refit depends on worker count at weight %d: 1w %v 4w %v",
+				i, serial[i], parallel[i])
+		}
+	}
+}

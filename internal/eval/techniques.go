@@ -106,6 +106,27 @@ func NewBaselineDetector(t Technique, featureNames []string, seed int64) (detect
 	}
 }
 
+// NewFullWindowDetector builds the technique with the current fit
+// kernels but, for TranAD, the full-window scratch scorer (the scoring
+// hot path as it stood before the last-row rewrite) instead of the
+// default last-row scorer. It is the reference leg of the scoring-path
+// equivalence gate (experiments.ScorePerf); both scorers are
+// bit-identical by construction, so cells must match everywhere.
+func NewFullWindowDetector(t Technique, featureNames []string, seed int64) (detector.Detector, error) {
+	if t != TranAD {
+		return NewDetector(t, featureNames, seed)
+	}
+	return tranad.New(tranad.Config{
+		Window:          8,
+		DModel:          12,
+		Heads:           2,
+		Epochs:          5,
+		MaxWindows:      256,
+		Seed:            seed,
+		FullWindowScore: true,
+	}), nil
+}
+
 // NewDetector builds a fresh detector instance for the technique.
 // featureNames labels per-feature channels; seed makes the trainable
 // techniques deterministic. The default hyper-parameters are sized for

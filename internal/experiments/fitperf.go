@@ -10,6 +10,7 @@ import (
 	"github.com/navarchos/pdm/internal/detector/regress"
 	"github.com/navarchos/pdm/internal/detector/tranad"
 	"github.com/navarchos/pdm/internal/eval"
+	"github.com/navarchos/pdm/internal/fleetsim"
 	"github.com/navarchos/pdm/internal/gbt"
 	"github.com/navarchos/pdm/internal/mat"
 	"github.com/navarchos/pdm/internal/transform"
@@ -189,42 +190,67 @@ func FitPerf(o *Options) (*FitPerfResult, error) {
 
 	// Equivalence gate: the trainer-bound grid half through both kernel
 	// generations must land on exactly the same cells.
-	spec := gridSpec(f)
-	spec.Techniques = []eval.Technique{eval.TranAD, eval.XGBoost}
-	for _, t := range spec.Techniques {
-		res.Equivalence.Techniques = append(res.Equivalence.Techniques, t.String())
-	}
-	legSpec := spec
-	legSpec.NewDetector = eval.NewBaselineDetector
-	start := time.Now()
-	ref, err := eval.RunGrid(legSpec)
+	res.Equivalence, err = equivalenceGrid(f,
+		[]eval.Technique{eval.TranAD, eval.XGBoost},
+		eval.NewBaselineDetector,
+		func(c eval.Cell) bool {
+			// XGBoost on the per-record transforms leaves the lossless
+			// histogram-binning regime; everything else is guaranteed.
+			return !(c.Technique == eval.XGBoost &&
+				(c.Transform == transform.Raw || c.Transform == transform.Delta))
+		})
 	if err != nil {
 		return nil, err
 	}
-	res.Equivalence.LegacySeconds = time.Since(start).Seconds()
+	return res, nil
+}
+
+// equivalenceGrid runs a technique subset of the paper grid twice —
+// the reference leg through refDetector, the fast leg through the
+// default constructors — and compares cells. guaranteed selects the
+// subset whose equality is promised at every scale (nil: all cells);
+// CellsMatch always compares the full grid.
+func equivalenceGrid(f *fleetsim.Fleet, techniques []eval.Technique,
+	refDetector func(eval.Technique, []string, int64) (detector.Detector, error),
+	guaranteed func(eval.Cell) bool) (FitEquivalence, error) {
+	var eq FitEquivalence
+	spec := gridSpec(f)
+	spec.Techniques = techniques
+	for _, t := range techniques {
+		eq.Techniques = append(eq.Techniques, t.String())
+	}
+	refSpec := spec
+	refSpec.NewDetector = refDetector
+	start := time.Now()
+	ref, err := eval.RunGrid(refSpec)
+	if err != nil {
+		return eq, err
+	}
+	eq.LegacySeconds = time.Since(start).Seconds()
 	start = time.Now()
 	fast, err := eval.RunGrid(spec)
 	if err != nil {
-		return nil, err
+		return eq, err
 	}
-	res.Equivalence.FastSeconds = time.Since(start).Seconds()
-	if res.Equivalence.FastSeconds > 0 {
-		res.Equivalence.Speedup = res.Equivalence.LegacySeconds / res.Equivalence.FastSeconds
+	eq.FastSeconds = time.Since(start).Seconds()
+	if eq.FastSeconds > 0 {
+		eq.Speedup = eq.LegacySeconds / eq.FastSeconds
 	}
-	res.Equivalence.CellsMatch = cellsEqual(ref.Cells, fast.Cells)
-	lossless := func(cells []eval.Cell) []eval.Cell {
+	eq.CellsMatch = cellsEqual(ref.Cells, fast.Cells)
+	filter := func(cells []eval.Cell) []eval.Cell {
+		if guaranteed == nil {
+			return cells
+		}
 		var out []eval.Cell
 		for _, c := range cells {
-			if c.Technique == eval.XGBoost &&
-				(c.Transform == transform.Raw || c.Transform == transform.Delta) {
-				continue
+			if guaranteed(c) {
+				out = append(out, c)
 			}
-			out = append(out, c)
 		}
 		return out
 	}
-	res.Equivalence.LosslessCellsMatch = cellsEqual(lossless(ref.Cells), lossless(fast.Cells))
-	return res, nil
+	eq.LosslessCellsMatch = cellsEqual(filter(ref.Cells), filter(fast.Cells))
+	return eq, nil
 }
 
 // Render prints the fit-path exhibit as text.

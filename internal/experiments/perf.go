@@ -1,7 +1,9 @@
 package experiments
 
 import (
+	"fmt"
 	"io"
+	"math"
 	"runtime"
 	"sort"
 	"time"
@@ -9,21 +11,42 @@ import (
 	"github.com/navarchos/pdm/internal/core"
 	"github.com/navarchos/pdm/internal/detector/closestpair"
 	"github.com/navarchos/pdm/internal/fleet"
+	"github.com/navarchos/pdm/internal/fleetsim"
 	"github.com/navarchos/pdm/internal/thresholds"
 	"github.com/navarchos/pdm/internal/timeseries"
 	"github.com/navarchos/pdm/internal/transform"
 )
 
-// PerfRun is one engine replay at a fixed shard count.
+// perfRepeats is how many times each shard count is replayed. Reported
+// throughput and latency derive from the median repeat; min and stddev
+// are published alongside so noisy hosts are visible in the JSON.
+const perfRepeats = 5
+
+// PerfRun is one engine configuration's measurement at a fixed shard
+// count: perfRepeats replays, summarised by median.
 type PerfRun struct {
-	Shards        int     `json:"shards"`
+	Shards int `json:"shards"`
+	// GoMaxProcs is runtime.GOMAXPROCS at the time of this run — the
+	// scheduler parallelism the shard count actually had available.
+	GoMaxProcs int `json:"gomaxprocs"`
+	// Repeats is the number of replays behind the summary statistics.
+	Repeats int `json:"repeats"`
+	// Seconds is the median wall time across repeats; Min and Stddev
+	// summarise the spread.
 	Seconds       float64 `json:"seconds"`
+	SecondsMin    float64 `json:"seconds_min"`
+	SecondsStddev float64 `json:"seconds_stddev"`
 	RecordsPerSec float64 `json:"records_per_sec"`
-	// MeanLatencyMicros is wall time divided by record count: the
+	// MeanLatencyMicros is median wall time divided by record count: the
 	// average end-to-end cost of one record, in microseconds.
 	MeanLatencyMicros float64 `json:"mean_latency_us"`
 	SamplesScored     uint64  `json:"samples_scored"`
 	Alarms            uint64  `json:"alarms"`
+	// InsufficientCPU flags runs where the host has fewer CPUs than
+	// shards: the scaling claim is vacuous there (goroutines time-slice
+	// one core), so the run is published but must not be read as a
+	// scaling data point.
+	InsufficientCPU bool `json:"insufficient_cpu,omitempty"`
 }
 
 // PerfResult is the machine-readable throughput/latency exhibit: the
@@ -47,6 +70,10 @@ type PerfResult struct {
 	// FitPerf, when present, is the fit-path acceleration exhibit
 	// (legacy vs kernel training loops) measured in the same invocation.
 	FitPerf *FitPerfResult `json:"fitperf,omitempty"`
+	// ScorePerf, when present, is the scoring-path acceleration exhibit
+	// (legacy vs last-row/scratch scoring) measured in the same
+	// invocation.
+	ScorePerf *ScorePerfResult `json:"scoreperf,omitempty"`
 }
 
 // perfPipelineConfig is the complete solution without the warm-up
@@ -65,13 +92,77 @@ func perfPipelineConfig(string) (core.Config, error) {
 	}, nil
 }
 
-// Perf replays the fleet through the sharded engine once per shard
-// count and reports throughput and mean per-record latency. A nil or
-// empty shardCounts defaults to {1, 2, NumCPU}, deduplicated.
+// defaultShardCounts is the scaling curve 1, 2, 4, ... up to NumCPU
+// (always at least {1, 2}, so a single-core host still records the
+// flagged oversubscribed point).
+func defaultShardCounts() []int {
+	counts := []int{1}
+	for s := 2; s <= runtime.NumCPU(); s *= 2 {
+		counts = append(counts, s)
+	}
+	if n := runtime.NumCPU(); n > 2 && counts[len(counts)-1] != n {
+		counts = append(counts, n)
+	}
+	if len(counts) == 1 {
+		counts = append(counts, 2)
+	}
+	return counts
+}
+
+// replayOnce runs one full fleet replay at the given shard count and
+// returns the wall time plus the engine counters.
+func replayOnce(f *fleetsim.Fleet, shards int) (float64, fleet.EngineStats, error) {
+	eng, err := fleet.NewEngine(fleet.Config{
+		NewConfig:  perfPipelineConfig,
+		Shards:     shards,
+		DropAlarms: true,
+	})
+	if err != nil {
+		return 0, fleet.EngineStats{}, err
+	}
+	start := time.Now()
+	if err := eng.Replay(f.Records, f.Events); err != nil {
+		return 0, fleet.EngineStats{}, err
+	}
+	if err := eng.Close(); err != nil {
+		return 0, fleet.EngineStats{}, err
+	}
+	return time.Since(start).Seconds(), eng.Stats(), nil
+}
+
+// summarize reduces per-repeat wall times to (median, min, stddev).
+func summarize(times []float64) (median, min, stddev float64) {
+	s := append([]float64(nil), times...)
+	sort.Float64s(s)
+	min = s[0]
+	if n := len(s); n%2 == 1 {
+		median = s[n/2]
+	} else {
+		median = (s[n/2-1] + s[n/2]) / 2
+	}
+	var mean float64
+	for _, t := range s {
+		mean += t
+	}
+	mean /= float64(len(s))
+	var ss float64
+	for _, t := range s {
+		ss += (t - mean) * (t - mean)
+	}
+	stddev = math.Sqrt(ss / float64(len(s)))
+	return median, min, stddev
+}
+
+// Perf replays the fleet through the sharded engine perfRepeats times
+// per shard count and reports median throughput and mean per-record
+// latency, with min/stddev spread. A nil or empty shardCounts defaults
+// to the doubling curve 1, 2, 4, ... NumCPU. Shard counts above the
+// host CPU count are measured but flagged InsufficientCPU: they cannot
+// evidence (or refute) multi-core scaling.
 func Perf(o *Options, shardCounts []int) (*PerfResult, error) {
 	f := o.fleet()
 	if len(shardCounts) == 0 {
-		shardCounts = []int{1, 2, runtime.NumCPU()}
+		shardCounts = defaultShardCounts()
 	}
 	sort.Ints(shardCounts)
 	res := &PerfResult{
@@ -87,30 +178,37 @@ func Perf(o *Options, shardCounts []int) (*PerfResult, error) {
 			continue
 		}
 		prev = shards
-		eng, err := fleet.NewEngine(fleet.Config{
-			NewConfig:  perfPipelineConfig,
-			Shards:     shards,
-			DropAlarms: true,
-		})
-		if err != nil {
-			return nil, err
+		times := make([]float64, 0, perfRepeats)
+		var stats fleet.EngineStats
+		for rep := 0; rep < perfRepeats; rep++ {
+			elapsed, s, err := replayOnce(f, shards)
+			if err != nil {
+				return nil, err
+			}
+			times = append(times, elapsed)
+			if rep == 0 {
+				stats = s
+			} else if s.SamplesScored != stats.SamplesScored || s.Alarms != stats.Alarms {
+				// Replay is deterministic per shard count; diverging
+				// counters would mean the engine dropped or duplicated
+				// work under this configuration.
+				return nil, fmt.Errorf("perf: engine counters diverged across repeats at %d shards (scored %d vs %d, alarms %d vs %d)",
+					shards, stats.SamplesScored, s.SamplesScored, stats.Alarms, s.Alarms)
+			}
 		}
-		start := time.Now()
-		if err := eng.Replay(f.Records, f.Events); err != nil {
-			return nil, err
-		}
-		if err := eng.Close(); err != nil {
-			return nil, err
-		}
-		elapsed := time.Since(start).Seconds()
-		stats := eng.Stats()
+		median, min, stddev := summarize(times)
 		res.Runs = append(res.Runs, PerfRun{
 			Shards:            shards,
-			Seconds:           elapsed,
-			RecordsPerSec:     float64(len(f.Records)) / elapsed,
-			MeanLatencyMicros: elapsed * 1e6 / float64(len(f.Records)),
+			GoMaxProcs:        runtime.GOMAXPROCS(0),
+			Repeats:           len(times),
+			Seconds:           median,
+			SecondsMin:        min,
+			SecondsStddev:     stddev,
+			RecordsPerSec:     float64(len(f.Records)) / median,
+			MeanLatencyMicros: median * 1e6 / float64(len(f.Records)),
 			SamplesScored:     stats.SamplesScored,
 			Alarms:            stats.Alarms,
+			InsufficientCPU:   shards > runtime.NumCPU(),
 		})
 	}
 	return res, nil
@@ -118,13 +216,17 @@ func Perf(o *Options, shardCounts []int) (*PerfResult, error) {
 
 // Render prints the perf exhibit as a text table.
 func (r *PerfResult) Render(w io.Writer) {
-	fprintf(w, "Fleet-engine throughput (%d vehicles, %d records, %d events, %d CPUs)\n",
-		r.Vehicles, r.Records, r.Events, r.CPUs)
-	fprintf(w, "%8s  %10s  %14s  %14s  %10s  %8s\n",
-		"shards", "seconds", "records/s", "latency (us)", "scored", "alarms")
+	fprintf(w, "Fleet-engine throughput (%d vehicles, %d records, %d events, %d CPUs, median of %d repeats)\n",
+		r.Vehicles, r.Records, r.Events, r.CPUs, perfRepeats)
+	fprintf(w, "%8s  %6s  %10s  %10s  %9s  %14s  %14s  %10s  %8s\n",
+		"shards", "procs", "seconds", "min", "stddev", "records/s", "latency (us)", "scored", "alarms")
 	for _, run := range r.Runs {
-		fprintf(w, "%8d  %10.3f  %14.0f  %14.3f  %10d  %8d\n",
-			run.Shards, run.Seconds, run.RecordsPerSec, run.MeanLatencyMicros,
-			run.SamplesScored, run.Alarms)
+		flag := ""
+		if run.InsufficientCPU {
+			flag = "  [insufficient cpu]"
+		}
+		fprintf(w, "%8d  %6d  %10.3f  %10.3f  %9.3f  %14.0f  %14.3f  %10d  %8d%s\n",
+			run.Shards, run.GoMaxProcs, run.Seconds, run.SecondsMin, run.SecondsStddev,
+			run.RecordsPerSec, run.MeanLatencyMicros, run.SamplesScored, run.Alarms, flag)
 	}
 }

@@ -1,0 +1,265 @@
+package experiments
+
+import (
+	"io"
+	"math"
+	"time"
+
+	"github.com/navarchos/pdm/internal/detector/regress"
+	"github.com/navarchos/pdm/internal/detector/tranad"
+	"github.com/navarchos/pdm/internal/eval"
+	"github.com/navarchos/pdm/internal/gbt"
+	"github.com/navarchos/pdm/internal/mat"
+)
+
+// ScoreLeg is one detector's scoring-path measurement: the same fitted
+// weights streamed through the legacy scorer, (for TranAD) the
+// full-window scratch scorer, and the current fast path, per-record.
+type ScoreLeg struct {
+	Detector string `json:"detector"`
+	// Records is the stream length behind each timing; Dim the feature
+	// dimensionality.
+	Records int `json:"records"`
+	Dim     int `json:"dim"`
+
+	// LegacyNsPerRecord times the pre-optimisation scorer
+	// (allocate-per-call); FullNsPerRecord, when present, the PR 5
+	// scratch full-window scorer; FastNsPerRecord the current default.
+	LegacyNsPerRecord float64 `json:"legacy_ns_per_record"`
+	FullNsPerRecord   float64 `json:"full_ns_per_record,omitempty"`
+	FastNsPerRecord   float64 `json:"fast_ns_per_record"`
+	SpeedupVsLegacy   float64 `json:"speedup_vs_legacy"`
+	SpeedupVsFull     float64 `json:"speedup_vs_full,omitempty"`
+	// BitIdentical reports whether every scorer produced the same bits
+	// for every record of the stream.
+	BitIdentical bool `json:"bit_identical"`
+}
+
+// WarmStartLeg measures TranAD refit cost: successive profile refills
+// fitted cold (fresh initialisation, full epoch budget) vs warm
+// (seeded from the previous weights, reduced epochs + early stop).
+type WarmStartLeg struct {
+	Refits      int     `json:"refits"`
+	Rows        int     `json:"rows"`
+	Dim         int     `json:"dim"`
+	ColdSeconds float64 `json:"cold_seconds"`
+	WarmSeconds float64 `json:"warm_seconds"`
+	Speedup     float64 `json:"speedup"`
+}
+
+// ScorePerfResult is the scoring-path acceleration exhibit: per-record
+// scoring cost for the two heavy detectors (legacy vs current paths),
+// warm-start refit cost, and the grid-level equivalence gate pinning
+// the last-row scorer to the full-window scorer cell-for-cell.
+type ScorePerfResult struct {
+	// SIMD records which vector kernel classes the measuring CPU
+	// enabled ("avx+fma", "avx", "scalar").
+	SIMD string `json:"simd"`
+
+	TranAD  ScoreLeg `json:"tranad"`
+	Regress ScoreLeg `json:"regress"`
+
+	WarmStart WarmStartLeg `json:"warmstart"`
+
+	// Equivalence replays the TranAD grid column with the full-window
+	// scorer as the reference leg; the last-row scorer is bit-identical
+	// by construction, so both comparisons must hold at every scale.
+	Equivalence FitEquivalence `json:"equivalence"`
+}
+
+// timeScorePath streams every record through a warm scorer perfRepeats
+// times and returns the median nanoseconds per record.
+func timeScorePath(score func(x []float64) error, stream [][]float64) (float64, error) {
+	times := make([]float64, 0, perfRepeats)
+	for rep := 0; rep < perfRepeats; rep++ {
+		start := time.Now()
+		for _, x := range stream {
+			if err := score(x); err != nil {
+				return 0, err
+			}
+		}
+		times = append(times, time.Since(start).Seconds())
+	}
+	median, _, _ := summarize(times)
+	return median * 1e9 / float64(len(stream)), nil
+}
+
+func (l *ScoreLeg) finish() {
+	if l.FastNsPerRecord > 0 {
+		l.SpeedupVsLegacy = l.LegacyNsPerRecord / l.FastNsPerRecord
+		if l.FullNsPerRecord > 0 {
+			l.SpeedupVsFull = l.FullNsPerRecord / l.FastNsPerRecord
+		}
+	}
+}
+
+// ScorePerf measures the scoring-path acceleration. The TranAD leg fits
+// three same-seed detectors — legacy kernels, full-window scratch
+// scorer, last-row scorer — whose weights are bit-identical, then
+// streams the same records through each; the regress leg compares the
+// allocating dropped-column scorer against the scratch ScoreInto. The
+// warm-start leg times profile-refill refits cold vs seeded. The
+// equivalence leg replays the TranAD grid column through the
+// full-window and last-row scorers and requires identical cells.
+func ScorePerf(o *Options) (*ScorePerfResult, error) {
+	f := o.fleet()
+	res := &ScorePerfResult{SIMD: mat.SIMDMode()}
+
+	// TranAD: transformer sized like the fitperf leg, streaming scores
+	// through a full window.
+	const (
+		tRows, tDim = 200, 16
+		streamN     = 4096
+	)
+	base := tranad.Config{Window: 16, DModel: 48, Heads: 4, Epochs: 3, MaxWindows: 256, Seed: 1}
+	legacyCfg := base
+	legacyCfg.LegacyFitKernels = true
+	fullCfg := base
+	fullCfg.FullWindowScore = true
+	ref := fitPerfRef(3000, tRows, tDim)
+	stream := fitPerfRef(3001, streamN, tDim)
+	legacy, full, fast := tranad.New(legacyCfg), tranad.New(fullCfg), tranad.New(base)
+	for _, d := range []*tranad.Detector{legacy, full, fast} {
+		if err := d.Fit(ref); err != nil {
+			return nil, err
+		}
+	}
+	res.TranAD = ScoreLeg{Detector: "tranad", Records: streamN, Dim: tDim, BitIdentical: true}
+	var sL, sF, sX [1]float64
+	for _, x := range stream {
+		if err := legacy.ScoreInto(x, sL[:]); err != nil {
+			return nil, err
+		}
+		if err := full.ScoreInto(x, sF[:]); err != nil {
+			return nil, err
+		}
+		if err := fast.ScoreInto(x, sX[:]); err != nil {
+			return nil, err
+		}
+		if math.Float64bits(sL[0]) != math.Float64bits(sX[0]) ||
+			math.Float64bits(sF[0]) != math.Float64bits(sX[0]) {
+			res.TranAD.BitIdentical = false
+		}
+	}
+	var err error
+	intoScorer := func(d *tranad.Detector) func([]float64) error {
+		var dst [1]float64
+		return func(x []float64) error { return d.ScoreInto(x, dst[:]) }
+	}
+	if res.TranAD.LegacyNsPerRecord, err = timeScorePath(intoScorer(legacy), stream); err != nil {
+		return nil, err
+	}
+	if res.TranAD.FullNsPerRecord, err = timeScorePath(intoScorer(full), stream); err != nil {
+		return nil, err
+	}
+	if res.TranAD.FastNsPerRecord, err = timeScorePath(intoScorer(fast), stream); err != nil {
+		return nil, err
+	}
+	res.TranAD.finish()
+
+	// Regress/XGBoost: the per-channel tree walk is untouched; the fast
+	// path only removes the dim+1 allocations per record.
+	const rRows, rDim = 1024, 10
+	rd := regress.New(nil, gbt.Config{NumTrees: 25, MaxDepth: 3, Seed: 1})
+	if err := rd.Fit(fitPerfRef(3050, rRows, rDim)); err != nil {
+		return nil, err
+	}
+	rstream := fitPerfRef(3051, streamN, rDim)
+	res.Regress = ScoreLeg{Detector: "xgboost", Records: streamN, Dim: rDim, BitIdentical: true}
+	rdst := make([]float64, rDim)
+	for _, x := range rstream {
+		want, err := rd.ScoreLegacy(x)
+		if err != nil {
+			return nil, err
+		}
+		if err := rd.ScoreInto(x, rdst); err != nil {
+			return nil, err
+		}
+		for c := range want {
+			if math.Float64bits(want[c]) != math.Float64bits(rdst[c]) {
+				res.Regress.BitIdentical = false
+			}
+		}
+	}
+	if res.Regress.LegacyNsPerRecord, err = timeScorePath(func(x []float64) error {
+		_, err := rd.ScoreLegacy(x)
+		return err
+	}, rstream); err != nil {
+		return nil, err
+	}
+	if res.Regress.FastNsPerRecord, err = timeScorePath(func(x []float64) error {
+		return rd.ScoreInto(x, rdst)
+	}, rstream); err != nil {
+		return nil, err
+	}
+	res.Regress.finish()
+
+	// Warm start: refit cost across successive profile refills.
+	const wsRefits = 4
+	res.WarmStart = WarmStartLeg{Refits: wsRefits, Rows: tRows, Dim: tDim}
+	warmCfg := base
+	warmCfg.WarmStart = true
+	refs := make([][][]float64, wsRefits+1)
+	for i := range refs {
+		refs[i] = fitPerfRef(int64(3100+i), tRows, tDim)
+	}
+	timeRefits := func(cfg tranad.Config) (float64, error) {
+		d := tranad.New(cfg)
+		if err := d.Fit(refs[0]); err != nil {
+			return 0, err
+		}
+		start := time.Now()
+		for _, r := range refs[1:] {
+			if err := d.Fit(r); err != nil {
+				return 0, err
+			}
+		}
+		return time.Since(start).Seconds(), nil
+	}
+	if res.WarmStart.ColdSeconds, err = timeRefits(base); err != nil {
+		return nil, err
+	}
+	if res.WarmStart.WarmSeconds, err = timeRefits(warmCfg); err != nil {
+		return nil, err
+	}
+	if res.WarmStart.WarmSeconds > 0 {
+		res.WarmStart.Speedup = res.WarmStart.ColdSeconds / res.WarmStart.WarmSeconds
+	}
+
+	// Equivalence gate: last-row vs full-window scoring across the
+	// TranAD grid column — bit-identical scorers, so every cell is
+	// guaranteed.
+	res.Equivalence, err = equivalenceGrid(f,
+		[]eval.Technique{eval.TranAD}, eval.NewFullWindowDetector, nil)
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// Render prints the scoring-path exhibit as text.
+func (r *ScorePerfResult) Render(w io.Writer) {
+	fprintf(w, "Score-path acceleration — legacy vs scratch/last-row scoring (simd=%s)\n", r.SIMD)
+	for _, leg := range []*ScoreLeg{&r.TranAD, &r.Regress} {
+		fprintf(w, "%s (%d records, dim %d)\n", leg.Detector, leg.Records, leg.Dim)
+		fprintf(w, "  %-26s %12.0f ns/record\n", "legacy", leg.LegacyNsPerRecord)
+		if leg.FullNsPerRecord > 0 {
+			fprintf(w, "  %-26s %12.0f ns/record\n", "full-window scratch", leg.FullNsPerRecord)
+		}
+		fprintf(w, "  %-26s %12.0f ns/record\n", "fast", leg.FastNsPerRecord)
+		fprintf(w, "  %-26s %12.2fx\n", "speedup vs legacy", leg.SpeedupVsLegacy)
+		if leg.SpeedupVsFull > 0 {
+			fprintf(w, "  %-26s %12.2fx\n", "speedup vs full-window", leg.SpeedupVsFull)
+		}
+		fprintf(w, "  %-26s %12v\n", "bit identical", leg.BitIdentical)
+	}
+	fprintf(w, "warm-start refits (%d refits on %dx%d profiles)\n",
+		r.WarmStart.Refits, r.WarmStart.Rows, r.WarmStart.Dim)
+	fprintf(w, "  %-26s %12.3fs\n", "cold", r.WarmStart.ColdSeconds)
+	fprintf(w, "  %-26s %12.3fs\n", "warm", r.WarmStart.WarmSeconds)
+	fprintf(w, "  %-26s %12.2fx\n", "speedup", r.WarmStart.Speedup)
+	fprintf(w, "equivalence grid (tranad, full-window vs last-row scorer)\n")
+	fprintf(w, "  %-26s %12.3fs\n", "full-window scorer", r.Equivalence.LegacySeconds)
+	fprintf(w, "  %-26s %12.3fs\n", "last-row scorer", r.Equivalence.FastSeconds)
+	fprintf(w, "  %-26s %12v\n", "cells identical", r.Equivalence.CellsMatch)
+}

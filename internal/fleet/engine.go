@@ -161,13 +161,24 @@ type barrier struct {
 	resume chan struct{}
 }
 
-// shard owns a disjoint subset of the fleet's pipelines.
+// shard owns a disjoint subset of the fleet's pipelines. The struct is
+// laid out in ownership bands with cache-line padding between them:
+// producers mutate the ingest band (mu, pending) while the shard
+// goroutine bumps the counter band on every envelope, and without the
+// padding those writes false-share — each counter increment would
+// bounce the line holding the ingest mutex across cores and vice
+// versa, which is one of the ways BENCH_2's shards=2 run managed to be
+// slower than shards=1.
 type shard struct {
-	index   int
-	in      chan []envelope
-	mu      sync.Mutex // ingest side: guards pending
-	pending []envelope
+	index int
+	in    chan []envelope
 
+	// ingest band: touched by producer goroutines under mu.
+	mu      sync.Mutex
+	pending []envelope
+	_       [64]byte
+
+	// consumer band: owned by the shard goroutine, no synchronisation.
 	handlers map[string]Handler
 	skip     map[string]bool
 
@@ -177,13 +188,17 @@ type shard struct {
 	// lands on fitDone. Both are touched only by the shard goroutine.
 	busy    map[string][]envelope
 	fitDone chan fitResult
+	_       [64]byte
 
+	// counter band: written by the shard goroutine per envelope, read
+	// by Stats and the metrics callbacks.
 	vehicles  atomic.Int64
 	recordsIn atomic.Uint64
 	eventsIn  atomic.Uint64
 	scored    atomic.Uint64
 	alarms    atomic.Uint64
 	drops     atomic.Uint64
+	_         [64]byte
 }
 
 // ShardStats is a point-in-time snapshot of one shard's counters.
@@ -215,7 +230,8 @@ type Engine struct {
 	cfg     Config
 	shards  []*shard
 	alarmCh chan detector.Alarm
-	pool    sync.Pool // *[]envelope batch recycling
+	pool    sync.Pool     // *[]envelope batch recycling
+	poolNew atomic.Uint64 // batches allocated because the pool was empty
 	wg      sync.WaitGroup
 
 	batchH *obs.Histogram // per-batch processing latency (nil without observer)
@@ -250,6 +266,7 @@ func newEngineStopped(cfg Config) (*Engine, error) {
 		alarmCh: make(chan detector.Alarm, cfg.AlarmBuffer),
 	}
 	e.pool.New = func() any {
+		e.poolNew.Add(1)
 		b := make([]envelope, 0, cfg.BatchSize)
 		return &b
 	}
@@ -404,6 +421,18 @@ func (e *Engine) Replay(records []timeseries.Record, events []obd.Event) error {
 	// batches stay ordered behind it.
 	e.Flush()
 	local := make([][]envelope, len(e.shards))
+	// Adaptive batch sizing: batch boundaries carry no semantics (shards
+	// process envelopes in order either way), so the producer trades
+	// latency for handoff amortisation per shard. A backed-up shard
+	// queue means the consumer is the bottleneck — double the batch so
+	// each channel operation moves more work; an empty queue means the
+	// producer is — shrink back toward BatchSize so the shard is not
+	// left idle waiting for a huge batch to fill.
+	caps := make([]int, len(e.shards))
+	for i := range caps {
+		caps[i] = e.cfg.BatchSize
+	}
+	maxCap := e.cfg.BatchSize * 16
 	push := func(env envelope, vehicleID string) error {
 		s := e.shardFor(vehicleID)
 		i := s.index
@@ -411,9 +440,16 @@ func (e *Engine) Replay(records []timeseries.Record, events []obd.Event) error {
 			local[i] = *(e.pool.Get().(*[]envelope))
 		}
 		local[i] = append(local[i], env)
-		if len(local[i]) >= e.cfg.BatchSize {
+		if len(local[i]) >= caps[i] {
 			s.in <- local[i]
 			local[i] = nil
+			if q := len(s.in); q > e.cfg.QueueDepth/4 {
+				if caps[i] < maxCap {
+					caps[i] *= 2
+				}
+			} else if q == 0 && caps[i] > e.cfg.BatchSize {
+				caps[i] /= 2
+			}
 		}
 		return nil
 	}
@@ -576,22 +612,55 @@ type fitResult struct {
 	err       error
 }
 
+// maxDrainBatches bounds how many already-queued batches a shard
+// processes per wakeup before re-checking fitDone and the stop signal.
+const maxDrainBatches = 8
+
 // run is the shard loop: the lock-free hot path. It exclusively owns
 // s.handlers, so pipeline calls need no synchronisation; asynchronous
 // fit completions re-enter the loop through s.fitDone and are therefore
 // landed by the same goroutine that owns the handler.
+//
+// Two receive paths keep channel overhead off the throughput-bound
+// profile: while no fit is in flight nothing can arrive on fitDone (a
+// completion is only ever sent for a vehicle currently in s.busy), so
+// the loop blocks on a plain channel receive instead of a two-case
+// select; and after each processed batch it opportunistically drains up
+// to maxDrainBatches more batches that are already queued, so a shard
+// running behind its producers stays on-CPU instead of parking and
+// re-waking per batch.
 func (e *Engine) run(s *shard) {
 	defer e.wg.Done()
 	for {
-		select {
-		case batch, ok := <-s.in:
-			if !ok {
-				e.drainFits(s)
-				return
+		var batch []envelope
+		var ok bool
+		if len(s.busy) == 0 {
+			batch, ok = <-s.in
+		} else {
+			select {
+			case batch, ok = <-s.in:
+			case res := <-s.fitDone:
+				e.finishFit(s, res)
+				continue
 			}
-			e.runBatch(s, batch)
-		case res := <-s.fitDone:
-			e.finishFit(s, res)
+		}
+		if !ok {
+			e.drainFits(s)
+			return
+		}
+		e.runBatch(s, batch)
+	drain:
+		for n := 0; n < maxDrainBatches && len(s.busy) == 0; n++ {
+			select {
+			case batch, ok = <-s.in:
+				if !ok {
+					e.drainFits(s)
+					return
+				}
+				e.runBatch(s, batch)
+			default:
+				break drain
+			}
 		}
 	}
 }
@@ -633,9 +702,13 @@ func (e *Engine) processEnv(s *shard, env *envelope) {
 	if env.isEvent {
 		id = env.ev.VehicleID
 	}
-	if parked, inFlight := s.busy[id]; inFlight {
-		s.busy[id] = append(parked, *env)
-		return
+	// The busy map is empty except while a fit is in flight; the len
+	// check keeps the per-envelope map lookup off the common path.
+	if len(s.busy) != 0 {
+		if parked, inFlight := s.busy[id]; inFlight {
+			s.busy[id] = append(parked, *env)
+			return
+		}
 	}
 	e.deliver(s, env, id)
 }

@@ -1,0 +1,8 @@
+//go:build race
+
+package fleet
+
+// raceEnabled reports that the race detector is on: sync.Pool
+// deliberately drops items under -race to shake out races, so tests
+// asserting pool-recycling efficiency must not bound misses then.
+const raceEnabled = true

@@ -40,6 +40,12 @@ type SelfAttention struct {
 	khT, oh, doh mat.Matrix
 	dAttn        mat.Matrix
 	dQ, dK, dV   mat.Matrix
+
+	// inference scratch for AttendLast, disjoint from the training
+	// caches above so streaming scores cannot clobber an in-flight
+	// forward/backward pair
+	infK, infV       mat.Matrix
+	infQ, infS, infC []float64
 }
 
 // NewSelfAttention builds a multi-head self-attention block.
@@ -327,19 +333,7 @@ func (p *PositionalEncoding) Forward(x *mat.Matrix) *mat.Matrix {
 		}
 		return out
 	}
-	if p.pe.Rows < x.Rows || p.pe.Cols != x.Cols {
-		rows := x.Rows
-		if p.pe.Rows > rows {
-			rows = p.pe.Rows
-		}
-		p.pe.EnsureShape(rows, x.Cols)
-		for pos := 0; pos < rows; pos++ {
-			row := p.pe.Row(pos)
-			for j := 0; j < x.Cols; j++ {
-				row[j] = p.peAt(pos, j)
-			}
-		}
-	}
+	p.ensureTable(x.Rows, x.Cols)
 	out := p.out.EnsureShape(x.Rows, x.Cols)
 	for pos := 0; pos < x.Rows; pos++ {
 		row := out.Row(pos)

@@ -1,0 +1,151 @@
+package nn
+
+import (
+	"math"
+
+	"github.com/navarchos/pdm/internal/mat"
+)
+
+// Row-level inference kernels.
+//
+// Forward/Backward exist for training: every layer caches whatever its
+// backward pass needs, and every layer maps the whole sequence even when
+// the consumer only reads one output row. Streaming detection needs
+// neither — the TranAD scoring hot path reads exactly the window's last
+// position, and all of the model's layers except self-attention act
+// row-wise — so each layer additionally exposes a cache-free single-row
+// evaluator here. The evaluators replay the fast Forward path's exact
+// per-row operation sequence (same kernels, same reduction orders), so a
+// composition of ApplyRow calls is bit-identical to slicing that row out
+// of a full Forward; the kernel-equivalence tests in the tranad package
+// pin this down against the legacy path.
+//
+// ApplyRow/AttendLast write into caller-owned buffers (or layer-owned
+// inference scratch disjoint from the training caches), allocate nothing
+// once warm, and never touch the Forward caches — scoring a stream
+// between deferred training steps cannot corrupt an in-flight
+// forward/backward pair.
+
+// ApplyRow computes one dense row, out = b + x·W, through the same fused
+// mat.LinFwd kernel the fast Forward path runs per row. len(x) must be
+// In and len(out) must be Out.
+func (l *Linear) ApplyRow(x, out []float64) {
+	mat.LinFwd(x, l.b.W, l.w.W, out)
+}
+
+// ApplyRow normalises one row with the layer's gain and bias:
+// out = xhat·gain + bias with xhat = (x - mean) / sqrt(var + eps). The
+// reductions run in the fast Forward path's fused two-pass order, so the
+// bits match a full Forward of the same row.
+func (l *LayerNorm) ApplyRow(x, out []float64) {
+	var m float64
+	for _, xv := range x {
+		m += xv
+	}
+	m /= float64(len(x))
+	var ss float64
+	for _, xv := range x {
+		d := xv - m
+		ss += d * d
+	}
+	v := ss / float64(len(x))
+	inv := 1 / math.Sqrt(v+l.Eps)
+	for j, xv := range x {
+		out[j] = (xv-m)*inv*l.gain.W[j] + l.bias.W[j]
+	}
+}
+
+// RowAt returns position pos of the sinusoidal table at width cols,
+// growing the layer's cached table as needed (the same lazily built
+// table Forward replays by addition). The returned slice is owned by
+// the layer and must not be modified.
+func (p *PositionalEncoding) RowAt(pos, cols int) []float64 {
+	p.ensureTable(pos+1, cols)
+	return p.pe.Row(pos)
+}
+
+// ensureTable grows the cached encoding table to at least rows×cols.
+// Entries come from peAt, the same expression the legacy path evaluates
+// inline, so table replay and legacy addition add identical values.
+func (p *PositionalEncoding) ensureTable(rows, cols int) {
+	if p.pe.Rows >= rows && p.pe.Cols == cols {
+		return
+	}
+	if p.pe.Rows > rows {
+		rows = p.pe.Rows
+	}
+	p.pe.EnsureShape(rows, cols)
+	for pos := 0; pos < rows; pos++ {
+		row := p.pe.Row(pos)
+		for j := 0; j < cols; j++ {
+			row[j] = p.peAt(pos, j)
+		}
+	}
+}
+
+// AttendLast evaluates the attention block for the LAST row of x only:
+// keys and values are projected for every position (the last query
+// attends over all of them), but the query projection, softmax, value
+// mix and output projection run for one row instead of seq. out must
+// have length Dim and receives what row seq-1 of Forward(x) would hold,
+// bit for bit: the score dots accumulate in the k-order of the fast
+// path's MatMul, the softmax replays its scale/max/exp/normalise loop
+// order, and the value mix accumulates in j-order. Inference scratch is
+// disjoint from the training caches.
+func (a *SelfAttention) AttendLast(x *mat.Matrix, out []float64) {
+	seq := x.Rows
+	k := a.infK.EnsureShape(seq, a.Dim)
+	v := a.infV.EnsureShape(seq, a.Dim)
+	for i := 0; i < seq; i++ {
+		a.wk.ApplyRow(x.Row(i), k.Row(i))
+		a.wv.ApplyRow(x.Row(i), v.Row(i))
+	}
+	if cap(a.infQ) < a.Dim {
+		a.infQ = make([]float64, a.Dim)
+	}
+	q := a.infQ[:a.Dim]
+	a.wq.ApplyRow(x.Row(seq-1), q)
+	if cap(a.infS) < seq {
+		a.infS = make([]float64, seq)
+	}
+	s := a.infS[:seq]
+	if cap(a.infC) < a.Dim {
+		a.infC = make([]float64, a.Dim)
+	}
+	concat := a.infC[:a.Dim]
+	scale := 1 / math.Sqrt(float64(a.dk))
+	for h := 0; h < a.Heads; h++ {
+		off := h * a.dk
+		qh := q[off : off+a.dk]
+		maxv := math.Inf(-1)
+		for j := 0; j < seq; j++ {
+			kj := k.Row(j)[off : off+a.dk]
+			var dot float64
+			for t := 0; t < a.dk; t++ {
+				dot += qh[t] * kj[t]
+			}
+			dot *= scale
+			s[j] = dot
+			if dot > maxv {
+				maxv = dot
+			}
+		}
+		var sum float64
+		for j := range s {
+			s[j] = math.Exp(s[j] - maxv)
+			sum += s[j]
+		}
+		inv := 1 / sum
+		for j := range s {
+			s[j] *= inv
+		}
+		orow := concat[off : off+a.dk]
+		for t := range orow {
+			orow[t] = 0
+		}
+		for j := 0; j < seq; j++ {
+			mat.AddScaled(orow, s[j], v.Row(j)[off:off+a.dk])
+		}
+	}
+	a.wo.ApplyRow(concat, out)
+}
