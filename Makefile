@@ -1,14 +1,14 @@
 GO ?= go
 
-.PHONY: ci check vet build test race race-fleet grid-equiv resume-gate fuzz-smoke bench-smoke bench-json vet-obs obs-overhead fitperf-smoke scoreperf-smoke bench-micro
+.PHONY: ci check vet build test race race-fleet grid-equiv resume-gate fuzz-smoke bench-smoke bench-json vet-obs obs-overhead fitperf-smoke scoreperf-smoke ingest-smoke bench-micro
 
 ## ci: the full gate — vet (incl. the obs metric-doc check), build,
 ## race-enabled tests (plus a focused race pass over the concurrent
 ## fleet/fitpool packages), the grid equivalence gate, the checkpoint
-## resume gate, the fit-kernel and score-path equivalence smokes, the
-## observer overhead gate, a codec fuzz smoke, bench smoke, and a perf
-## run appended to BENCH_<n>.json.
-ci: vet-obs build race race-fleet grid-equiv resume-gate fitperf-smoke scoreperf-smoke obs-overhead fuzz-smoke bench-smoke bench-json
+## resume gate, the fit-kernel, score-path and wire-ingest smokes, the
+## observer overhead gate, the codec fuzz smokes, bench smoke, and a
+## perf run appended to BENCH_<n>.json.
+ci: vet-obs build race race-fleet grid-equiv resume-gate fitperf-smoke scoreperf-smoke ingest-smoke obs-overhead fuzz-smoke bench-smoke bench-json
 
 ## check: the fast inner-loop gate — vet, build, and the plain test
 ## suite, with none of ci's race/equivalence/bench machinery.
@@ -76,11 +76,24 @@ vet-obs: vet
 obs-overhead:
 	OBS_OVERHEAD_GATE=1 $(GO) test -run 'TestObservedOverheadGate' -v ./internal/core/
 
-## fuzz-smoke: a short fuzz of the checkpoint container codec — the
-## decoder must reject arbitrary corruption with typed errors, never a
-## panic.
+## fuzz-smoke: a short fuzz of the two binary codecs exposed to
+## untrusted bytes — the checkpoint container and the NVWIRE1 telemetry
+## frame decoder. Both must reject arbitrary corruption with typed
+## errors, never a panic or an over-read.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz 'FuzzCheckpointRoundTrip' -fuzztime 10s ./internal/checkpoint/
+	$(GO) test -run '^$$' -fuzz 'FuzzWireDecode' -fuzztime 10s ./internal/wire/
+
+## ingest-smoke: the wire data-plane gates at test scale — the committed
+## golden frame file must decode byte-stably, the decoder must hold its
+## zero-allocation steady state, IngestBatch must reproduce Replay's
+## alarms bit-for-bit at 1 and 2 shards (including straight off decoded
+## NVWIRE1 frames), and the HTTP front end must admit, journal, and
+## reject end-to-end.
+ingest-smoke:
+	$(GO) test -run 'TestGoldenFrameFile|TestDecodeZeroAlloc|TestRoundTrip|TestDecodeRejectsCorruption' ./internal/wire/
+	$(GO) test -run 'TestIngestBatch|TestWireVsReplayAlarmIdentity' ./internal/fleet/
+	$(GO) test ./cmd/navarchos-serve/
 
 ## bench-smoke: one iteration of the throughput + allocation benchmarks,
 ## enough to catch a benchmark that no longer compiles or crashes.
@@ -101,8 +114,8 @@ scoreperf-smoke:
 	$(GO) run ./cmd/navarchos-bench -experiment scoreperf -scale small -scoreperf-strict
 
 ## bench-json: one fleet-engine perf run at bench scale, with the
-## fit-path and score-path acceleration exhibits embedded, appended to
+## fit-path, score-path and wire-ingest exhibits embedded, appended to
 ## BENCH_<n>.json so the performance trajectory stays machine-readable
 ## across PRs.
 bench-json:
-	$(GO) run ./cmd/navarchos-bench -experiment perf,fitperf,scoreperf -json
+	$(GO) run ./cmd/navarchos-bench -experiment perf,fitperf,scoreperf,ingest -json

@@ -8,16 +8,16 @@
 //	navarchos-bench -scale small         # quick pass
 //
 // Experiments: fig1 fig2 fig4 fig5 fig6 fig7 table1 table2 table3 fig8
-// baselines perf gridperf checkpoint fitperf scoreperf all.
+// baselines perf gridperf checkpoint fitperf scoreperf ingest all.
 //
 // With -json, the perf experiment additionally writes its
 // throughput/latency results to BENCH_<n>.json (smallest unused n), so
 // the performance trajectory stays machine-readable across PRs; a
-// gridperf, checkpoint, fitperf or scoreperf run in the same
+// gridperf, checkpoint, fitperf, scoreperf or ingest run in the same
 // invocation is embedded under "grid" / "checkpoint" / "fitperf" /
-// "scoreperf". Every JSON file carries an "env" header (go version,
-// GOMAXPROCS, git revision, SIMD class) identifying the producing
-// machine.
+// "scoreperf" / "ingest". Every JSON file carries an "env" header (go
+// version, GOMAXPROCS, git revision, SIMD class) identifying the
+// producing machine.
 //
 // -cpuprofile and -memprofile write pprof profiles covering the whole
 // run (the memory profile is taken at exit, after a final GC).
@@ -238,6 +238,22 @@ func main() {
 			fatalf("fitperf: -fitperf-strict set and legacy/current fit kernels disagree on grid cells")
 		}
 	}
+	var ingestPerf *experiments.IngestPerfResult
+	if has("ingest") {
+		ran = true
+		ip, err := experiments.IngestPerf(opts)
+		if err != nil {
+			fatal(err)
+		}
+		ingestPerf = ip
+		ip.Render(out)
+		fmt.Fprintln(out)
+		for _, run := range ip.Runs {
+			if !run.AlarmsIdentical {
+				fatalf("ingest: wire and replay alarms differ at %d shards", run.Shards)
+			}
+		}
+	}
 	var scorePerf *experiments.ScorePerfResult
 	if has("scoreperf") {
 		ran = true
@@ -268,6 +284,7 @@ func main() {
 		r.Checkpoint = ckptPerf
 		r.FitPerf = fitPerf
 		r.ScorePerf = scorePerf
+		r.Ingest = ingestPerf
 		r.Render(out)
 		fmt.Fprintln(out)
 		if *jsonOut {
@@ -279,7 +296,7 @@ func main() {
 		}
 	}
 	if !ran {
-		fatalf("unknown experiment %q (want fig1 fig2 fig4 fig5 fig6 fig7 table1 table2 table3 fig8 baselines perf gridperf checkpoint fitperf scoreperf or all)", *experiment)
+		fatalf("unknown experiment %q (want fig1 fig2 fig4 fig5 fig6 fig7 table1 table2 table3 fig8 baselines perf gridperf checkpoint fitperf scoreperf ingest or all)", *experiment)
 	}
 }
 

@@ -1,0 +1,132 @@
+// Command navarchos-serve is the long-running fleet ingest front end:
+// the sharded detection engine behind an HTTP data plane. Producers
+// POST telemetry batches — NVWIRE1 binary frames, CSV, or JSON — to
+// /ingest (or stream frames over a held-open connection to
+// /ingest/stream); the server decodes without per-record allocation,
+// admits whole batches through the engine's IngestBatch seam, and
+// exposes detection state over the observability endpoints.
+//
+// Routes:
+//
+//	POST /ingest          one batch (Content-Type selects the decoder:
+//	                      NVWIRE1 binary by default, text/csv,
+//	                      application/json)
+//	POST /ingest/stream   NVWIRE1 frame stream, chunked-friendly
+//	GET  /alarms          recent alarm-journal entries (?n=)
+//	GET  /vehicles/{id}   one vehicle's retained alarm history (?n=)
+//	GET  /fleet           engine stats + journal tail
+//	GET  /metrics         Prometheus exposition (incl. pdm_ingest_*)
+//	     /debug/vars, /debug/pprof/*
+//
+// Producers must upload each vehicle's telemetry in chronological
+// order; under that contract the alarms are bit-identical to an
+// offline Replay of the same stream. -checkpoint / -resume carry the
+// engine's mutable state across restarts without changing an alarm.
+//
+// Usage:
+//
+//	navarchos-serve -addr :8080
+//	navarchos-serve -addr :8080 -shards 8 -journal alarms.jsonl
+//	navarchos-serve -addr :8080 -resume fleet.ckpt -checkpoint fleet.ckpt
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("navarchos-serve: ")
+	addr := flag.String("addr", ":8080", "HTTP listen address")
+	shards := flag.Int("shards", 0, "engine shard count (0 = GOMAXPROCS)")
+	batchSize := flag.Int("batch-size", 0, "engine batch size (0 = default)")
+	queueDepth := flag.Int("queue-depth", 0, "per-shard queue depth in batches (0 = default)")
+	factor := flag.Float64("factor", 14, "self-tuning threshold factor")
+	journalCap := flag.Int("journal-cap", 256, "alarm journal ring capacity")
+	journalPath := flag.String("journal", "", "append every alarm as a JSON line to this file")
+	checkpointPath := flag.String("checkpoint", "", "write engine state to this file on shutdown")
+	resumePath := flag.String("resume", "", "restore engine state from this file at startup")
+	maxBody := flag.Int64("max-body", 64<<20, "maximum ingest request body, bytes")
+	flag.Parse()
+
+	cfg := serverConfig{
+		shards:     *shards,
+		batchSize:  *batchSize,
+		queueDepth: *queueDepth,
+		factor:     *factor,
+		journalCap: *journalCap,
+		maxBody:    *maxBody,
+		alarmLog:   os.Stdout,
+	}
+	if *journalPath != "" {
+		jf, err := os.Create(*journalPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer jf.Close()
+		cfg.jsonlSink = jf
+	}
+	if *resumePath != "" {
+		rf, err := os.Open(*resumePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.resume = rf
+		defer rf.Close()
+	}
+	s, err := newServer(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: s.mux}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	fmt.Printf("ingest data plane on %s (POST /ingest, GET /fleet /alarms /metrics)\n", *addr)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		log.Fatal(err)
+	case got := <-sig:
+		fmt.Printf("caught %v; draining\n", got)
+	}
+
+	// Stop accepting requests, then stop the engine (flushes pending
+	// batches, completes in-flight fits) and snapshot if asked.
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("http shutdown: %v", err)
+	}
+	if err := s.close(); err != nil {
+		log.Printf("engine close: %v", err)
+	}
+	if *checkpointPath != "" {
+		f, err := os.Create(*checkpointPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := s.eng.Checkpoint(f); err != nil {
+			log.Fatalf("checkpoint: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fi, _ := os.Stat(*checkpointPath)
+		fmt.Printf("checkpoint written to %s (%d bytes)\n", *checkpointPath, fi.Size())
+	}
+	st := s.eng.Stats()
+	fmt.Printf("served %d records, %d events from %d vehicles; %d alarms journaled\n",
+		st.RecordsIn, st.EventsIn, st.Vehicles, s.journal.Total())
+}

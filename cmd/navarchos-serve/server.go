@@ -1,0 +1,265 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/navarchos/pdm"
+	"github.com/navarchos/pdm/internal/fleet"
+	"github.com/navarchos/pdm/internal/obs"
+	"github.com/navarchos/pdm/internal/timeseries"
+	"github.com/navarchos/pdm/internal/wire"
+)
+
+// serverConfig assembles the ingest front end.
+type serverConfig struct {
+	shards     int
+	batchSize  int
+	queueDepth int
+	factor     float64
+	journalCap int
+	maxBody    int64
+	resume     io.Reader // restore engine state from a checkpoint
+	alarmLog   io.Writer // one line per raw alarm (nil = discard)
+	jsonlSink  io.Writer // journal JSONL sink (nil = none)
+}
+
+// server owns the engine, the observability stack, and the HTTP mux.
+// Ingest requests decode on the request goroutine and admit through
+// Engine.IngestBatch, so engine backpressure propagates naturally to
+// slow down exactly the producers that overrun a shard.
+type server struct {
+	eng     *pdm.FleetEngine
+	reg     *pdm.MetricsRegistry
+	journal *pdm.AlarmJournal
+	ingest  *obs.IngestMetrics
+	mux     *http.ServeMux
+	maxBody int64
+	drained chan struct{}
+}
+
+// newServer builds the engine with the paper's complete solution per
+// vehicle (correlation transform, closest-pair detection, self-tuning
+// thresholds) and wires the HTTP routes over obs.NewDebugMux.
+func newServer(cfg serverConfig) (*server, error) {
+	if cfg.maxBody <= 0 {
+		cfg.maxBody = 64 << 20
+	}
+	reg := pdm.NewMetricsRegistry()
+	journal := pdm.NewAlarmJournal(cfg.journalCap)
+	if cfg.jsonlSink != nil {
+		journal.SetSink(cfg.jsonlSink)
+	}
+	observer := pdm.NewObserver(reg, pdm.ObserverConfig{Journal: journal})
+
+	engCfg := pdm.FleetEngineConfig{
+		NewConfig: func(string) (pdm.PipelineConfig, error) {
+			tr, err := pdm.NewTransformer(pdm.Correlation, 12)
+			if err != nil {
+				return pdm.PipelineConfig{}, err
+			}
+			wf := timeseries.NewWarmupFilter(5, 20*time.Minute)
+			return pdm.PipelineConfig{
+				Transformer:   tr,
+				Detector:      pdm.NewClosestPair(tr.FeatureNames()),
+				Thresholder:   pdm.NewSelfTuningThreshold(cfg.factor),
+				ProfileLength: 45,
+				Filter:        wf.Keep,
+				FilterState:   wf,
+				DensityM:      5,
+				DensityK:      15,
+				Observer:      observer,
+			}, nil
+		},
+		Shards:     cfg.shards,
+		BatchSize:  cfg.batchSize,
+		QueueDepth: cfg.queueDepth,
+		Observer:   observer,
+	}
+	var eng *pdm.FleetEngine
+	var err error
+	if cfg.resume != nil {
+		eng, err = pdm.NewFleetEngineFromCheckpoint(cfg.resume, engCfg)
+	} else {
+		eng, err = pdm.NewFleetEngine(engCfg)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	s := &server{
+		eng:     eng,
+		reg:     reg,
+		journal: journal,
+		ingest:  obs.NewIngestMetrics(reg),
+		maxBody: cfg.maxBody,
+		drained: make(chan struct{}),
+	}
+	// The journal captures every alarm with full context via the
+	// observer; the channel drain below is the live tail for operators.
+	go func() {
+		defer close(s.drained)
+		for a := range eng.Alarms() {
+			if cfg.alarmLog != nil {
+				fmt.Fprintf(cfg.alarmLog, "%s  %-8s %-32s score=%.4f threshold=%.4f\n",
+					a.Time.Format("2006-01-02 15:04"), a.VehicleID, a.Feature, a.Score, a.Threshold)
+			}
+		}
+	}()
+
+	s.mux = pdm.NewDebugMux(pdm.DebugConfig{
+		Registry:    reg,
+		Journal:     journal,
+		FleetStatus: func() any { return eng.Stats() },
+	})
+	s.mux.HandleFunc("POST /ingest", s.handleIngest)
+	s.mux.HandleFunc("POST /ingest/stream", s.handleIngestStream)
+	s.mux.HandleFunc("GET /alarms", s.handleAlarms)
+	s.mux.HandleFunc("GET /vehicles/{id}", s.handleVehicle)
+	return s, nil
+}
+
+// close flushes and stops the engine and waits for the alarm drain.
+func (s *server) close() error {
+	err := s.eng.Close()
+	<-s.drained
+	return err
+}
+
+// countingReader tallies bytes handed to a decoder.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// ingestResponse is the POST /ingest response body.
+type ingestResponse struct {
+	Frames  int `json:"frames"`
+	Records int `json:"records"`
+	Events  int `json:"events"`
+}
+
+// handleIngest admits one telemetry batch. The decoder is chosen by
+// Content-Type — NVWIRE1 binary by default, text/csv and
+// application/json for interoperability — and every format delivers
+// through the same FrameSink into Engine.IngestBatch. Producers must
+// upload each vehicle's telemetry in chronological order (the engine's
+// ordering contract); batches themselves may interleave vehicles
+// freely.
+func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	ct := r.Header.Get("Content-Type")
+	if i := strings.IndexByte(ct, ';'); i >= 0 {
+		ct = strings.TrimSpace(ct[:i])
+	}
+	switch ct {
+	case "text/csv":
+		s.decodeAndAdmit(w, r, func(body io.Reader, sink wire.FrameSink) error {
+			_, err := wire.DecodeCSV(body, 0, sink)
+			return err
+		})
+	case "application/json":
+		s.decodeAndAdmit(w, r, func(body io.Reader, sink wire.FrameSink) error {
+			_, err := wire.DecodeJSON(body, 0, sink)
+			return err
+		})
+	default: // NVWIRE1 binary
+		s.handleIngestStream(w, r)
+	}
+}
+
+// handleIngestStream decodes a (possibly chunked) NVWIRE1 frame stream,
+// admitting each frame as it completes — a producer can hold the
+// connection open and trickle frames without buffering the whole body.
+func (s *server) handleIngestStream(w http.ResponseWriter, r *http.Request) {
+	s.decodeAndAdmit(w, r, func(body io.Reader, sink wire.FrameSink) error {
+		var dec wire.Decoder
+		dec.MaxFrameBytes = int(s.maxBody)
+		_, err := dec.DecodeStream(body, sink)
+		return err
+	})
+}
+
+// decodeAndAdmit runs one decoder over the request body, counting
+// outcomes into the ingest metrics and flushing the engine so admitted
+// records become visible to /fleet and /alarms promptly.
+func (s *server) decodeAndAdmit(w http.ResponseWriter, r *http.Request,
+	decode func(io.Reader, wire.FrameSink) error) {
+	body := &countingReader{r: http.MaxBytesReader(w, r.Body, s.maxBody)}
+	var resp ingestResponse
+	var engineErr error
+	sink := wire.SinkFunc(func(b *wire.Batch) error {
+		if err := s.eng.IngestBatch(b.Records, b.Events); err != nil {
+			engineErr = err
+			return err
+		}
+		resp.Frames++
+		resp.Records += len(b.Records)
+		resp.Events += len(b.Events)
+		return nil
+	})
+	start := time.Now()
+	err := decode(body, sink)
+	s.ingest.ObserveDecode(time.Since(start), body.n, resp.Frames, resp.Records, resp.Events)
+	if err != nil {
+		if engineErr != nil || errors.Is(err, fleet.ErrClosed) {
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		}
+		// Decode-level rejection: corrupt, truncated, or schema-invalid.
+		s.ingest.Reject()
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	s.eng.Flush()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(resp) //nolint:errcheck // client went away
+}
+
+// journalN parses the ?n= query (default def).
+func journalN(r *http.Request, def int) int {
+	if q := r.URL.Query().Get("n"); q != "" {
+		if v, err := strconv.Atoi(q); err == nil && v > 0 {
+			return v
+		}
+	}
+	return def
+}
+
+// handleAlarms returns the most recent journal entries, oldest first.
+func (s *server) handleAlarms(w http.ResponseWriter, r *http.Request) {
+	alarms := s.journal.Last(journalN(r, 32))
+	if alarms == nil {
+		alarms = []pdm.AlarmJournalEntry{}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(struct { //nolint:errcheck // client went away
+		Total  uint64                  `json:"total"`
+		Alarms []pdm.AlarmJournalEntry `json:"alarms"`
+	}{s.journal.Total(), alarms})
+}
+
+// handleVehicle returns one vehicle's retained alarm history.
+func (s *server) handleVehicle(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	alarms := s.journal.LastFor(id, journalN(r, 32))
+	if alarms == nil {
+		alarms = []pdm.AlarmJournalEntry{}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(struct { //nolint:errcheck // client went away
+		Vehicle string                  `json:"vehicle"`
+		Alarms  []pdm.AlarmJournalEntry `json:"alarms"`
+	}{id, alarms})
+}

@@ -119,9 +119,15 @@ func (d *Detector) ScoreInto(x, dst []float64) error {
 		d.dropBuf = make([]float64, d.dim-1)
 	}
 	drop := d.dropBuf[:d.dim-1]
+	// Dropping column c and then column c+1 differ only at index c
+	// (x[c+1] becomes x[c]), so after the initial fill each channel
+	// updates one element instead of recopying the whole vector —
+	// O(dim) writes across the loop rather than O(dim²).
+	copy(drop, x[1:])
 	for c := 0; c < d.dim; c++ {
-		copy(drop, x[:c])
-		copy(drop[c:], x[c+1:])
+		if c > 0 {
+			drop[c-1] = x[c-1]
+		}
 		pred := d.models[c].Predict(drop)
 		dst[c] = math.Abs(pred - x[c])
 	}

@@ -1,0 +1,256 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math"
+	"runtime"
+	"sort"
+	"time"
+
+	"github.com/navarchos/pdm/internal/detector"
+	"github.com/navarchos/pdm/internal/fleet"
+	"github.com/navarchos/pdm/internal/fleetsim"
+	"github.com/navarchos/pdm/internal/wire"
+)
+
+// IngestDecodeLeg is the pure decode measurement: the whole fleet's
+// NVWIRE1 frame stream decoded buffer-to-batch, no engine attached.
+type IngestDecodeLeg struct {
+	Frames  int `json:"frames"`
+	Records int `json:"records"`
+	Events  int `json:"events"`
+	Bytes   int `json:"bytes"`
+	// MBPerSec is decode throughput over the median repeat (MB = 1e6
+	// bytes); NsPerItem the per-item cost at that rate.
+	MBPerSec  float64 `json:"mb_per_sec"`
+	NsPerItem float64 `json:"ns_per_item"`
+	// AllocsPerRecord is the steady-state heap allocation rate measured
+	// across the timed repeats (after an interning warm-up pass); the
+	// decoder's contract is 0.
+	AllocsPerRecord float64 `json:"allocs_per_record"`
+}
+
+// IngestRun compares end-to-end admission at one shard count: the
+// in-memory Replay baseline against the wire path (decode + IngestBatch
+// off the same frame stream).
+type IngestRun struct {
+	Shards int `json:"shards"`
+	// ReplayRecordsPerSec is the in-memory baseline; WireRecordsPerSec
+	// includes frame decode, batch admission and the final flush.
+	ReplayRecordsPerSec float64 `json:"replay_records_per_sec"`
+	WireRecordsPerSec   float64 `json:"wire_records_per_sec"`
+	// Ratio is wire/replay — the fraction of in-memory throughput the
+	// network-format path retains (the acceptance floor is 0.70).
+	Ratio float64 `json:"ratio"`
+	// AlarmsIdentical reports whether an untimed verification pass
+	// produced Float64bits-identical alarms on both paths.
+	AlarmsIdentical bool `json:"alarms_identical"`
+}
+
+// IngestPerfResult is the wire-ingest exhibit: decode throughput plus
+// wire-vs-replay end-to-end comparison per shard count.
+type IngestPerfResult struct {
+	Env      Env             `json:"env"`
+	Vehicles int             `json:"vehicles"`
+	Records  int             `json:"records"`
+	Events   int             `json:"events"`
+	Decode   IngestDecodeLeg `json:"decode"`
+	Runs     []IngestRun     `json:"runs"`
+}
+
+// wireOnce replays the encoded fleet through decode + IngestBatch at
+// the given shard count and returns wall time plus engine counters.
+func wireOnce(frames []byte, shards int) (float64, fleet.EngineStats, error) {
+	eng, err := fleet.NewEngine(fleet.Config{
+		NewConfig:  perfPipelineConfig,
+		Shards:     shards,
+		DropAlarms: true,
+	})
+	if err != nil {
+		return 0, fleet.EngineStats{}, err
+	}
+	var dec wire.Decoder
+	start := time.Now()
+	_, err = dec.DecodeStream(bytes.NewReader(frames), wire.SinkFunc(func(b *wire.Batch) error {
+		return eng.IngestBatch(b.Records, b.Events)
+	}))
+	if err != nil {
+		return 0, fleet.EngineStats{}, err
+	}
+	if err := eng.Close(); err != nil {
+		return 0, fleet.EngineStats{}, err
+	}
+	return time.Since(start).Seconds(), eng.Stats(), nil
+}
+
+// collectAlarms runs one untimed pass with alarms kept, via either the
+// replay or the wire path, and returns them sorted.
+func collectAlarms(f *fleetsim.Fleet, frames []byte, shards int, viaWire bool) ([]detector.Alarm, error) {
+	eng, err := fleet.NewEngine(fleet.Config{
+		NewConfig: perfPipelineConfig,
+		Shards:    shards,
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []detector.Alarm
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for a := range eng.Alarms() {
+			out = append(out, a)
+		}
+	}()
+	if viaWire {
+		var dec wire.Decoder
+		_, err = dec.DecodeStream(bytes.NewReader(frames), wire.SinkFunc(func(b *wire.Batch) error {
+			return eng.IngestBatch(b.Records, b.Events)
+		}))
+	} else {
+		err = eng.Replay(f.Records, f.Events)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if err := eng.Close(); err != nil {
+		return nil, err
+	}
+	<-done
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].VehicleID != out[j].VehicleID {
+			return out[i].VehicleID < out[j].VehicleID
+		}
+		if !out[i].Time.Equal(out[j].Time) {
+			return out[i].Time.Before(out[j].Time)
+		}
+		return out[i].Channel < out[j].Channel
+	})
+	return out, nil
+}
+
+// alarmsBitIdentical compares two sorted alarm slices bit-for-bit.
+func alarmsBitIdentical(a, b []detector.Alarm) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].VehicleID != b[i].VehicleID || !a[i].Time.Equal(b[i].Time) ||
+			a[i].Channel != b[i].Channel ||
+			math.Float64bits(a[i].Score) != math.Float64bits(b[i].Score) ||
+			math.Float64bits(a[i].Threshold) != math.Float64bits(b[i].Threshold) {
+			return false
+		}
+	}
+	return true
+}
+
+// IngestPerf measures the wire-format data plane: the fleet is encoded
+// once to NVWIRE1 frames, the decode leg times buffer-to-batch decoding
+// (with a steady-state allocation audit), and the end-to-end leg
+// replays the frame stream through Engine.IngestBatch at 1 and 2
+// shards against the in-memory Replay baseline, with an untimed
+// bit-identity verification of the alarms on each configuration.
+func IngestPerf(o *Options) (*IngestPerfResult, error) {
+	f := o.fleet()
+	frames, nframes, err := wire.EncodeStream(nil, f.Records, f.Events, 512)
+	if err != nil {
+		return nil, err
+	}
+	res := &IngestPerfResult{
+		Env:      CaptureEnv(),
+		Vehicles: len(f.Vehicles),
+		Records:  len(f.Records),
+		Events:   len(f.Events),
+		Decode: IngestDecodeLeg{
+			Frames:  nframes,
+			Records: len(f.Records),
+			Events:  len(f.Events),
+			Bytes:   len(frames),
+		},
+	}
+
+	// Decode leg: one decoder and one batch reused across repeats, so
+	// the timed passes see the interned steady state the allocation
+	// contract is stated for.
+	var dec wire.Decoder
+	var b wire.Batch
+	decodeOnce := func() error {
+		b.Reset()
+		_, err := dec.DecodeAll(frames, &b)
+		return err
+	}
+	if err := decodeOnce(); err != nil { // warm-up: intern table + slice capacity
+		return nil, err
+	}
+	items := len(f.Records) + len(f.Events)
+	times := make([]float64, 0, perfRepeats)
+	var ms0, ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
+	for rep := 0; rep < perfRepeats; rep++ {
+		start := time.Now()
+		if err := decodeOnce(); err != nil {
+			return nil, err
+		}
+		times = append(times, time.Since(start).Seconds())
+	}
+	runtime.ReadMemStats(&ms1)
+	median, _, _ := summarize(times)
+	res.Decode.MBPerSec = float64(len(frames)) / 1e6 / median
+	res.Decode.NsPerItem = median * 1e9 / float64(items)
+	res.Decode.AllocsPerRecord = float64(ms1.Mallocs-ms0.Mallocs) / float64(perfRepeats*len(f.Records))
+
+	// End-to-end leg: wire vs in-memory per shard count.
+	for _, shards := range []int{1, 2} {
+		run := IngestRun{Shards: shards}
+		replayTimes := make([]float64, 0, perfRepeats)
+		wireTimes := make([]float64, 0, perfRepeats)
+		for rep := 0; rep < perfRepeats; rep++ {
+			elapsed, _, err := replayOnce(f, shards)
+			if err != nil {
+				return nil, err
+			}
+			replayTimes = append(replayTimes, elapsed)
+			elapsed, wstats, err := wireOnce(frames, shards)
+			if err != nil {
+				return nil, err
+			}
+			if wstats.RecordsIn != uint64(len(f.Records)) {
+				return nil, fmt.Errorf("ingestperf: wire path admitted %d of %d records at %d shards",
+					wstats.RecordsIn, len(f.Records), shards)
+			}
+			wireTimes = append(wireTimes, elapsed)
+		}
+		rm, _, _ := summarize(replayTimes)
+		wm, _, _ := summarize(wireTimes)
+		run.ReplayRecordsPerSec = float64(len(f.Records)) / rm
+		run.WireRecordsPerSec = float64(len(f.Records)) / wm
+		run.Ratio = run.WireRecordsPerSec / run.ReplayRecordsPerSec
+		want, err := collectAlarms(f, frames, shards, false)
+		if err != nil {
+			return nil, err
+		}
+		got, err := collectAlarms(f, frames, shards, true)
+		if err != nil {
+			return nil, err
+		}
+		run.AlarmsIdentical = alarmsBitIdentical(got, want)
+		res.Runs = append(res.Runs, run)
+	}
+	return res, nil
+}
+
+// Render prints the ingest exhibit as text.
+func (r *IngestPerfResult) Render(w io.Writer) {
+	fprintf(w, "Wire-ingest data plane (%d vehicles, %d records, %d events; %d frames, %.1f MB)\n",
+		r.Vehicles, r.Records, r.Events, r.Decode.Frames, float64(r.Decode.Bytes)/1e6)
+	fprintf(w, "decode: %8.1f MB/s  %8.0f ns/item  %8.4f allocs/record (steady state)\n",
+		r.Decode.MBPerSec, r.Decode.NsPerItem, r.Decode.AllocsPerRecord)
+	fprintf(w, "%8s  %18s  %18s  %8s  %10s\n",
+		"shards", "replay rec/s", "wire rec/s", "ratio", "identical")
+	for _, run := range r.Runs {
+		fprintf(w, "%8d  %18.0f  %18.0f  %8.3f  %10v\n",
+			run.Shards, run.ReplayRecordsPerSec, run.WireRecordsPerSec, run.Ratio, run.AlarmsIdentical)
+	}
+}

@@ -74,6 +74,10 @@ type PerfResult struct {
 	// (legacy vs last-row/scratch scoring) measured in the same
 	// invocation.
 	ScorePerf *ScorePerfResult `json:"scoreperf,omitempty"`
+	// Ingest, when present, is the wire-format data-plane exhibit
+	// (decode throughput + wire-vs-replay admission) measured in the
+	// same invocation.
+	Ingest *IngestPerfResult `json:"ingest,omitempty"`
 }
 
 // perfPipelineConfig is the complete solution without the warm-up

@@ -227,12 +227,13 @@ type EngineStats struct {
 // concurrent use from any number of producers; per-vehicle processing
 // order follows per-producer ingestion order.
 type Engine struct {
-	cfg     Config
-	shards  []*shard
-	alarmCh chan detector.Alarm
-	pool    sync.Pool     // *[]envelope batch recycling
-	poolNew atomic.Uint64 // batches allocated because the pool was empty
-	wg      sync.WaitGroup
+	cfg       Config
+	shards    []*shard
+	alarmCh   chan detector.Alarm
+	pool      sync.Pool     // *[]envelope batch recycling
+	poolNew   atomic.Uint64 // batches allocated because the pool was empty
+	stagePool sync.Pool     // *ingestStage per-producer batch staging
+	wg        sync.WaitGroup
 
 	batchH *obs.Histogram // per-batch processing latency (nil without observer)
 	ckptH  *obs.Histogram // live checkpoint duration (nil without observer)
@@ -391,6 +392,88 @@ func (e *Engine) ingest(env envelope, vehicleID string) error {
 	}
 	s.mu.Unlock()
 	return nil
+}
+
+// ingestStage is the producer-local staging area IngestBatch reuses
+// across calls: one envelope run per shard, so a whole batch crosses
+// each shard's ingest mutex in a single critical section instead of one
+// lock round trip per record.
+type ingestStage struct {
+	perShard [][]envelope
+}
+
+// IngestBatch queues a whole decoded batch — records and events merged
+// chronologically, events before same-timestamp records, exactly as
+// Replay orders them — routing it to shards in one pass. Compared with
+// per-record IngestRecord calls it pays the shard hash once per item
+// but the ingest mutex only once per (shard, batch), which is what
+// keeps a network ingest path off the engine's synchronisation edges.
+// Each input slice must be time-sorted (the usual telemetry upload
+// shape); unsorted batches are handled but fall back to a sorting
+// merge.
+//
+// Backpressure semantics match IngestRecord: a full shard queue blocks
+// the call (holding only that shard's ingest mutex) until the shard
+// drains. Like IngestRecord it leaves a partial batch pending — call
+// Flush to push tails out when latency matters more than batching.
+// Safe for concurrent use; per-shard envelope order follows
+// per-producer call order.
+func (e *Engine) IngestBatch(records []timeseries.Record, events []obd.Event) error {
+	if e.closed.Load() {
+		return ErrClosed
+	}
+	if len(records) == 0 && len(events) == 0 {
+		return nil
+	}
+	st, _ := e.stagePool.Get().(*ingestStage)
+	if st == nil {
+		st = &ingestStage{perShard: make([][]envelope, len(e.shards))}
+	}
+	push := func(env envelope, vehicleID string) error {
+		i := e.shardFor(vehicleID).index
+		st.perShard[i] = append(st.perShard[i], env)
+		return nil
+	}
+	err := core.Merged("", records, events,
+		func(ev obd.Event) error { return push(envelope{isEvent: true, ev: ev}, ev.VehicleID) },
+		func(r timeseries.Record) error { return push(envelope{rec: r}, r.VehicleID) })
+	if err == nil {
+		for i, staged := range st.perShard {
+			if len(staged) > 0 {
+				e.enqueueStaged(e.shards[i], staged)
+			}
+		}
+	}
+	for i := range st.perShard {
+		st.perShard[i] = st.perShard[i][:0]
+	}
+	e.stagePool.Put(st)
+	return err
+}
+
+// enqueueStaged appends one shard's staged envelopes to its pending
+// batch under a single mutex acquisition, flushing full batches into
+// the queue as they fill — the same BatchSize chunking and blocking
+// send as the per-record path, amortised over the run.
+func (e *Engine) enqueueStaged(s *shard, staged []envelope) {
+	s.mu.Lock()
+	for len(staged) > 0 {
+		if s.pending == nil {
+			s.pending = *(e.pool.Get().(*[]envelope))
+		}
+		free := e.cfg.BatchSize - len(s.pending)
+		if free > len(staged) {
+			free = len(staged)
+		}
+		s.pending = append(s.pending, staged[:free]...)
+		staged = staged[free:]
+		if len(s.pending) >= e.cfg.BatchSize {
+			batch := s.pending
+			s.pending = nil
+			s.in <- batch
+		}
+	}
+	s.mu.Unlock()
 }
 
 // Flush pushes every shard's partially filled batch into its queue.

@@ -1,0 +1,74 @@
+package obs
+
+import "time"
+
+// IngestMetrics is the wire-ingest instrumentation family threaded
+// through navarchos-serve: decode latency plus volume and reject
+// counters for the batch and streaming admission endpoints. It sits in
+// front of the engine — the pipeline families in Observer start where
+// these stop — so a fleet operator can tell "the network path is slow
+// or rejecting" apart from "the detector is slow" from one scrape.
+type IngestMetrics struct {
+	// DecodeH observes wall-clock decode time per request body (all
+	// formats: NVWIRE1, CSV, JSON), in seconds.
+	DecodeH *Histogram
+
+	// Frames counts decoded NVWIRE1 frames (CSV/JSON batches count as
+	// one frame per delivered batch).
+	Frames *Counter
+	// Records and Events count admitted telemetry items.
+	Records *Counter
+	Events  *Counter
+	// Bytes counts request-body bytes consumed by decoders.
+	Bytes *Counter
+	// Rejects counts request bodies refused at decode (bad magic,
+	// CRC mismatch, truncation, schema violations) — the dial that
+	// pages when a producer ships a corrupt or incompatible encoder.
+	Rejects *Counter
+}
+
+// NewIngestMetrics registers the ingest metric families in reg.
+func NewIngestMetrics(reg *Registry) *IngestMetrics {
+	return &IngestMetrics{
+		DecodeH: reg.Histogram("pdm_ingest_decode_seconds",
+			"Wire decode latency per ingest request body, all formats.", DefLatencyBuckets),
+		Frames: reg.Counter("pdm_ingest_frames_total",
+			"Decoded ingest frames (one per NVWIRE1 frame or text batch)."),
+		Records: reg.Counter("pdm_ingest_records_total",
+			"Telemetry records admitted through the ingest endpoints."),
+		Events: reg.Counter("pdm_ingest_events_total",
+			"Maintenance events admitted through the ingest endpoints."),
+		Bytes: reg.Counter("pdm_ingest_bytes_total",
+			"Request-body bytes consumed by the ingest decoders."),
+		Rejects: reg.Counter("pdm_ingest_rejects_total",
+			"Ingest request bodies rejected at decode (corrupt, truncated, or schema-invalid)."),
+	}
+}
+
+// ObserveDecode records one request body's decode outcome: duration,
+// consumed bytes, and delivered item counts.
+func (m *IngestMetrics) ObserveDecode(d time.Duration, bytes int64, frames, records, events int) {
+	if m == nil {
+		return
+	}
+	m.DecodeH.Observe(d.Seconds())
+	if bytes > 0 {
+		m.Bytes.Add(uint64(bytes))
+	}
+	if frames > 0 {
+		m.Frames.Add(uint64(frames))
+	}
+	if records > 0 {
+		m.Records.Add(uint64(records))
+	}
+	if events > 0 {
+		m.Events.Add(uint64(events))
+	}
+}
+
+// Reject counts one refused request body.
+func (m *IngestMetrics) Reject() {
+	if m != nil {
+		m.Rejects.Inc()
+	}
+}

@@ -102,6 +102,28 @@ func (j *Journal) Total() uint64 {
 	return j.next
 }
 
+// LastFor returns up to n most recent retained entries for one vehicle,
+// oldest first (n <= 0 means all retained). The ring is scanned under
+// the mutex — bounded by capacity, not fleet size — which keeps the
+// per-vehicle read endpoint O(capacity) with no extra index to maintain
+// on the alarm path.
+func (j *Journal) LastFor(vehicleID string, n int) []AlarmEvent {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	var out []AlarmEvent
+	for i := 0; i < len(j.buf); i++ {
+		// Walk oldest retained Seq upwards so out stays ordered.
+		seq := j.next - uint64(len(j.buf)) + uint64(i)
+		if e := j.buf[int(seq)%cap(j.buf)]; e.VehicleID == vehicleID {
+			out = append(out, e)
+		}
+	}
+	if n > 0 && len(out) > n {
+		out = out[len(out)-n:]
+	}
+	return out
+}
+
 // Last returns up to n most recent entries, oldest first.
 func (j *Journal) Last(n int) []AlarmEvent {
 	j.mu.Lock()

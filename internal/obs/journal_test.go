@@ -71,6 +71,30 @@ func TestJournalPartiallyFilled(t *testing.T) {
 	}
 }
 
+func TestJournalLastFor(t *testing.T) {
+	j := NewJournal(8)
+	for i := 0; i < 20; i++ {
+		j.Append(journalEvent(i)) // vehicles cycle veh-00..veh-03
+	}
+	// Retained window is seqs 12..19; veh-01 owns 13 and 17.
+	got := j.LastFor("veh-01", 0)
+	if len(got) != 2 || got[0].Seq != 13 || got[1].Seq != 17 {
+		t.Fatalf("LastFor(veh-01) = %+v", got)
+	}
+	if got := j.LastFor("veh-01", 1); len(got) != 1 || got[0].Seq != 17 {
+		t.Fatalf("LastFor(veh-01, 1) = %+v", got)
+	}
+	if got := j.LastFor("veh-99", 0); len(got) != 0 {
+		t.Fatalf("LastFor on an unknown vehicle = %+v", got)
+	}
+	// A partially filled ring must not fabricate entries.
+	j2 := NewJournal(8)
+	j2.Append(journalEvent(1))
+	if got := j2.LastFor("veh-01", 0); len(got) != 1 || got[0].Seq != 0 {
+		t.Fatalf("partial-ring LastFor = %+v", got)
+	}
+}
+
 func TestJournalJSONLSink(t *testing.T) {
 	var buf bytes.Buffer
 	j := NewJournal(2)

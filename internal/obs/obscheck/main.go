@@ -26,8 +26,8 @@ import (
 type nopHandler struct{}
 
 func (nopHandler) HandleRecord(timeseries.Record) ([]detector.Alarm, error) { return nil, nil }
-func (nopHandler) HandleEvent(obd.Event)                                 {}
-func (nopHandler) ScoredSamples() uint64                                 { return 0 }
+func (nopHandler) HandleEvent(obd.Event)                                    {}
+func (nopHandler) ScoredSamples() uint64                                    { return 0 }
 
 func main() {
 	designPath := "DESIGN.md"
@@ -45,6 +45,7 @@ func main() {
 	reg := obs.NewRegistry()
 	o := obs.NewObserver(reg, obs.ObserverConfig{})
 	o.ScoreDist("closest-pair")
+	obs.NewIngestMetrics(reg)
 	eng, err := fleet.NewEngine(fleet.Config{
 		NewHandler: func(string) (fleet.Handler, error) { return nopHandler{}, nil },
 		Shards:     1,

@@ -1,0 +1,288 @@
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"io"
+	"math"
+	"time"
+
+	"github.com/navarchos/pdm/internal/obd"
+	"github.com/navarchos/pdm/internal/timeseries"
+)
+
+// Decoder decodes NVWIRE1 frames. The zero value is ready to use. A
+// decoder is NOT safe for concurrent use — give each connection its
+// own (they are cheap; the intern table is the only state).
+//
+// Steady-state decoding is allocation-free: records are appended into
+// the caller's Batch (whose capacity is reused across frames), floats
+// are reinterpreted bit patterns, and vehicle-ID strings are interned
+// so a returning vehicle's ID is a map lookup, not an allocation.
+// Events allocate their note/DTC strings — they are orders of magnitude
+// rarer than records, so they never carry the throughput bound.
+type Decoder struct {
+	// MaxFrameBytes bounds one frame's payload (DefaultMaxFrameBytes
+	// when zero). Oversized length prefixes fail with ErrFrameTooLarge
+	// before any allocation happens.
+	MaxFrameBytes int
+
+	intern map[string]string
+}
+
+// maxFrame resolves the frame size limit.
+func (d *Decoder) maxFrame() int {
+	if d.MaxFrameBytes > 0 {
+		return d.MaxFrameBytes
+	}
+	return DefaultMaxFrameBytes
+}
+
+// internID returns the canonical string for a vehicle-ID byte slice,
+// allocating only the first time an ID is seen. The m[string(b)] lookup
+// compiles to a no-allocation map access; the table is bounded by
+// maxIntern so hostile streams full of unique IDs cannot balloon it.
+func (d *Decoder) internID(b []byte) string {
+	if s, ok := d.intern[string(b)]; ok {
+		return s
+	}
+	s := string(b)
+	if d.intern == nil {
+		d.intern = make(map[string]string)
+	}
+	if len(d.intern) < maxIntern {
+		d.intern[s] = s
+	}
+	return s
+}
+
+// DecodeInto decodes the first complete frame in buf, appending its
+// items into b (call b.Reset first to decode a frame in isolation), and
+// returns the number of bytes consumed. ErrTruncated means buf holds
+// less than one complete frame — stream callers read more and retry.
+// The decode is bit-exact: Float64bits of every value survive the
+// round trip.
+func (d *Decoder) DecodeInto(buf []byte, b *Batch) (int, error) {
+	if len(buf) < HeaderSize {
+		return 0, ErrTruncated
+	}
+	if string(buf[:4]) != Magic {
+		return 0, ErrBadMagic
+	}
+	if buf[4] != Version {
+		return 0, ErrBadVersion
+	}
+	if buf[5] != KindBatch {
+		return 0, ErrBadKind
+	}
+	n := int(binary.LittleEndian.Uint32(buf[6:]))
+	if n > d.maxFrame() {
+		return 0, ErrFrameTooLarge
+	}
+	if len(buf) < HeaderSize+n {
+		return 0, ErrTruncated
+	}
+	payload := buf[HeaderSize : HeaderSize+n]
+	if crc32.Checksum(payload, castagnoli) != binary.LittleEndian.Uint32(buf[10:]) {
+		return 0, ErrCorrupt
+	}
+	if err := d.decodePayload(payload, b); err != nil {
+		return 0, err
+	}
+	return HeaderSize + n, nil
+}
+
+// decodePayload parses one CRC-verified telemetry-batch payload.
+func (d *Decoder) decodePayload(payload []byte, b *Batch) error {
+	r := payloadReader{data: payload}
+	count := int(r.uint32())
+	// Each item needs at least minItemSize bytes; a count prefix
+	// claiming more is corrupt, not a reason to allocate.
+	if count < 0 || count*minItemSize > r.remaining() {
+		return ErrBadFrame
+	}
+	for i := 0; i < count; i++ {
+		tag := r.uint8()
+		id := r.bytes16()
+		nanos := int64(r.uint64())
+		if r.failed || len(id) > maxIDLen {
+			return ErrBadFrame
+		}
+		ts := time.Unix(0, nanos).UTC()
+		switch tag {
+		case tagRecord:
+			nv := int(r.uint8())
+			if nv != int(obd.NumPIDs) {
+				return ErrBadFrame
+			}
+			b.Records = append(b.Records, timeseries.Record{})
+			rec := &b.Records[len(b.Records)-1]
+			rec.VehicleID = d.internID(id)
+			rec.Time = ts
+			for p := 0; p < nv; p++ {
+				rec.Values[p] = math.Float64frombits(r.uint64())
+			}
+		case tagEvent:
+			typ := obd.EventType(r.uint8())
+			if typ < obd.EventService || typ > obd.EventDTC {
+				return ErrBadFrame
+			}
+			flags := r.uint8()
+			ev := obd.Event{VehicleID: d.internID(id), Time: ts, Type: typ}
+			if flags&flagDTC != 0 {
+				code := r.bytes16()
+				kind := obd.DTCKind(r.uint8())
+				if r.failed || len(code) > maxIDLen || kind < obd.DTCPending || kind > obd.DTCStored {
+					return ErrBadFrame
+				}
+				ev.DTC = &obd.DTC{Code: string(code), Kind: kind}
+			}
+			note := r.bytes16()
+			if r.failed || len(note) > maxIDLen {
+				return ErrBadFrame
+			}
+			if len(note) > 0 {
+				ev.Note = string(note)
+			}
+			b.Events = append(b.Events, ev)
+		default:
+			return ErrBadFrame
+		}
+		if r.failed {
+			return ErrBadFrame
+		}
+	}
+	if r.remaining() != 0 {
+		return ErrBadFrame
+	}
+	return nil
+}
+
+// DecodeAll decodes every frame in buf into b, returning the frame
+// count. Trailing partial frames are an error: an HTTP batch body is a
+// whole number of frames or it is corrupt.
+func (d *Decoder) DecodeAll(buf []byte, b *Batch) (int, error) {
+	frames := 0
+	for len(buf) > 0 {
+		n, err := d.DecodeInto(buf, b)
+		if err != nil {
+			return frames, err
+		}
+		buf = buf[n:]
+		frames++
+	}
+	return frames, nil
+}
+
+// DecodeStream reads consecutive frames from r, decoding each into a
+// reused internal batch delivered to sink — the long-lived connection
+// path of navarchos-serve's streaming endpoint. It returns the frame
+// count and the first read, decode or sink error; a stream ending at a
+// frame boundary returns nil. The frame buffer grows to the largest
+// frame seen and is then reused, so steady state reads are
+// allocation-free too.
+func (d *Decoder) DecodeStream(r io.Reader, sink FrameSink) (int, error) {
+	br, ok := r.(*bufio.Reader)
+	if !ok {
+		br = bufio.NewReaderSize(r, 64<<10)
+	}
+	var (
+		buf    []byte
+		batch  Batch
+		frames int
+	)
+	for {
+		var header [HeaderSize]byte
+		if _, err := io.ReadFull(br, header[:]); err != nil {
+			if err == io.EOF {
+				return frames, nil
+			}
+			if errors.Is(err, io.ErrUnexpectedEOF) {
+				return frames, ErrTruncated
+			}
+			return frames, err
+		}
+		n := int(binary.LittleEndian.Uint32(header[6:]))
+		if n > d.maxFrame() {
+			return frames, ErrFrameTooLarge
+		}
+		if need := HeaderSize + n; cap(buf) < need {
+			buf = make([]byte, need)
+		}
+		frame := buf[:HeaderSize+n]
+		copy(frame, header[:])
+		if _, err := io.ReadFull(br, frame[HeaderSize:]); err != nil {
+			if err == io.EOF || errors.Is(err, io.ErrUnexpectedEOF) {
+				return frames, ErrTruncated
+			}
+			return frames, err
+		}
+		batch.Reset()
+		if _, err := d.DecodeInto(frame, &batch); err != nil {
+			return frames, err
+		}
+		frames++
+		if err := sink.ConsumeBatch(&batch); err != nil {
+			return frames, err
+		}
+	}
+}
+
+// payloadReader is a bounds-checked cursor over a frame payload: the
+// first out-of-range read sets failed and every later read returns
+// zero, so decode call sites stay linear and a hostile length can never
+// cause an over-read. Unlike checkpoint.RBuf it hands out sub-slices of
+// the payload without copying — the decoder's zero-copy seam.
+type payloadReader struct {
+	data   []byte
+	pos    int
+	failed bool
+}
+
+func (r *payloadReader) remaining() int { return len(r.data) - r.pos }
+
+func (r *payloadReader) take(n int) []byte {
+	if r.failed || n < 0 || r.pos+n > len(r.data) {
+		r.failed = true
+		return nil
+	}
+	p := r.data[r.pos : r.pos+n]
+	r.pos += n
+	return p
+}
+
+func (r *payloadReader) uint8() uint8 {
+	p := r.take(1)
+	if p == nil {
+		return 0
+	}
+	return p[0]
+}
+
+func (r *payloadReader) uint32() uint32 {
+	p := r.take(4)
+	if p == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(p)
+}
+
+func (r *payloadReader) uint64() uint64 {
+	p := r.take(8)
+	if p == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(p)
+}
+
+// bytes16 reads a uint16-length-prefixed byte slice aliasing the
+// payload (valid until the caller's buffer is reused).
+func (r *payloadReader) bytes16() []byte {
+	p := r.take(2)
+	if p == nil {
+		return nil
+	}
+	return r.take(int(binary.LittleEndian.Uint16(p)))
+}

@@ -33,6 +33,7 @@ package pdm
 
 import (
 	"io"
+	"net/http"
 	"time"
 
 	"github.com/navarchos/pdm/internal/core"
@@ -372,6 +373,12 @@ func NewObserver(reg *MetricsRegistry, cfg ObserverConfig) *Observer {
 // NewAlarmJournal returns a bounded alarm journal (capacity <= 0 means
 // the default of 256 entries).
 func NewAlarmJournal(capacity int) *AlarmJournal { return obs.NewJournal(capacity) }
+
+// NewDebugMux builds the observability routes (/metrics, /debug/vars,
+// /debug/pprof/*, /fleet) as a mux callers can extend with their own
+// handlers — navarchos-serve mounts its ingest and query endpoints on
+// top of it.
+func NewDebugMux(cfg DebugConfig) *http.ServeMux { return obs.NewDebugMux(cfg) }
 
 // StartDebugServer serves the observability endpoints on addr (e.g.
 // ":8080" or "127.0.0.1:0") until Close.
