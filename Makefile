@@ -1,14 +1,14 @@
 GO ?= go
 
-.PHONY: ci check vet build test race race-fleet grid-equiv resume-gate fuzz-smoke bench-smoke bench-json vet-obs obs-overhead fitperf-smoke scoreperf-smoke ingest-smoke bench-micro
+.PHONY: ci check vet build test race race-fleet grid-equiv resume-gate drain-gate fuzz-smoke bench-smoke bench-json vet-obs obs-overhead fitperf-smoke scoreperf-smoke ingest-smoke bench-micro
 
 ## ci: the full gate — vet (incl. the obs metric-doc check), build,
 ## race-enabled tests (plus a focused race pass over the concurrent
 ## fleet/fitpool packages), the grid equivalence gate, the checkpoint
-## resume gate, the fit-kernel, score-path and wire-ingest smokes, the
-## observer overhead gate, the codec fuzz smokes, bench smoke, and a
-## perf run appended to BENCH_<n>.json.
-ci: vet-obs build race race-fleet grid-equiv resume-gate fitperf-smoke scoreperf-smoke ingest-smoke obs-overhead fuzz-smoke bench-smoke bench-json
+## resume and vehicle drain gates, the fit-kernel, score-path and
+## wire-ingest smokes, the observer overhead gate, the codec fuzz
+## smokes, bench smoke, and a perf run appended to BENCH_<n>.json.
+ci: vet-obs build race race-fleet grid-equiv resume-gate drain-gate fitperf-smoke scoreperf-smoke ingest-smoke obs-overhead fuzz-smoke bench-smoke bench-json
 
 ## check: the fast inner-loop gate — vet, build, and the plain test
 ## suite, with none of ci's race/equivalence/bench machinery.
@@ -47,6 +47,19 @@ grid-equiv:
 resume-gate:
 	$(GO) test -run 'TestEngineCheckpointResumeGate|TestEngineObservedBitIdentity' ./internal/fleet/
 
+## drain-gate: live vehicle handoff must not cost a bit — extracting
+## vehicles from a running engine and adopting them at a different
+## shard count (directly, through the control plane, and over the HTTP
+## handoff wire path) must reproduce the single-engine replay's alarms
+## Float64bits-identically, with ingest during the move refused via the
+## typed 409, never dropped. Runs the resume-gate tests too: the
+## whole-engine checkpoint is now built from the same per-vehicle codec
+## the handoff uses, so both gates pin one serialization path.
+drain-gate:
+	$(GO) test -run 'TestVehicleHandoffDrainGate|TestConcurrentMigrationIngest|TestEngineCheckpointResumeGate|TestEngineObservedBitIdentity' ./internal/fleet/
+	$(GO) test -run 'TestPlaneDrainGate' ./internal/controlplane/
+	$(GO) test -run 'TestServeDrainHandoff|TestServeAdoptionOverridesRing' ./cmd/navarchos-serve/
+
 ## fitperf-smoke: the fit-kernel gates at test scale — the per-detector
 ## equivalence tests (tranad bit-identity and minibatch determinism, gbt
 ## histogram-vs-exact tree equivalence), then a small fitperf run whose
@@ -76,13 +89,16 @@ vet-obs: vet
 obs-overhead:
 	OBS_OVERHEAD_GATE=1 $(GO) test -run 'TestObservedOverheadGate' -v ./internal/core/
 
-## fuzz-smoke: a short fuzz of the two binary codecs exposed to
-## untrusted bytes — the checkpoint container and the NVWIRE1 telemetry
-## frame decoder. Both must reject arbitrary corruption with typed
-## errors, never a panic or an over-read.
+## fuzz-smoke: a short fuzz of the binary codecs exposed to untrusted
+## bytes — the checkpoint container, the NVWIRE1 telemetry frame
+## decoder, and the per-vehicle state codec that handoff frames carry.
+## All must reject arbitrary corruption with typed errors, never a
+## panic or an over-read; accepted vehicle states must re-encode
+## canonically.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz 'FuzzCheckpointRoundTrip' -fuzztime 10s ./internal/checkpoint/
 	$(GO) test -run '^$$' -fuzz 'FuzzWireDecode' -fuzztime 10s ./internal/wire/
+	$(GO) test -run '^$$' -fuzz 'FuzzVehicleStateRoundTrip' -fuzztime 10s ./internal/fleet/
 
 ## ingest-smoke: the wire data-plane gates at test scale — the committed
 ## golden frame file must decode byte-stably, the decoder must hold its
@@ -114,8 +130,8 @@ scoreperf-smoke:
 	$(GO) run ./cmd/navarchos-bench -experiment scoreperf -scale small -scoreperf-strict
 
 ## bench-json: one fleet-engine perf run at bench scale, with the
-## fit-path, score-path and wire-ingest exhibits embedded, appended to
-## BENCH_<n>.json so the performance trajectory stays machine-readable
-## across PRs.
+## fit-path, score-path, wire-ingest and vehicle-handoff exhibits
+## embedded, appended to BENCH_<n>.json so the performance trajectory
+## stays machine-readable across PRs.
 bench-json:
-	$(GO) run ./cmd/navarchos-bench -experiment perf,fitperf,scoreperf,ingest -json
+	$(GO) run ./cmd/navarchos-bench -experiment perf,fitperf,scoreperf,ingest,handoff -json

@@ -8,14 +8,16 @@
 //	navarchos-bench -scale small         # quick pass
 //
 // Experiments: fig1 fig2 fig4 fig5 fig6 fig7 table1 table2 table3 fig8
-// baselines perf gridperf checkpoint fitperf scoreperf ingest all.
+// baselines perf gridperf checkpoint fitperf scoreperf ingest handoff
+// all.
 //
 // With -json, the perf experiment additionally writes its
 // throughput/latency results to BENCH_<n>.json (smallest unused n), so
 // the performance trajectory stays machine-readable across PRs; a
-// gridperf, checkpoint, fitperf, scoreperf or ingest run in the same
-// invocation is embedded under "grid" / "checkpoint" / "fitperf" /
-// "scoreperf" / "ingest". Every JSON file carries an "env" header (go
+// gridperf, checkpoint, fitperf, scoreperf, ingest or handoff run in
+// the same invocation is embedded under "grid" / "checkpoint" /
+// "fitperf" / "scoreperf" / "ingest" / "handoff". Every JSON file
+// carries an "env" header (go
 // version, GOMAXPROCS, git revision, SIMD class) identifying the
 // producing machine.
 //
@@ -254,6 +256,23 @@ func main() {
 			}
 		}
 	}
+	var handoffPerf *experiments.HandoffPerfResult
+	if has("handoff") {
+		ran = true
+		hp, err := experiments.HandoffPerf(opts)
+		if err != nil {
+			fatal(err)
+		}
+		handoffPerf = hp
+		hp.Render(out)
+		fmt.Fprintln(out)
+		for _, run := range hp.Runs {
+			if !run.AlarmsIdentical {
+				fatalf("handoff: migrated and uninterrupted alarms differ (%d → %d shards)",
+					run.SrcShards, run.DstShards)
+			}
+		}
+	}
 	var scorePerf *experiments.ScorePerfResult
 	if has("scoreperf") {
 		ran = true
@@ -285,6 +304,7 @@ func main() {
 		r.FitPerf = fitPerf
 		r.ScorePerf = scorePerf
 		r.Ingest = ingestPerf
+		r.Handoff = handoffPerf
 		r.Render(out)
 		fmt.Fprintln(out)
 		if *jsonOut {
@@ -296,7 +316,7 @@ func main() {
 		}
 	}
 	if !ran {
-		fatalf("unknown experiment %q (want fig1 fig2 fig4 fig5 fig6 fig7 table1 table2 table3 fig8 baselines perf gridperf checkpoint fitperf scoreperf ingest or all)", *experiment)
+		fatalf("unknown experiment %q (want fig1 fig2 fig4 fig5 fig6 fig7 table1 table2 table3 fig8 baselines perf gridperf checkpoint fitperf scoreperf ingest handoff or all)", *experiment)
 	}
 }
 

@@ -11,11 +11,16 @@
 //	POST /ingest          one batch (Content-Type selects the decoder:
 //	                      NVWIRE1 binary by default, text/csv,
 //	                      application/json)
-//	POST /ingest/stream   NVWIRE1 frame stream, chunked-friendly
+//	POST /ingest/stream   NVWIRE1 frame stream, chunked-friendly; also
+//	                      accepts KindHandoff frames (vehicle adoption)
 //	GET  /alarms          recent alarm-journal entries (?n=)
 //	GET  /vehicles/{id}   one vehicle's retained alarm history (?n=)
 //	GET  /fleet           engine stats + journal tail
-//	GET  /metrics         Prometheus exposition (incl. pdm_ingest_*)
+//	GET  /metrics         Prometheus exposition (incl. pdm_ingest_*,
+//	                      pdm_ctrl_*)
+//	POST /admin/cordon    fence a vehicle (?vehicle=, ?off=1 to lift)
+//	POST /admin/drain     move vehicles to a peer (?to=URL [?vehicle=])
+//	GET  /admin/placement ring members + resident vehicles
 //	     /debug/vars, /debug/pprof/*
 //
 // Producers must upload each vehicle's telemetry in chronological
@@ -23,11 +28,19 @@
 // offline Replay of the same stream. -checkpoint / -resume carry the
 // engine's mutable state across restarts without changing an alarm.
 //
+// Multi-instance placement: give each instance a -name and the full
+// peer list with -peers; the instances agree on a consistent-hash ring
+// and each refuses vehicles owned elsewhere with a typed 409 pointing
+// at the owner. Vehicles move between live instances with
+// POST /admin/drain — state travels as handoff frames over the same
+// ingest wire path, and the alarms stay bit-identical through the move.
+//
 // Usage:
 //
 //	navarchos-serve -addr :8080
 //	navarchos-serve -addr :8080 -shards 8 -journal alarms.jsonl
 //	navarchos-serve -addr :8080 -resume fleet.ckpt -checkpoint fleet.ckpt
+//	navarchos-serve -addr :8081 -name a -peers b=http://host2:8082
 package main
 
 import (
@@ -39,9 +52,26 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 )
+
+// parsePeers parses the -peers flag: "name=baseURL,name=baseURL".
+func parsePeers(s string) (map[string]string, error) {
+	if s == "" {
+		return nil, nil
+	}
+	peers := map[string]string{}
+	for _, part := range strings.Split(s, ",") {
+		name, url, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok || name == "" || url == "" {
+			return nil, fmt.Errorf("bad -peers entry %q (want name=baseURL)", part)
+		}
+		peers[name] = url
+	}
+	return peers, nil
+}
 
 func main() {
 	log.SetFlags(0)
@@ -56,8 +86,14 @@ func main() {
 	checkpointPath := flag.String("checkpoint", "", "write engine state to this file on shutdown")
 	resumePath := flag.String("resume", "", "restore engine state from this file at startup")
 	maxBody := flag.Int64("max-body", 64<<20, "maximum ingest request body, bytes")
+	name := flag.String("name", "", "this instance's name on the placement ring")
+	peers := flag.String("peers", "", "comma-separated peer list, name=baseURL each")
 	flag.Parse()
 
+	peerMap, err := parsePeers(*peers)
+	if err != nil {
+		log.Fatal(err)
+	}
 	cfg := serverConfig{
 		shards:     *shards,
 		batchSize:  *batchSize,
@@ -66,6 +102,8 @@ func main() {
 		journalCap: *journalCap,
 		maxBody:    *maxBody,
 		alarmLog:   os.Stdout,
+		name:       *name,
+		peers:      peerMap,
 	}
 	if *journalPath != "" {
 		jf, err := os.Create(*journalPath)

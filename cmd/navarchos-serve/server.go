@@ -1,16 +1,20 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"github.com/navarchos/pdm"
+	"github.com/navarchos/pdm/internal/controlplane"
 	"github.com/navarchos/pdm/internal/fleet"
 	"github.com/navarchos/pdm/internal/obs"
 	"github.com/navarchos/pdm/internal/timeseries"
@@ -28,6 +32,13 @@ type serverConfig struct {
 	resume     io.Reader // restore engine state from a checkpoint
 	alarmLog   io.Writer // one line per raw alarm (nil = discard)
 	jsonlSink  io.Writer // journal JSONL sink (nil = none)
+
+	// name identifies this instance on the placement ring ("self" when
+	// empty); peers maps the other instances' names to their base URLs.
+	// With no peers the ring is a single node and /ingest admits every
+	// vehicle — the single-instance deployment is unchanged.
+	name  string
+	peers map[string]string
 }
 
 // server owns the engine, the observability stack, and the HTTP mux.
@@ -39,9 +50,43 @@ type server struct {
 	reg     *pdm.MetricsRegistry
 	journal *pdm.AlarmJournal
 	ingest  *obs.IngestMetrics
+	ctrl    *obs.CtrlMetrics
 	mux     *http.ServeMux
 	maxBody int64
 	drained chan struct{}
+
+	// Placement: this instance's name, its peers, and the consistent
+	// ring over all of them. The ring is static per process — placement
+	// changes travel as drains, not ring edits.
+	name   string
+	peers  map[string]string
+	ring   *controlplane.Ring
+	client *http.Client
+
+	// drainedTo remembers the last drain target so a 409 for a
+	// migrated vehicle can hint where the vehicle went.
+	drainMu   sync.Mutex
+	drainedTo string
+
+	// adopted tracks vehicles this instance accepted via handoff even
+	// though the ring places them on a peer. Adoption overrides ring
+	// ownership — the ring gives the default placement, a drain re-pins
+	// — so ingest for these vehicles stays local instead of being
+	// refused as misrouted (which would leave a drained vehicle
+	// bounced between the origin's cordon fence and the adoptee's
+	// router forever). Draining a vehicle away removes its entry.
+	adoptMu sync.Mutex
+	adopted map[string]bool
+}
+
+// isAdopted reports whether id was handed to this instance despite a
+// peer owning it on the ring. Only consulted on a ring mismatch, so
+// the lock is off the common ingest path.
+func (s *server) isAdopted(id string) bool {
+	s.adoptMu.Lock()
+	ok := s.adopted[id]
+	s.adoptMu.Unlock()
+	return ok
 }
 
 // newServer builds the engine with the paper's complete solution per
@@ -93,13 +138,28 @@ func newServer(cfg serverConfig) (*server, error) {
 		return nil, err
 	}
 
+	name := cfg.name
+	if name == "" {
+		name = "self"
+	}
+	ring := controlplane.NewRing(0)
+	ring.Add(name)
+	for peer := range cfg.peers {
+		ring.Add(peer)
+	}
 	s := &server{
 		eng:     eng,
 		reg:     reg,
 		journal: journal,
 		ingest:  obs.NewIngestMetrics(reg),
+		ctrl:    obs.NewCtrlMetrics(reg),
 		maxBody: cfg.maxBody,
 		drained: make(chan struct{}),
+		name:    name,
+		peers:   cfg.peers,
+		ring:    ring,
+		client:  &http.Client{Timeout: 30 * time.Second},
+		adopted: make(map[string]bool),
 	}
 	// The journal captures every alarm with full context via the
 	// observer; the channel drain below is the live tail for operators.
@@ -122,6 +182,9 @@ func newServer(cfg serverConfig) (*server, error) {
 	s.mux.HandleFunc("POST /ingest/stream", s.handleIngestStream)
 	s.mux.HandleFunc("GET /alarms", s.handleAlarms)
 	s.mux.HandleFunc("GET /vehicles/{id}", s.handleVehicle)
+	s.mux.HandleFunc("POST /admin/cordon", s.handleAdminCordon)
+	s.mux.HandleFunc("POST /admin/drain", s.handleAdminDrain)
+	s.mux.HandleFunc("GET /admin/placement", s.handleAdminPlacement)
 	return s, nil
 }
 
@@ -149,6 +212,83 @@ type ingestResponse struct {
 	Frames  int `json:"frames"`
 	Records int `json:"records"`
 	Events  int `json:"events"`
+	// Handoffs counts adopted vehicle-handoff frames (streaming binary
+	// ingest only).
+	Handoffs int `json:"handoffs,omitempty"`
+}
+
+// unavailableResponse is the typed 409 body for a vehicle the instance
+// cannot serve right now (cordoned, mid-handoff, or owned elsewhere).
+// RetryAfter mirrors the Retry-After header; Peer, when set, is where
+// the vehicle went (the last drain target or the ring owner's URL).
+type unavailableResponse struct {
+	Error      string `json:"error"`
+	Vehicle    string `json:"vehicle"`
+	State      string `json:"state"`
+	Refused    int    `json:"refused"`
+	RetryAfter int    `json:"retry_after_seconds"`
+	Peer       string `json:"peer,omitempty"`
+}
+
+// writeUnavailable sends the typed 409: the producer should wait
+// RetryAfter (or re-resolve placement to Peer) and resend exactly the
+// refused vehicles — batch admission is all-or-nothing per vehicle, so
+// the retry cannot duplicate records.
+func (s *server) writeUnavailable(w http.ResponseWriter, resp unavailableResponse) {
+	if resp.RetryAfter <= 0 {
+		resp.RetryAfter = 1
+	}
+	if resp.Peer == "" {
+		s.drainMu.Lock()
+		resp.Peer = s.drainedTo
+		s.drainMu.Unlock()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Retry-After", strconv.Itoa(resp.RetryAfter))
+	w.WriteHeader(http.StatusConflict)
+	json.NewEncoder(w).Encode(resp) //nolint:errcheck // client went away
+}
+
+// misroute records items refused because their ring owner is another
+// instance.
+type misroute struct {
+	vehicle string
+	owner   string
+	refused int
+}
+
+// routed reports whether this instance shares the ring with peers.
+func (s *server) routed() bool { return len(s.peers) > 0 }
+
+// filterOwned drops items whose ring owner is a peer, in place,
+// counting them into mis. Per-vehicle all-or-nothing holds trivially:
+// ownership is a pure function of the vehicle ID, so either every one
+// of a vehicle's items passes or none does.
+func (s *server) filterOwned(b *wire.Batch, mis *misroute) {
+	keepR := b.Records[:0]
+	for _, r := range b.Records {
+		if owner := s.ring.Owner(r.VehicleID); owner != s.name && !s.isAdopted(r.VehicleID) {
+			mis.refused++
+			if mis.vehicle == "" {
+				mis.vehicle, mis.owner = r.VehicleID, owner
+			}
+			continue
+		}
+		keepR = append(keepR, r)
+	}
+	b.Records = keepR
+	keepE := b.Events[:0]
+	for _, ev := range b.Events {
+		if owner := s.ring.Owner(ev.VehicleID); owner != s.name && !s.isAdopted(ev.VehicleID) {
+			mis.refused++
+			if mis.vehicle == "" {
+				mis.vehicle, mis.owner = ev.VehicleID, owner
+			}
+			continue
+		}
+		keepE = append(keepE, ev)
+	}
+	b.Events = keepE
 }
 
 // handleIngest admits one telemetry batch. The decoder is chosen by
@@ -165,12 +305,12 @@ func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	}
 	switch ct {
 	case "text/csv":
-		s.decodeAndAdmit(w, r, func(body io.Reader, sink wire.FrameSink) error {
+		s.decodeAndAdmit(w, r, func(body io.Reader, sink wire.FrameSink, _ *ingestResponse) error {
 			_, err := wire.DecodeCSV(body, 0, sink)
 			return err
 		})
 	case "application/json":
-		s.decodeAndAdmit(w, r, func(body io.Reader, sink wire.FrameSink) error {
+		s.decodeAndAdmit(w, r, func(body io.Reader, sink wire.FrameSink, _ *ingestResponse) error {
 			_, err := wire.DecodeJSON(body, 0, sink)
 			return err
 		})
@@ -182,10 +322,31 @@ func (s *server) handleIngest(w http.ResponseWriter, r *http.Request) {
 // handleIngestStream decodes a (possibly chunked) NVWIRE1 frame stream,
 // admitting each frame as it completes — a producer can hold the
 // connection open and trickle frames without buffering the whole body.
+// This is also the endpoint that accepts vehicle-handoff frames: a
+// peer's drain delivers extracted vehicles here and they are adopted
+// into the local engine before the next telemetry frame decodes.
 func (s *server) handleIngestStream(w http.ResponseWriter, r *http.Request) {
-	s.decodeAndAdmit(w, r, func(body io.Reader, sink wire.FrameSink) error {
+	s.decodeAndAdmit(w, r, func(body io.Reader, sink wire.FrameSink, resp *ingestResponse) error {
 		var dec wire.Decoder
 		dec.MaxFrameBytes = int(s.maxBody)
+		dec.HandoffSink = func(state []byte) error {
+			// The payload aliases the decode buffer; the snapshot must
+			// outlive this call, so clone before decoding.
+			vs, err := fleet.DecodeVehicleState(bytes.Clone(state))
+			if err != nil {
+				return err
+			}
+			if err := s.eng.AdoptVehicle(vs); err != nil {
+				return err
+			}
+			if s.ring.Owner(vs.ID) != s.name {
+				s.adoptMu.Lock()
+				s.adopted[vs.ID] = true
+				s.adoptMu.Unlock()
+			}
+			resp.Handoffs++
+			return nil
+		}
 		_, err := dec.DecodeStream(body, sink)
 		return err
 	})
@@ -194,12 +355,22 @@ func (s *server) handleIngestStream(w http.ResponseWriter, r *http.Request) {
 // decodeAndAdmit runs one decoder over the request body, counting
 // outcomes into the ingest metrics and flushing the engine so admitted
 // records become visible to /fleet and /alarms promptly.
+//
+// Engine-level refusals map to typed statuses rather than silent drops:
+// a cordoned or mid-handoff vehicle is 409 Conflict with a Retry-After
+// hint (retry the refused vehicles verbatim — admission is all-or-
+// nothing per vehicle), a closed engine is 503, and everything the
+// decoder itself rejects stays 400.
 func (s *server) decodeAndAdmit(w http.ResponseWriter, r *http.Request,
-	decode func(io.Reader, wire.FrameSink) error) {
+	decode func(io.Reader, wire.FrameSink, *ingestResponse) error) {
 	body := &countingReader{r: http.MaxBytesReader(w, r.Body, s.maxBody)}
 	var resp ingestResponse
 	var engineErr error
+	var mis misroute
 	sink := wire.SinkFunc(func(b *wire.Batch) error {
+		if s.routed() {
+			s.filterOwned(b, &mis)
+		}
 		if err := s.eng.IngestBatch(b.Records, b.Events); err != nil {
 			engineErr = err
 			return err
@@ -210,19 +381,49 @@ func (s *server) decodeAndAdmit(w http.ResponseWriter, r *http.Request,
 		return nil
 	})
 	start := time.Now()
-	err := decode(body, sink)
+	err := decode(body, sink, &resp)
 	s.ingest.ObserveDecode(time.Since(start), body.n, resp.Frames, resp.Records, resp.Events)
 	if err != nil {
-		if engineErr != nil || errors.Is(err, fleet.ErrClosed) {
+		var vu *fleet.VehicleUnavailableError
+		switch {
+		case errors.As(err, &vu):
+			// Frames admitted before the refusal stay admitted — flush
+			// them so the producer's retry resumes, not restarts.
+			s.eng.Flush()
+			s.writeUnavailable(w, unavailableResponse{
+				Error:   "vehicle unavailable",
+				Vehicle: vu.VehicleID,
+				State:   vu.State,
+				Refused: vu.Refused,
+			})
+		case errors.Is(err, fleet.ErrVehicleExists):
+			// A handoff for a vehicle this engine already serves: the
+			// sender must not retry blindly, the state diverged.
+			http.Error(w, err.Error(), http.StatusConflict)
+		case engineErr != nil || errors.Is(err, fleet.ErrClosed):
 			http.Error(w, err.Error(), http.StatusServiceUnavailable)
-			return
+		default:
+			// Decode-level rejection: corrupt, truncated, schema-invalid
+			// telemetry, or a handoff payload that is not a valid
+			// vehicle state.
+			s.ingest.Reject()
+			http.Error(w, err.Error(), http.StatusBadRequest)
 		}
-		// Decode-level rejection: corrupt, truncated, or schema-invalid.
-		s.ingest.Reject()
-		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
 	s.eng.Flush()
+	if mis.refused > 0 {
+		// Misrouted items were filtered (never admitted); everything
+		// owned here went through. Point the producer at the owner.
+		s.writeUnavailable(w, unavailableResponse{
+			Error:   "vehicle placed on peer " + mis.owner,
+			Vehicle: mis.vehicle,
+			State:   "misrouted",
+			Refused: mis.refused,
+			Peer:    s.peers[mis.owner],
+		})
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(resp) //nolint:errcheck // client went away
 }
@@ -262,4 +463,168 @@ func (s *server) handleVehicle(w http.ResponseWriter, r *http.Request) {
 		Vehicle string                  `json:"vehicle"`
 		Alarms  []pdm.AlarmJournalEntry `json:"alarms"`
 	}{id, alarms})
+}
+
+// writeJSON writes v as the 200 response body.
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v) //nolint:errcheck // client went away
+}
+
+// handleAdminCordon fences one vehicle (POST /admin/cordon?vehicle=X):
+// further ingest for it gets the typed 409 until the fence lifts.
+// ?off=1 lifts the fence instead.
+func (s *server) handleAdminCordon(w http.ResponseWriter, r *http.Request) {
+	vehicle := r.URL.Query().Get("vehicle")
+	if vehicle == "" {
+		http.Error(w, "missing ?vehicle=", http.StatusBadRequest)
+		return
+	}
+	if r.URL.Query().Get("off") != "" {
+		s.eng.Uncordon(vehicle)
+	} else {
+		s.eng.Cordon(vehicle)
+	}
+	state := s.eng.CordonState(vehicle)
+	if state == "" {
+		state = "serving"
+	}
+	writeJSON(w, struct {
+		Vehicle string `json:"vehicle"`
+		State   string `json:"state"`
+	}{vehicle, state})
+}
+
+// drainResponse is the POST /admin/drain response body.
+type drainResponse struct {
+	Moved    int      `json:"moved"`
+	Vehicles []string `json:"vehicles"`
+	To       string   `json:"to"`
+}
+
+// handleAdminDrain moves vehicles to a peer (POST /admin/drain?to=URL,
+// optionally ?vehicle=ID for a single vehicle; default all residents).
+// Each vehicle is cordoned, extracted at a batch boundary, and shipped
+// as a KindHandoff frame in one POST to the peer's /ingest/stream. On
+// any failure every extracted vehicle is re-adopted locally, so a
+// failed drain loses nothing. On success the vehicles stay fenced here
+// ("migrating") and later ingest for them 409s with the peer hint.
+func (s *server) handleAdminDrain(w http.ResponseWriter, r *http.Request) {
+	to := strings.TrimRight(r.URL.Query().Get("to"), "/")
+	if to == "" {
+		http.Error(w, "missing ?to=", http.StatusBadRequest)
+		return
+	}
+	var ids []string
+	if v := r.URL.Query().Get("vehicle"); v != "" {
+		ids = []string{v}
+	} else {
+		ids = s.eng.VehicleIDs()
+	}
+
+	start := time.Now()
+	var (
+		frames []byte
+		moved  []fleet.VehicleState
+	)
+	abort := func(status int, err error) {
+		var readoptErr error
+		for _, vs := range moved {
+			if aerr := s.eng.AdoptVehicle(vs); aerr != nil && readoptErr == nil {
+				readoptErr = aerr
+			}
+		}
+		msg := "drain failed: " + err.Error()
+		if readoptErr != nil {
+			// Should be unreachable (we hold the only copy of the
+			// extracted state), but losing a vehicle must be loud.
+			msg += "; re-adopt failed: " + readoptErr.Error()
+			status = http.StatusInternalServerError
+		}
+		http.Error(w, msg, status)
+	}
+	for _, id := range ids {
+		s.eng.Cordon(id)
+		vs, err := s.eng.ExtractVehicle(id)
+		if errors.Is(err, fleet.ErrUnknownVehicle) {
+			// Placed here but never materialised — nothing to move.
+			s.eng.Uncordon(id)
+			continue
+		}
+		if err != nil {
+			abort(http.StatusInternalServerError, err)
+			return
+		}
+		if frames, err = wire.AppendHandoff(frames, vs.Encode()); err != nil {
+			moved = append(moved, vs)
+			abort(http.StatusInternalServerError, err)
+			return
+		}
+		moved = append(moved, vs)
+	}
+
+	names := make([]string, 0, len(moved))
+	for _, vs := range moved {
+		names = append(names, vs.ID)
+	}
+	sort.Strings(names)
+	if len(moved) > 0 {
+		resp, err := s.client.Post(to+"/ingest/stream", "application/octet-stream", bytes.NewReader(frames))
+		if err != nil {
+			abort(http.StatusBadGateway, err)
+			return
+		}
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
+		resp.Body.Close() //nolint:errcheck // read to completion above
+		if resp.StatusCode/100 != 2 {
+			abort(http.StatusBadGateway, fmt.Errorf("peer returned %s: %s", resp.Status, bytes.TrimSpace(body)))
+			return
+		}
+		elapsed := time.Since(start)
+		for range moved {
+			s.ctrl.ObserveHandoff(elapsed)
+		}
+	}
+	s.adoptMu.Lock()
+	for _, vs := range moved {
+		delete(s.adopted, vs.ID)
+	}
+	s.adoptMu.Unlock()
+	s.drainMu.Lock()
+	s.drainedTo = to
+	s.drainMu.Unlock()
+	writeJSON(w, drainResponse{Moved: len(moved), Vehicles: names, To: to})
+}
+
+// placementMember is one ring member in the placement listing.
+type placementMember struct {
+	Name string `json:"name"`
+	URL  string `json:"url,omitempty"` // empty for this instance
+}
+
+// handleAdminPlacement reports this instance's view of the ring and the
+// vehicles currently resident in its engine.
+func (s *server) handleAdminPlacement(w http.ResponseWriter, r *http.Request) {
+	members := []placementMember{{Name: s.name}}
+	for name, url := range s.peers {
+		members = append(members, placementMember{Name: name, URL: url})
+	}
+	sort.Slice(members, func(i, j int) bool { return members[i].Name < members[j].Name })
+	s.drainMu.Lock()
+	drainedTo := s.drainedTo
+	s.drainMu.Unlock()
+	s.adoptMu.Lock()
+	adopted := make([]string, 0, len(s.adopted))
+	for id := range s.adopted {
+		adopted = append(adopted, id)
+	}
+	s.adoptMu.Unlock()
+	sort.Strings(adopted)
+	writeJSON(w, struct {
+		Self      string            `json:"self"`
+		Members   []placementMember `json:"members"`
+		Residents []string          `json:"residents"`
+		Adopted   []string          `json:"adopted,omitempty"`
+		DrainedTo string            `json:"drained_to,omitempty"`
+	}{s.name, members, s.eng.VehicleIDs(), adopted, drainedTo})
 }

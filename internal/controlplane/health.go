@@ -1,0 +1,86 @@
+package controlplane
+
+import (
+	"sort"
+	"time"
+)
+
+// Health is one engine's state as seen by a health-check pass.
+type Health struct {
+	Name     string `json:"name"`
+	Healthy  bool   `json:"healthy"`
+	Cordoned bool   `json:"cordoned"`
+	// Err carries the engine's first processing error when unhealthy.
+	Err string `json:"err,omitempty"`
+	// A thumbnail of the engine's Stats() so a health scrape doubles as
+	// a capacity view.
+	Vehicles  int    `json:"vehicles"`
+	RecordsIn uint64 `json:"records_in"`
+	Alarms    uint64 `json:"alarms"`
+}
+
+// CheckHealth runs one health pass over every registered engine:
+// Err() decides healthy/unhealthy (a fleet engine latches its first
+// vehicle-processing error there), Stats() fills the capacity
+// thumbnail, and each unhealthy engine counts one health-check
+// failure. Results are sorted by name.
+//
+// The check reports; it does not act. Draining an unhealthy engine is
+// an operator (or serving-layer) decision — an automatic drain on a
+// transient error would move every vehicle twice.
+func (p *Plane) CheckHealth() []Health {
+	p.mu.Lock()
+	type probe struct {
+		name     string
+		eng      Engine
+		cordoned bool
+	}
+	probes := make([]probe, 0, len(p.members))
+	for name, m := range p.members {
+		probes = append(probes, probe{name, m.eng, m.cordoned})
+	}
+	p.mu.Unlock()
+
+	// Stats()/Err() are atomic reads on a fleet engine but may be RPCs
+	// on a proxy, so probe outside the plane lock.
+	out := make([]Health, 0, len(probes))
+	for _, pr := range probes {
+		h := Health{Name: pr.name, Cordoned: pr.cordoned, Healthy: true}
+		if err := pr.eng.Err(); err != nil {
+			h.Healthy = false
+			h.Err = err.Error()
+			p.metrics.HealthFailure()
+		}
+		st := pr.eng.Stats()
+		h.Vehicles = st.Vehicles
+		h.RecordsIn = st.RecordsIn
+		h.Alarms = st.Alarms
+		out = append(out, h)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// StartHealth runs CheckHealth every interval until the returned stop
+// function is called. Results go to onCheck when non-nil (the serving
+// layer logs or exports them); the metrics side effects fire either
+// way.
+func (p *Plane) StartHealth(interval time.Duration, onCheck func([]Health)) (stop func()) {
+	done := make(chan struct{})
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				hs := p.CheckHealth()
+				if onCheck != nil {
+					onCheck(hs)
+				}
+			}
+		}
+	}()
+	return func() { close(done) }
+}

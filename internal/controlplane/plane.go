@@ -1,0 +1,324 @@
+package controlplane
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/navarchos/pdm/internal/fleet"
+	"github.com/navarchos/pdm/internal/obs"
+)
+
+// Engine is the slice of a fleet engine the control plane drives:
+// enough to health-check it, enumerate and fence its vehicles, and
+// move per-vehicle state in and out. *fleet.Engine implements it; so
+// can a proxy for an engine in another process.
+type Engine interface {
+	Stats() fleet.EngineStats
+	Err() error
+	VehicleIDs() []string
+	Cordon(vehicleID string)
+	ExtractVehicle(id string) (fleet.VehicleState, error)
+	AdoptVehicle(vs fleet.VehicleState) error
+}
+
+// Typed control-plane errors.
+var (
+	// ErrNoEngines is returned by EngineFor when no registered,
+	// uncordoned engine can accept a placement.
+	ErrNoEngines = errors.New("controlplane: no active engines")
+	// ErrUnknownEngine is returned for operations on a name that was
+	// never registered.
+	ErrUnknownEngine = errors.New("controlplane: unknown engine")
+	// ErrEngineExists is returned by Register for a duplicate name.
+	ErrEngineExists = errors.New("controlplane: engine already registered")
+)
+
+// Config parameterises a Plane.
+type Config struct {
+	// Replicas is the virtual-node count per engine on the placement
+	// ring (DefaultReplicas when <= 0).
+	Replicas int
+	// Metrics receives placement/handoff/health instrumentation; nil
+	// disables it.
+	Metrics *obs.CtrlMetrics
+}
+
+type member struct {
+	eng      Engine
+	cordoned bool
+}
+
+// Plane is the control plane: a registry of named engines, the
+// consistent-hash ring that places vehicles onto them, the sticky
+// placement table recording where each vehicle actually lives, and the
+// cordon/drain verbs that move vehicles with the fleet's per-vehicle
+// handoff. All methods are safe for concurrent use.
+//
+// Placement is sticky by design: the ring only decides where a vehicle
+// goes the *first* time it is seen (or when a drain re-pins it), and
+// the table remembers the decision. Registering a new engine therefore
+// shifts future placements without silently splitting an existing
+// vehicle's state across two engines — vehicles only move through
+// Drain, which moves their state along with them.
+type Plane struct {
+	mu         sync.Mutex
+	ring       *Ring // uncordoned members only
+	members    map[string]*member
+	placements map[string]string // vehicle ID -> engine name
+	metrics    *obs.CtrlMetrics
+}
+
+// New returns an empty Plane.
+func New(cfg Config) *Plane {
+	return &Plane{
+		ring:       NewRing(cfg.Replicas),
+		members:    map[string]*member{},
+		placements: map[string]string{},
+		metrics:    cfg.Metrics,
+	}
+}
+
+// Register adds a named engine and makes it eligible for placements.
+func (p *Plane) Register(name string, eng Engine) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, ok := p.members[name]; ok {
+		return fmt.Errorf("%w: %s", ErrEngineExists, name)
+	}
+	p.members[name] = &member{eng: eng}
+	p.ring.Add(name)
+	return nil
+}
+
+// Engine returns a registered engine by name.
+func (p *Plane) Engine(name string) (Engine, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	m, ok := p.members[name]
+	if !ok {
+		return nil, false
+	}
+	return m.eng, true
+}
+
+// EngineFor resolves a vehicle to its serving engine, placing it by
+// ring ownership on first contact and sticking to that decision until
+// a drain moves it.
+func (p *Plane) EngineFor(vehicleID string) (string, Engine, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if name, ok := p.placements[vehicleID]; ok {
+		return name, p.members[name].eng, nil
+	}
+	name := p.ring.Owner(vehicleID)
+	if name == "" {
+		return "", nil, ErrNoEngines
+	}
+	p.placements[vehicleID] = name
+	p.metrics.Placed()
+	return name, p.members[name].eng, nil
+}
+
+// Lookup reports a vehicle's current placement without creating one.
+func (p *Plane) Lookup(vehicleID string) (string, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	name, ok := p.placements[vehicleID]
+	return name, ok
+}
+
+// Placements returns a copy of the placement table.
+func (p *Plane) Placements() map[string]string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make(map[string]string, len(p.placements))
+	for v, n := range p.placements {
+		out[v] = n
+	}
+	return out
+}
+
+// Cordon fences an engine off from new placements: it leaves the ring,
+// but vehicles already placed on it keep serving until Drain moves
+// them.
+func (p *Plane) Cordon(name string) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.cordonLocked(name)
+}
+
+func (p *Plane) cordonLocked(name string) error {
+	m, ok := p.members[name]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownEngine, name)
+	}
+	if !m.cordoned {
+		m.cordoned = true
+		p.ring.Remove(name)
+		p.metrics.SetCordoned(p.cordonedCountLocked())
+	}
+	return nil
+}
+
+// Uncordon returns an engine to the placement ring.
+func (p *Plane) Uncordon(name string) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	m, ok := p.members[name]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownEngine, name)
+	}
+	if m.cordoned {
+		m.cordoned = false
+		p.ring.Add(name)
+		p.metrics.SetCordoned(p.cordonedCountLocked())
+	}
+	return nil
+}
+
+func (p *Plane) cordonedCountLocked() int {
+	n := 0
+	for _, m := range p.members {
+		if m.cordoned {
+			n++
+		}
+	}
+	return n
+}
+
+// Cordoned reports whether an engine is cordoned.
+func (p *Plane) Cordoned(name string) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	m, ok := p.members[name]
+	return ok && m.cordoned
+}
+
+// Drain evacuates an engine: it is cordoned, then every vehicle placed
+// or resident on it is fenced, extracted at its owning shard's batch
+// boundary, adopted by its new ring owner, and re-pinned in the
+// placement table. The engine stays registered and cordoned afterwards
+// — Uncordon returns it to service, deregistration is the operator's
+// next move. Returns the number of vehicles whose state moved.
+//
+// The handoffs run outside the plane lock, so placements of unrelated
+// vehicles keep resolving while a drain is in flight; producers racing
+// the drain are refused by the source engine's per-vehicle fence and
+// re-resolve to the new placement. If a target refuses adoption the
+// vehicle's state is re-adopted by the source (nothing is lost), the
+// drain stops, and the error reports the vehicle; the engine remains
+// cordoned with the remaining vehicles still on it.
+func (p *Plane) Drain(name string) (moved int, err error) {
+	p.mu.Lock()
+	m, ok := p.members[name]
+	if !ok {
+		p.mu.Unlock()
+		return 0, fmt.Errorf("%w: %s", ErrUnknownEngine, name)
+	}
+	if err := p.cordonLocked(name); err != nil {
+		p.mu.Unlock()
+		return 0, err
+	}
+	src := m.eng
+	// Both views of "on this engine" matter: the placement table holds
+	// vehicles routed here that may not have materialised state yet,
+	// VehicleIDs holds state that may predate the table (an engine
+	// restored from a checkpoint).
+	idSet := map[string]bool{}
+	for v, n := range p.placements {
+		if n == name {
+			idSet[v] = true
+		}
+	}
+	p.mu.Unlock()
+	for _, v := range src.VehicleIDs() {
+		idSet[v] = true
+	}
+	ids := make([]string, 0, len(idSet))
+	for v := range idSet {
+		ids = append(ids, v)
+	}
+	sort.Strings(ids)
+
+	for _, v := range ids {
+		// Fence first so a vehicle with no state yet cannot grow one on
+		// the draining engine after we look; ExtractVehicle preserves
+		// the fence on failure and upgrades it to "migrating" on
+		// success.
+		src.Cordon(v)
+		start := time.Now()
+		vs, extractErr := src.ExtractVehicle(v)
+		if extractErr != nil {
+			if errors.Is(extractErr, fleet.ErrUnknownVehicle) {
+				// Placed but never materialised: nothing to move, just
+				// re-pin.
+				if err := p.repoint(v, name); err != nil {
+					return moved, err
+				}
+				continue
+			}
+			return moved, fmt.Errorf("controlplane: drain %s: %w", name, extractErr)
+		}
+		target, targetName, pickErr := p.pickTarget(v, name)
+		if pickErr == nil {
+			pickErr = target.AdoptVehicle(vs)
+		}
+		if pickErr != nil {
+			// Put the state back where it came from rather than dropping
+			// it on the floor; the vehicle keeps serving on the cordoned
+			// engine.
+			if backErr := src.AdoptVehicle(vs); backErr != nil {
+				return moved, fmt.Errorf("controlplane: drain %s: vehicle %s stranded: %v (after: %w)",
+					name, v, backErr, pickErr)
+			}
+			return moved, fmt.Errorf("controlplane: drain %s: vehicle %s: %w", name, v, pickErr)
+		}
+		p.mu.Lock()
+		p.placements[v] = targetName
+		p.mu.Unlock()
+		p.metrics.ObserveHandoff(time.Since(start))
+		p.metrics.Placed()
+		moved++
+	}
+	return moved, nil
+}
+
+// pickTarget resolves a drained vehicle's new owner on the current
+// ring (the source is already off it).
+func (p *Plane) pickTarget(vehicleID, exclude string) (Engine, string, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	name := p.ring.Owner(vehicleID)
+	if name == "" || name == exclude {
+		return nil, "", ErrNoEngines
+	}
+	return p.members[name].eng, name, nil
+}
+
+// repoint re-pins a stateless vehicle off a draining engine.
+func (p *Plane) repoint(vehicleID, from string) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	name := p.ring.Owner(vehicleID)
+	if name == "" || name == from {
+		return ErrNoEngines
+	}
+	p.placements[vehicleID] = name
+	p.metrics.Placed()
+	return nil
+}
+
+// EngineNames returns the registered engine names, sorted.
+func (p *Plane) EngineNames() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]string, 0, len(p.members))
+	for n := range p.members {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

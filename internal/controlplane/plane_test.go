@@ -1,0 +1,472 @@
+package controlplane
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/navarchos/pdm/internal/core"
+	"github.com/navarchos/pdm/internal/detector"
+	"github.com/navarchos/pdm/internal/detector/closestpair"
+	"github.com/navarchos/pdm/internal/fleet"
+	"github.com/navarchos/pdm/internal/obd"
+	"github.com/navarchos/pdm/internal/obs"
+	"github.com/navarchos/pdm/internal/thresholds"
+	"github.com/navarchos/pdm/internal/timeseries"
+	"github.com/navarchos/pdm/internal/transform"
+)
+
+// planeStream mirrors the fleet package's synthetic stream: seeded
+// sinusoidal telemetry interleaved across vehicles plus one mid-stream
+// service event each.
+func planeStream(vehicles, perVehicle int) ([]timeseries.Record, []obd.Event) {
+	rng := rand.New(rand.NewSource(41))
+	base := time.Date(2023, 5, 1, 6, 0, 0, 0, time.UTC)
+	var records []timeseries.Record
+	var events []obd.Event
+	for i := 0; i < perVehicle; i++ {
+		for v := 0; v < vehicles; v++ {
+			var vals [obd.NumPIDs]float64
+			vals[obd.EngineRPM] = 1500 + 280*math.Sin(float64(i)/8+float64(v)) + rng.Float64()*70
+			vals[obd.Speed] = 50 + 18*math.Sin(float64(i)/11) + rng.Float64()*4
+			vals[obd.CoolantTemp] = 86 + rng.Float64()*5
+			vals[obd.IntakeTemp] = 21 + rng.Float64()*3
+			vals[obd.MAPIntake] = 33 + 11*math.Sin(float64(i)/6+float64(v)) + rng.Float64()*3
+			vals[obd.MAFAirFlowRate] = 8 + 3*math.Sin(float64(i)/6+float64(v)) + rng.Float64()*2
+			records = append(records, timeseries.Record{
+				VehicleID: fmt.Sprintf("veh-%02d", v),
+				Time:      base.Add(time.Duration(i)*time.Minute + time.Duration(v)*time.Second),
+				Values:    vals,
+			})
+		}
+	}
+	for v := 0; v < vehicles; v++ {
+		events = append(events, obd.Event{
+			VehicleID: fmt.Sprintf("veh-%02d", v),
+			Time:      base.Add(time.Duration(perVehicle/3)*time.Minute + time.Duration(v)*time.Second),
+			Type:      obd.EventService,
+		})
+	}
+	return records, events
+}
+
+func planeEngineConfig(shards int) fleet.Config {
+	return fleet.Config{
+		NewConfig: func(string) (core.Config, error) {
+			tr, err := transform.New(transform.Correlation, 12)
+			if err != nil {
+				return core.Config{}, err
+			}
+			return core.Config{
+				Transformer:   tr,
+				Detector:      closestpair.New(tr.FeatureNames()),
+				Thresholder:   thresholds.NewSelfTuning(3),
+				ProfileLength: 30,
+				Filter:        func(*timeseries.Record) bool { return true },
+			}, nil
+		},
+		Shards:    shards,
+		BatchSize: 8,
+	}
+}
+
+func collectAlarms(e *fleet.Engine) func() []detector.Alarm {
+	var out []detector.Alarm
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for a := range e.Alarms() {
+			out = append(out, a)
+		}
+	}()
+	return func() []detector.Alarm {
+		<-done
+		return out
+	}
+}
+
+func sortPlaneAlarms(a []detector.Alarm) {
+	sort.Slice(a, func(i, j int) bool {
+		if a[i].VehicleID != a[j].VehicleID {
+			return a[i].VehicleID < a[j].VehicleID
+		}
+		if !a[i].Time.Equal(a[j].Time) {
+			return a[i].Time.Before(a[j].Time)
+		}
+		return a[i].Channel < a[j].Channel
+	})
+}
+
+func planeSameAlarms(a, b []detector.Alarm) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].VehicleID != b[i].VehicleID || !a[i].Time.Equal(b[i].Time) ||
+			a[i].Channel != b[i].Channel ||
+			math.Float64bits(a[i].Score) != math.Float64bits(b[i].Score) ||
+			math.Float64bits(a[i].Threshold) != math.Float64bits(b[i].Threshold) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestPlaneDrainGate is the control-plane half of the drain gate: a
+// fleet streamed through ring placement across two live engines at
+// different shard counts, with one engine drained mid-stream, must
+// produce the Float64bits-identical alarm stream of an uninterrupted
+// single-engine replay.
+func TestPlaneDrainGate(t *testing.T) {
+	const (
+		vehicles   = 6
+		perVehicle = 160
+		chunk      = 16
+	)
+	records, events := planeStream(vehicles, perVehicle)
+
+	// Uninterrupted single-engine reference.
+	eRef, err := fleet.NewEngine(planeEngineConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitRef := collectAlarms(eRef)
+	if err := eRef.Replay(records, events); err != nil {
+		t.Fatal(err)
+	}
+	if err := eRef.Close(); err != nil {
+		t.Fatal(err)
+	}
+	refAlarms := waitRef()
+	sortPlaneAlarms(refAlarms)
+
+	reg := obs.NewRegistry()
+	metrics := obs.NewCtrlMetrics(reg)
+	p := New(Config{Metrics: metrics})
+	eA, err := fleet.NewEngine(planeEngineConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	eB, err := fleet.NewEngine(planeEngineConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitA, waitB := collectAlarms(eA), collectAlarms(eB)
+	if err := p.Register("engine-a", eA); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Register("engine-b", eB); err != nil {
+		t.Fatal(err)
+	}
+
+	// Per-vehicle chronological streams with the service event attached
+	// to the chunk covering its timestamp.
+	type stream struct {
+		recs []timeseries.Record
+		evs  []obd.Event
+	}
+	perVeh := map[string]*stream{}
+	for _, r := range records {
+		if perVeh[r.VehicleID] == nil {
+			perVeh[r.VehicleID] = &stream{}
+		}
+		perVeh[r.VehicleID].recs = append(perVeh[r.VehicleID].recs, r)
+	}
+	for _, ev := range events {
+		perVeh[ev.VehicleID].evs = append(perVeh[ev.VehicleID].evs, ev)
+	}
+	feed := func(id string, st *stream, from, to int) {
+		t.Helper()
+		for i := from; i < to; i += chunk {
+			j := i + chunk
+			if j > to {
+				j = to
+			}
+			var evs []obd.Event
+			for _, ev := range st.evs {
+				if !ev.Time.Before(st.recs[i].Time) && (j == len(st.recs) || ev.Time.Before(st.recs[j].Time)) {
+					evs = append(evs, ev)
+				}
+			}
+			_, eng, err := p.EngineFor(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := eng.(*fleet.Engine).IngestBatch(st.recs[i:j], evs); err != nil {
+				t.Fatalf("vehicle %s chunk %d: %v", id, i, err)
+			}
+		}
+	}
+
+	split := perVehicle / 2
+	for id, st := range perVeh {
+		feed(id, st, 0, split)
+	}
+
+	// Drain engine-a mid-stream: every vehicle placed on it must move,
+	// with its state, to engine-b.
+	var onA []string
+	for v, n := range p.Placements() {
+		if n == "engine-a" {
+			onA = append(onA, v)
+		}
+	}
+	if len(onA) == 0 || len(onA) == vehicles {
+		t.Fatalf("degenerate pre-drain placement: %d of %d vehicles on engine-a", len(onA), vehicles)
+	}
+	moved, err := p.Drain("engine-a")
+	if err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	if moved != len(onA) {
+		t.Fatalf("Drain moved %d vehicles, want %d", moved, len(onA))
+	}
+	for v, n := range p.Placements() {
+		if n != "engine-b" {
+			t.Fatalf("post-drain placement %s -> %s", v, n)
+		}
+	}
+	if !p.Cordoned("engine-a") {
+		t.Fatal("drained engine not cordoned")
+	}
+	if got := metrics.Handoffs.Value(); got != uint64(moved) {
+		t.Errorf("handoffs counter = %d, want %d", got, moved)
+	}
+	if got := metrics.HandoffH.Count(); got != uint64(moved) {
+		t.Errorf("handoff histogram count = %d, want %d", got, moved)
+	}
+	if got := metrics.Cordoned.Value(); got != 1 {
+		t.Errorf("cordoned gauge = %d, want 1", got)
+	}
+
+	// A producer with a stale placement is refused by the source's
+	// per-vehicle fence, not silently forked.
+	var vu *fleet.VehicleUnavailableError
+	if err := eA.IngestRecord(timeseries.Record{VehicleID: onA[0]}); !errors.As(err, &vu) {
+		t.Fatalf("stale ingest on drained engine: %v", err)
+	}
+
+	for id, st := range perVeh {
+		feed(id, st, split, len(st.recs))
+	}
+
+	if err := eA.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := eB.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got := append(waitA(), waitB()...)
+	sortPlaneAlarms(got)
+	if !planeSameAlarms(got, refAlarms) {
+		t.Errorf("drained alarms differ: %d vs %d uninterrupted", len(got), len(refAlarms))
+	}
+	stA, stB := eA.Stats(), eB.Stats()
+	if n := stA.RecordsIn + stB.RecordsIn; n != uint64(len(records)) {
+		t.Errorf("records processed = %d, want %d", n, len(records))
+	}
+
+	hs := p.CheckHealth()
+	if len(hs) != 2 || !hs[0].Healthy || !hs[1].Healthy {
+		t.Errorf("CheckHealth = %+v, want two healthy engines", hs)
+	}
+}
+
+// stubEngine is a minimal Engine for orchestration-path tests.
+type stubEngine struct {
+	mu       sync.Mutex
+	vehicles map[string][]byte
+	cordons  map[string]bool
+	err      error
+	adoptErr error
+}
+
+func newStub() *stubEngine {
+	return &stubEngine{vehicles: map[string][]byte{}, cordons: map[string]bool{}}
+}
+
+func (s *stubEngine) Stats() fleet.EngineStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return fleet.EngineStats{Vehicles: len(s.vehicles)}
+}
+
+func (s *stubEngine) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+func (s *stubEngine) VehicleIDs() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var ids []string
+	for id := range s.vehicles {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+func (s *stubEngine) Cordon(id string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cordons[id] = true
+}
+
+func (s *stubEngine) ExtractVehicle(id string) (fleet.VehicleState, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	snap, ok := s.vehicles[id]
+	if !ok {
+		return fleet.VehicleState{}, fleet.ErrUnknownVehicle
+	}
+	delete(s.vehicles, id)
+	return fleet.VehicleState{ID: id, Snapshot: snap}, nil
+}
+
+func (s *stubEngine) AdoptVehicle(vs fleet.VehicleState) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.adoptErr != nil {
+		return s.adoptErr
+	}
+	s.vehicles[vs.ID] = vs.Snapshot
+	delete(s.cordons, vs.ID)
+	return nil
+}
+
+func TestPlaneRegistrationAndPlacement(t *testing.T) {
+	p := New(Config{})
+	if _, _, err := p.EngineFor("veh-0"); !errors.Is(err, ErrNoEngines) {
+		t.Fatalf("EngineFor on empty plane: %v", err)
+	}
+	a := newStub()
+	if err := p.Register("a", a); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Register("a", a); !errors.Is(err, ErrEngineExists) {
+		t.Fatalf("duplicate Register: %v", err)
+	}
+	if err := p.Cordon("ghost"); !errors.Is(err, ErrUnknownEngine) {
+		t.Fatalf("Cordon unknown: %v", err)
+	}
+	if _, err := p.Drain("ghost"); !errors.Is(err, ErrUnknownEngine) {
+		t.Fatalf("Drain unknown: %v", err)
+	}
+
+	name, _, err := p.EngineFor("veh-0")
+	if err != nil || name != "a" {
+		t.Fatalf("EngineFor = %s, %v", name, err)
+	}
+	// Placement is sticky: adding an engine must not re-route an
+	// already-placed vehicle.
+	b := newStub()
+	if err := p.Register("b", b); err != nil {
+		t.Fatal(err)
+	}
+	if name, _, _ := p.EngineFor("veh-0"); name != "a" {
+		t.Fatalf("placement moved to %s on membership change", name)
+	}
+	// A cordoned engine takes no new placements but keeps existing
+	// ones.
+	if err := p.Cordon("a"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		name, _, err := p.EngineFor(fmt.Sprintf("fresh-%d", i))
+		if err != nil || name != "b" {
+			t.Fatalf("placement on cordoned plane = %s, %v", name, err)
+		}
+	}
+	if name, _, _ := p.EngineFor("veh-0"); name != "a" {
+		t.Fatal("cordon evicted an existing placement")
+	}
+	if err := p.Uncordon("a"); err != nil {
+		t.Fatal(err)
+	}
+	if p.Cordoned("a") {
+		t.Fatal("Uncordon did not lift the cordon")
+	}
+}
+
+func TestPlaneDrainAdoptFailureRestoresSource(t *testing.T) {
+	reg := obs.NewRegistry()
+	p := New(Config{Metrics: obs.NewCtrlMetrics(reg)})
+	a, b := newStub(), newStub()
+	a.vehicles["veh-0"] = []byte("state")
+	b.adoptErr = errors.New("target full")
+	if err := p.Register("a", a); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Register("b", b); err != nil {
+		t.Fatal(err)
+	}
+	if name, _, _ := p.EngineFor("veh-0"); name != "a" {
+		t.Skip("ring placed veh-0 on b; stub scenario needs it on a")
+	}
+	moved, err := p.Drain("a")
+	if err == nil {
+		t.Fatal("Drain with refusing target succeeded")
+	}
+	if moved != 0 {
+		t.Fatalf("moved = %d, want 0", moved)
+	}
+	// The state went back to the source instead of vanishing.
+	if string(a.vehicles["veh-0"]) != "state" {
+		t.Fatalf("source no longer holds the vehicle: %v", a.vehicles)
+	}
+	if name, _ := p.Lookup("veh-0"); name != "a" {
+		t.Fatalf("placement moved to %s despite failed drain", name)
+	}
+}
+
+func TestPlaneHealth(t *testing.T) {
+	reg := obs.NewRegistry()
+	m := obs.NewCtrlMetrics(reg)
+	p := New(Config{Metrics: m})
+	a, b := newStub(), newStub()
+	a.err = errors.New("shard wedged")
+	if err := p.Register("a", a); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Register("b", b); err != nil {
+		t.Fatal(err)
+	}
+	hs := p.CheckHealth()
+	if len(hs) != 2 {
+		t.Fatalf("CheckHealth returned %d entries", len(hs))
+	}
+	if hs[0].Name != "a" || hs[0].Healthy || hs[0].Err == "" {
+		t.Errorf("unhealthy engine reported %+v", hs[0])
+	}
+	if hs[1].Name != "b" || !hs[1].Healthy {
+		t.Errorf("healthy engine reported %+v", hs[1])
+	}
+	if got := m.HealthFailures.Value(); got != 1 {
+		t.Errorf("health failure counter = %d, want 1", got)
+	}
+
+	// The periodic checker drives the same pass.
+	ch := make(chan []Health, 1)
+	stop := p.StartHealth(time.Millisecond, func(hs []Health) {
+		select {
+		case ch <- hs:
+		default:
+		}
+	})
+	defer stop()
+	select {
+	case hs := <-ch:
+		if len(hs) != 2 {
+			t.Errorf("periodic check returned %d entries", len(hs))
+		}
+	case <-time.After(5 * time.Second):
+		t.Error("periodic health check never fired")
+	}
+}

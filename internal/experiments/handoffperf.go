@@ -1,0 +1,241 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"github.com/navarchos/pdm/internal/detector"
+	"github.com/navarchos/pdm/internal/fleet"
+	"github.com/navarchos/pdm/internal/fleetsim"
+	"github.com/navarchos/pdm/internal/wire"
+)
+
+// HandoffRun is one source→target migration measurement: every vehicle
+// extracted from a live engine, shipped as KindHandoff frames, and
+// adopted by an engine at a different shard count, mid-stream.
+type HandoffRun struct {
+	SrcShards int `json:"src_shards"`
+	DstShards int `json:"dst_shards"`
+	// VehiclesPerSec is full-handoff throughput over the median repeat
+	// (extract + encode + decode + adopt, all vehicles); NsPerVehicle
+	// the per-vehicle cost at that rate.
+	VehiclesPerSec float64 `json:"vehicles_per_sec"`
+	NsPerVehicle   float64 `json:"ns_per_vehicle"`
+	// AlarmsIdentical reports whether an untimed verification pass —
+	// first half on the source, migrate, second half on the target —
+	// produced alarms Float64bits-identical to an uninterrupted replay.
+	AlarmsIdentical bool `json:"alarms_identical"`
+}
+
+// HandoffPerfResult is the vehicle-migration exhibit: serialized state
+// volume plus migration throughput and bit-identity per shard pairing.
+type HandoffPerfResult struct {
+	Env      Env `json:"env"`
+	Vehicles int `json:"vehicles"`
+	Records  int `json:"records"`
+	Events   int `json:"events"`
+	// StateBytes is the total serialized vehicle state one full
+	// migration moves (the handoff frames' payload, warm mid-stream).
+	StateBytes      int     `json:"state_bytes"`
+	BytesPerVehicle float64 `json:"bytes_per_vehicle"`
+	Runs            []HandoffRun `json:"runs"`
+}
+
+// splitFleet cuts the chronological streams roughly in half at a
+// record boundary, keeping events aligned so each half replays under
+// the engine's ordering contract.
+func splitFleet(f *fleetsim.Fleet) (cutR, cutE int) {
+	cutR = len(f.Records) / 2
+	cutT := f.Records[cutR].Time
+	cutE = sort.Search(len(f.Events), func(i int) bool { return f.Events[i].Time.After(cutT) })
+	return cutR, cutE
+}
+
+// migrate moves every vehicle from src to dst through the wire handoff
+// path and returns the migration wall time and the handoff payload
+// volume. Both engines stay live throughout — this is the drain the
+// control plane performs, not a checkpoint/restore.
+func migrate(src, dst *fleet.Engine) (elapsed float64, stateBytes int, err error) {
+	ids := src.VehicleIDs()
+	start := time.Now()
+	var frames []byte
+	for _, id := range ids {
+		vs, err := src.ExtractVehicle(id)
+		if err != nil {
+			return 0, 0, err
+		}
+		payload := vs.Encode()
+		stateBytes += len(payload)
+		if frames, err = wire.AppendHandoff(frames, payload); err != nil {
+			return 0, 0, err
+		}
+	}
+	dec := wire.Decoder{HandoffSink: func(state []byte) error {
+		vs, err := fleet.DecodeVehicleState(bytes.Clone(state))
+		if err != nil {
+			return err
+		}
+		return dst.AdoptVehicle(vs)
+	}}
+	var b wire.Batch
+	if _, err := dec.DecodeAll(frames, &b); err != nil {
+		return 0, 0, err
+	}
+	return time.Since(start).Seconds(), stateBytes, nil
+}
+
+// handoffOnce replays the first half into a fresh source engine, times
+// a full migration into a fresh target engine, finishes the stream on
+// the target, and returns the migration wall time and state volume.
+func handoffOnce(f *fleetsim.Fleet, cutR, cutE, srcShards, dstShards int) (float64, int, error) {
+	src, err := fleet.NewEngine(fleet.Config{NewConfig: perfPipelineConfig, Shards: srcShards, DropAlarms: true})
+	if err != nil {
+		return 0, 0, err
+	}
+	dst, err := fleet.NewEngine(fleet.Config{NewConfig: perfPipelineConfig, Shards: dstShards, DropAlarms: true})
+	if err != nil {
+		return 0, 0, err
+	}
+	if err := src.Replay(f.Records[:cutR], f.Events[:cutE]); err != nil {
+		return 0, 0, err
+	}
+	elapsed, stateBytes, err := migrate(src, dst)
+	if err != nil {
+		return 0, 0, err
+	}
+	if err := src.Close(); err != nil {
+		return 0, 0, err
+	}
+	if err := dst.Replay(f.Records[cutR:], f.Events[cutE:]); err != nil {
+		return 0, 0, err
+	}
+	if err := dst.Close(); err != nil {
+		return 0, 0, err
+	}
+	return elapsed, stateBytes, nil
+}
+
+// handoffAlarms runs one untimed migrated pass with alarms kept and
+// returns the merged source+target alarms, sorted.
+func handoffAlarms(f *fleetsim.Fleet, cutR, cutE, srcShards, dstShards int) ([]detector.Alarm, error) {
+	var out []detector.Alarm
+	drain := func(eng *fleet.Engine) chan struct{} {
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			for a := range eng.Alarms() {
+				out = append(out, a)
+			}
+		}()
+		return done
+	}
+	src, err := fleet.NewEngine(fleet.Config{NewConfig: perfPipelineConfig, Shards: srcShards})
+	if err != nil {
+		return nil, err
+	}
+	srcDone := drain(src)
+	dst, err := fleet.NewEngine(fleet.Config{NewConfig: perfPipelineConfig, Shards: dstShards})
+	if err != nil {
+		return nil, err
+	}
+	dstDone := drain(dst)
+	if err := src.Replay(f.Records[:cutR], f.Events[:cutE]); err != nil {
+		return nil, err
+	}
+	if _, _, err := migrate(src, dst); err != nil {
+		return nil, err
+	}
+	if err := src.Close(); err != nil {
+		return nil, err
+	}
+	<-srcDone // source alarms land before the target's half begins appending
+	if err := dst.Replay(f.Records[cutR:], f.Events[cutE:]); err != nil {
+		return nil, err
+	}
+	if err := dst.Close(); err != nil {
+		return nil, err
+	}
+	<-dstDone
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].VehicleID != out[j].VehicleID {
+			return out[i].VehicleID < out[j].VehicleID
+		}
+		if !out[i].Time.Equal(out[j].Time) {
+			return out[i].Time.Before(out[j].Time)
+		}
+		return out[i].Channel < out[j].Channel
+	})
+	return out, nil
+}
+
+// HandoffPerf measures the live vehicle-migration path: the fleet's
+// first half warms a source engine, then every vehicle is extracted,
+// carried as KindHandoff frames and adopted by a target engine at a
+// different shard count, and the stream finishes there. Timed repeats
+// cover extract→encode→decode→adopt; an untimed pass per pairing
+// verifies the migrated run's alarms are Float64bits-identical to an
+// uninterrupted replay.
+func HandoffPerf(o *Options) (*HandoffPerfResult, error) {
+	f := o.fleet()
+	cutR, cutE := splitFleet(f)
+	res := &HandoffPerfResult{
+		Env:      CaptureEnv(),
+		Vehicles: len(f.Vehicles),
+		Records:  len(f.Records),
+		Events:   len(f.Events),
+	}
+	for _, pair := range [][2]int{{1, 2}, {2, 1}, {2, 4}} {
+		run := HandoffRun{SrcShards: pair[0], DstShards: pair[1]}
+		times := make([]float64, 0, perfRepeats)
+		for rep := 0; rep < perfRepeats; rep++ {
+			elapsed, stateBytes, err := handoffOnce(f, cutR, cutE, pair[0], pair[1])
+			if err != nil {
+				return nil, err
+			}
+			res.StateBytes = stateBytes // identical across repeats: same cut, same state
+			times = append(times, elapsed)
+		}
+		median, _, _ := summarize(times)
+		run.VehiclesPerSec = float64(len(f.Vehicles)) / median
+		run.NsPerVehicle = median * 1e9 / float64(len(f.Vehicles))
+
+		want, err := collectAlarms(f, nil, pair[0], false)
+		if err != nil {
+			return nil, err
+		}
+		got, err := handoffAlarms(f, cutR, cutE, pair[0], pair[1])
+		if err != nil {
+			return nil, err
+		}
+		run.AlarmsIdentical = alarmsBitIdentical(got, want)
+		res.Runs = append(res.Runs, run)
+	}
+	res.BytesPerVehicle = float64(res.StateBytes) / float64(res.Vehicles)
+	return res, nil
+}
+
+// Render prints the handoff exhibit as text.
+func (r *HandoffPerfResult) Render(w io.Writer) {
+	fprintf(w, "Vehicle handoff (%d vehicles, %d records, %d events; %s state, %.0f B/vehicle)\n",
+		r.Vehicles, r.Records, r.Events, fmtBytes(r.StateBytes), r.BytesPerVehicle)
+	fprintf(w, "%8s  %8s  %16s  %14s  %10s\n",
+		"src", "dst", "vehicles/s", "ns/vehicle", "identical")
+	for _, run := range r.Runs {
+		fprintf(w, "%8d  %8d  %16.0f  %14.0f  %10v\n",
+			run.SrcShards, run.DstShards, run.VehiclesPerSec, run.NsPerVehicle, run.AlarmsIdentical)
+	}
+}
+
+// fmtBytes renders a byte count with a binary unit.
+func fmtBytes(n int) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1f MiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1f KiB", float64(n)/(1<<10))
+	}
+	return fmt.Sprintf("%d B", n)
+}

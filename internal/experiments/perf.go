@@ -78,6 +78,10 @@ type PerfResult struct {
 	// (decode throughput + wire-vs-replay admission) measured in the
 	// same invocation.
 	Ingest *IngestPerfResult `json:"ingest,omitempty"`
+	// Handoff, when present, is the live vehicle-migration exhibit
+	// (extract/adopt throughput + drain bit-identity) measured in the
+	// same invocation.
+	Handoff *HandoffPerfResult `json:"handoff,omitempty"`
 }
 
 // perfPipelineConfig is the complete solution without the warm-up

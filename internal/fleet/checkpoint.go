@@ -138,18 +138,14 @@ func (e *Engine) writeCheckpoint(w io.Writer) error {
 	// fleet state, whatever the shard count.
 	sort.Slice(entries, func(i, j int) bool { return entries[i].id < entries[j].id })
 	for _, en := range entries {
-		sn, ok := en.h.(Snapshotter)
-		if !ok {
-			return fmt.Errorf("%w: vehicle %s handler %T", ErrNotSnapshottable, en.id, en.h)
-		}
-		snap, err := sn.Snapshot()
+		// A whole-engine checkpoint is "extract every vehicle": each
+		// section body is exactly the movable VehicleState payload a
+		// handoff frame carries, so there is one per-vehicle codec.
+		vs, err := snapshotVehicle(en.id, en.h)
 		if err != nil {
-			return fmt.Errorf("fleet: snapshot vehicle %s: %w", en.id, err)
+			return err
 		}
-		var vb checkpoint.Buf
-		vb.String(en.id)
-		vb.Bytes64(snap)
-		if err := enc.Section(vehicleSection, vb.Bytes()); err != nil {
+		if err := enc.Section(vehicleSection, vs.Encode()); err != nil {
 			return err
 		}
 	}
@@ -224,35 +220,19 @@ func NewEngineFromCheckpoint(r io.Reader, cfg Config) (*Engine, error) {
 				return nil, fmt.Errorf("%w: skip section: %v", ErrBadCheckpoint, err)
 			}
 		case vehicleSection:
-			rb := checkpoint.NewRBuf(payload)
-			id := rb.String()
-			snap := rb.Bytes64()
-			if err := rb.Close(); err != nil {
-				return nil, fmt.Errorf("%w: vehicle section: %v", ErrBadCheckpoint, err)
-			}
-			if seen[id] {
-				return nil, fmt.Errorf("%w: duplicate vehicle %s", ErrBadCheckpoint, id)
-			}
-			s := e.shardFor(id)
-			if s.skip[id] {
-				return nil, fmt.Errorf("%w: vehicle %s is both active and skipped", ErrBadCheckpoint, id)
-			}
-			h, err := e.buildHandler(id)
+			vs, err := DecodeVehicleState(payload)
 			if err != nil {
-				// ErrSkipVehicle included: a config that excludes a vehicle
-				// cannot host that vehicle's state.
-				return nil, fmt.Errorf("fleet: restore vehicle %s: %w", id, err)
+				return nil, err
 			}
-			sn, ok := h.(Snapshotter)
-			if !ok {
-				return nil, fmt.Errorf("%w: vehicle %s handler %T", ErrNotSnapshottable, id, h)
+			if seen[vs.ID] {
+				return nil, fmt.Errorf("%w: duplicate vehicle %s", ErrBadCheckpoint, vs.ID)
 			}
-			if err := sn.Restore(snap); err != nil {
-				return nil, fmt.Errorf("fleet: restore vehicle %s: %w", id, err)
+			// Restoring a vehicle is adopting it: the same build + restore
+			// path ExtractVehicle/AdoptVehicle migration takes.
+			if err := e.adoptOwned(e.shardFor(vs.ID), vs); err != nil {
+				return nil, err
 			}
-			seen[id] = true
-			s.handlers[id] = h
-			s.vehicles.Add(1)
+			seen[vs.ID] = true
 		default:
 			return nil, fmt.Errorf("%w: unknown section %q", ErrBadCheckpoint, name)
 		}

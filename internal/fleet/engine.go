@@ -178,6 +178,21 @@ type shard struct {
 	pending []envelope
 	_       [64]byte
 
+	// cordon band: the vehicle-availability fence behind Cordon and
+	// ExtractVehicle. cordonMu guards the map; cordonN mirrors its size
+	// so producers (under mu) and the shard goroutine (handler-build
+	// path) both skip the lock entirely while no vehicle is fenced —
+	// the steady state, which therefore costs one atomic load. The
+	// fence gets its own mutex because the shard goroutine must be able
+	// to consult it while a quiescer holds mu waiting for the barrier
+	// acknowledgement. Setters additionally hold mu, which orders a new
+	// fence against in-flight enqueues: envelopes admitted before the
+	// fence sit ahead of any barrier a subsequent quiesce posts.
+	cordonMu sync.Mutex
+	cordon   map[string]string
+	cordonN  atomic.Int64
+	_        [64]byte
+
 	// consumer band: owned by the shard goroutine, no synchronisation.
 	handlers map[string]Handler
 	skip     map[string]bool
@@ -359,7 +374,8 @@ func (e *Engine) shardFor(vehicleID string) *shard {
 }
 
 // IngestRecord queues one record for its vehicle's shard, blocking when
-// the shard's queue is full (backpressure).
+// the shard's queue is full (backpressure). A cordoned or mid-handoff
+// vehicle is refused with a typed *VehicleUnavailableError.
 func (e *Engine) IngestRecord(r timeseries.Record) error {
 	return e.ingest(envelope{rec: r}, r.VehicleID)
 }
@@ -378,6 +394,15 @@ func (e *Engine) ingest(env envelope, vehicleID string) error {
 	}
 	s := e.shardFor(vehicleID)
 	s.mu.Lock()
+	if s.cordonN.Load() != 0 {
+		s.cordonMu.Lock()
+		st, fenced := s.cordon[vehicleID]
+		s.cordonMu.Unlock()
+		if fenced {
+			s.mu.Unlock()
+			return &VehicleUnavailableError{VehicleID: vehicleID, State: st, Refused: 1}
+		}
+	}
 	if s.pending == nil {
 		s.pending = *(e.pool.Get().(*[]envelope))
 	}
@@ -418,6 +443,14 @@ type ingestStage struct {
 // Flush to push tails out when latency matters more than batching.
 // Safe for concurrent use; per-shard envelope order follows
 // per-producer call order.
+//
+// Items for a cordoned or mid-handoff vehicle are refused with a typed
+// *VehicleUnavailableError. The refusal is all-or-nothing per vehicle
+// (a vehicle's items all hash to one shard and are filtered before any
+// of them is enqueued) but not per call: other vehicles' items in the
+// same batch are admitted normally, and the error reports how many
+// items were refused so the producer can retry exactly those vehicles
+// against their new placement.
 func (e *Engine) IngestBatch(records []timeseries.Record, events []obd.Event) error {
 	if e.closed.Load() {
 		return ErrClosed
@@ -437,10 +470,11 @@ func (e *Engine) IngestBatch(records []timeseries.Record, events []obd.Event) er
 	err := core.Merged("", records, events,
 		func(ev obd.Event) error { return push(envelope{isEvent: true, ev: ev}, ev.VehicleID) },
 		func(r timeseries.Record) error { return push(envelope{rec: r}, r.VehicleID) })
+	var refusal VehicleUnavailableError
 	if err == nil {
 		for i, staged := range st.perShard {
 			if len(staged) > 0 {
-				e.enqueueStaged(e.shards[i], staged)
+				e.enqueueStaged(e.shards[i], staged, &refusal)
 			}
 		}
 	}
@@ -448,15 +482,47 @@ func (e *Engine) IngestBatch(records []timeseries.Record, events []obd.Event) er
 		st.perShard[i] = st.perShard[i][:0]
 	}
 	e.stagePool.Put(st)
+	if err == nil && refusal.Refused > 0 {
+		return &refusal
+	}
 	return err
+}
+
+// envID returns the vehicle an envelope belongs to.
+func envID(env *envelope) string {
+	if env.isEvent {
+		return env.ev.VehicleID
+	}
+	return env.rec.VehicleID
 }
 
 // enqueueStaged appends one shard's staged envelopes to its pending
 // batch under a single mutex acquisition, flushing full batches into
 // the queue as they fill — the same BatchSize chunking and blocking
-// send as the per-record path, amortised over the run.
-func (e *Engine) enqueueStaged(s *shard, staged []envelope) {
+// send as the per-record path, amortised over the run. When the shard
+// has cordoned vehicles, their items are filtered out — before any of
+// them is enqueued, so per-vehicle admission stays all-or-nothing —
+// and counted into refusal.
+func (e *Engine) enqueueStaged(s *shard, staged []envelope, refusal *VehicleUnavailableError) {
 	s.mu.Lock()
+	if s.cordonN.Load() != 0 {
+		s.cordonMu.Lock()
+		kept := staged[:0]
+		for i := range staged {
+			id := envID(&staged[i])
+			if st, fenced := s.cordon[id]; fenced {
+				if refusal.VehicleID == "" {
+					refusal.VehicleID = id
+					refusal.State = st
+				}
+				refusal.Refused++
+				continue
+			}
+			kept = append(kept, staged[i])
+		}
+		s.cordonMu.Unlock()
+		staged = kept
+	}
 	for len(staged) > 0 {
 		if s.pending == nil {
 			s.pending = *(e.pool.Get().(*[]envelope))
@@ -894,6 +960,12 @@ func (e *Engine) handlerFor(s *shard, vehicleID string) (Handler, bool) {
 	if s.skip[vehicleID] {
 		return nil, false
 	}
+	// Note the build path deliberately has no cordon check: an envelope
+	// only reaches the shard goroutine if it was admitted before the
+	// vehicle's fence went up (the fence is set under the ingest mutex),
+	// and such envelopes are flushed ahead of any extraction barrier —
+	// so building a first handler here is always legitimate, and an
+	// extracted vehicle can never be re-warmed through this path.
 	h, err := e.buildHandler(vehicleID)
 	if err != nil {
 		if !errors.Is(err, ErrSkipVehicle) {

@@ -46,6 +46,7 @@ func main() {
 	o := obs.NewObserver(reg, obs.ObserverConfig{})
 	o.ScoreDist("closest-pair")
 	obs.NewIngestMetrics(reg)
+	obs.NewCtrlMetrics(reg)
 	eng, err := fleet.NewEngine(fleet.Config{
 		NewHandler: func(string) (fleet.Handler, error) { return nopHandler{}, nil },
 		Shards:     1,

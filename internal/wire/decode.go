@@ -29,6 +29,14 @@ type Decoder struct {
 	// before any allocation happens.
 	MaxFrameBytes int
 
+	// HandoffSink receives each KindHandoff frame's CRC-verified
+	// payload (one serialized fleet.VehicleState). The slice aliases
+	// the decode buffer and is valid only for the duration of the call
+	// — the sink must adopt (or copy) before returning. A nil sink
+	// refuses handoff frames with ErrBadKind, so a plain telemetry
+	// endpoint cannot be tricked into swallowing state.
+	HandoffSink func(state []byte) error
+
 	intern map[string]string
 }
 
@@ -74,7 +82,8 @@ func (d *Decoder) DecodeInto(buf []byte, b *Batch) (int, error) {
 	if buf[4] != Version {
 		return 0, ErrBadVersion
 	}
-	if buf[5] != KindBatch {
+	kind := buf[5]
+	if kind != KindBatch && !(kind == KindHandoff && d.HandoffSink != nil) {
 		return 0, ErrBadKind
 	}
 	n := int(binary.LittleEndian.Uint32(buf[6:]))
@@ -87,6 +96,12 @@ func (d *Decoder) DecodeInto(buf []byte, b *Batch) (int, error) {
 	payload := buf[HeaderSize : HeaderSize+n]
 	if crc32.Checksum(payload, castagnoli) != binary.LittleEndian.Uint32(buf[10:]) {
 		return 0, ErrCorrupt
+	}
+	if kind == KindHandoff {
+		if err := d.HandoffSink(payload); err != nil {
+			return 0, err
+		}
+		return HeaderSize + n, nil
 	}
 	if err := d.decodePayload(payload, b); err != nil {
 		return 0, err

@@ -162,6 +162,23 @@ const (
 	flagDTC   = 1 << 0
 )
 
+// AppendHandoff appends one vehicle-handoff frame carrying a
+// serialized fleet.VehicleState and returns the extended buffer. The
+// state travels opaque to the wire layer — CRC-framed like telemetry,
+// decoded by the receiver's engine through the same per-vehicle codec
+// its checkpoints use. Errors only when the state exceeds the frame
+// size bound.
+func AppendHandoff(dst []byte, state []byte) ([]byte, error) {
+	if len(state) > DefaultMaxFrameBytes {
+		return dst, fmt.Errorf("%w: %d-byte vehicle state", ErrFrameTooLarge, len(state))
+	}
+	dst = append(dst, Magic...)
+	dst = append(dst, Version, KindHandoff)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(state)))
+	dst = binary.LittleEndian.AppendUint32(dst, crc32.Checksum(state, castagnoli))
+	return append(dst, state...), nil
+}
+
 // EncodeStream encodes whole record and event streams as a sequence of
 // frames of up to perFrame items each, appended to dst. The streams are
 // merged chronologically with events before same-timestamp records —

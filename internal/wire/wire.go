@@ -15,10 +15,16 @@
 //	offset  size  field
 //	0       4     magic "NVW1"
 //	4       1     version (1)
-//	5       1     frame kind (0 = telemetry batch)
+//	5       1     frame kind (0 = telemetry batch, 1 = vehicle handoff)
 //	6       4     payload length, little-endian uint32
 //	10      4     CRC-32C (Castagnoli) of the payload, little-endian
 //	14      n     payload
+//
+// A vehicle-handoff payload is one serialized fleet.VehicleState (the
+// engine's canonical per-vehicle checkpoint codec) — the frame that
+// lets the control plane's drain travel the same zero-copy wire path
+// as telemetry instead of a second serialization stack. Decoders route
+// it to their HandoffSink; decoders without one refuse the frame.
 //
 // A telemetry-batch payload is an item count followed by that many
 // items in stream order:
@@ -73,6 +79,9 @@ const (
 	Version = 1
 	// KindBatch is the telemetry-batch frame kind.
 	KindBatch = 0
+	// KindHandoff is the vehicle-handoff frame kind: the payload is one
+	// serialized fleet.VehicleState.
+	KindHandoff = 1
 	// HeaderSize is the fixed frame header length in bytes.
 	HeaderSize = 14
 	// DefaultMaxFrameBytes bounds a frame payload unless the decoder

@@ -298,6 +298,36 @@ func NewFleetEngineFromCheckpoint(r io.Reader, cfg FleetEngineConfig) (*FleetEng
 	return fleet.NewEngineFromCheckpoint(r, cfg)
 }
 
+// Per-vehicle state handoff: single vehicles extract from a live
+// engine and adopt into another (FleetEngine.ExtractVehicle /
+// AdoptVehicle / Cordon), the unit the control plane's drain moves.
+type (
+	// VehicleState is one vehicle's extracted detection state — the
+	// same per-vehicle codec whole-engine checkpoints are built from.
+	VehicleState = fleet.VehicleState
+	// VehicleUnavailableError is the typed per-vehicle ingest refusal
+	// while a vehicle is cordoned or mid-handoff; refusal is
+	// all-or-nothing per vehicle within a batch, so retrying the
+	// refused items verbatim cannot duplicate records.
+	VehicleUnavailableError = fleet.VehicleUnavailableError
+)
+
+// Handoff errors.
+var (
+	// ErrUnknownVehicle reports an extract of a vehicle the engine
+	// holds no state for.
+	ErrUnknownVehicle = fleet.ErrUnknownVehicle
+	// ErrVehicleExists reports an adopt of a vehicle the engine
+	// already serves.
+	ErrVehicleExists = fleet.ErrVehicleExists
+)
+
+// DecodeVehicleState parses a serialized VehicleState (the payload of
+// a wire handoff frame or a checkpoint vehicle section).
+func DecodeVehicleState(payload []byte) (VehicleState, error) {
+	return fleet.DecodeVehicleState(payload)
+}
+
 // Fleet simulation (the proprietary-dataset substitute).
 type (
 	// FleetConfig controls the synthetic fleet generator.
