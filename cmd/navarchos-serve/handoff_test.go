@@ -1,13 +1,16 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
+	"io"
 	"math"
 	"net/http"
 	"net/http/httptest"
 	"sort"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -15,6 +18,16 @@ import (
 	"github.com/navarchos/pdm/internal/timeseries"
 	"github.com/navarchos/pdm/internal/wire"
 )
+
+// singleRecordFrame encodes one NVWIRE1 frame holding one record for
+// the vehicle, stamped minute minutes after base.
+func singleRecordFrame(vehicle string, base time.Time, minute int) []byte {
+	var enc wire.Encoder
+	rec := timeseries.Record{VehicleID: vehicle, Time: base.Add(time.Duration(minute) * time.Minute)}
+	enc.Record(&rec)
+	enc.End()
+	return enc.Bytes()
+}
 
 // namedServer builds a server with a ring identity for the placement
 // and drain tests. A large journal keeps every alarm for bit-identity
@@ -143,15 +156,20 @@ func TestServeDrainHandoff(t *testing.T) {
 		t.Fatalf("placement: %d", resp.StatusCode)
 	}
 	var pl struct {
-		Self      string   `json:"self"`
-		Residents []string `json:"residents"`
-		DrainedTo string   `json:"drained_to"`
+		Self      string            `json:"self"`
+		Residents []string          `json:"residents"`
+		Migrated  map[string]string `json:"migrated"`
 	}
 	if err := json.Unmarshal(body, &pl); err != nil {
 		t.Fatal(err)
 	}
-	if pl.Self != "a" || len(pl.Residents) != 0 || pl.DrainedTo != tsb.URL {
+	if pl.Self != "a" || len(pl.Residents) != 0 || len(pl.Migrated) != len(vehicles) {
 		t.Fatalf("placement after drain: %s", body)
+	}
+	for v := range vehicles {
+		if pl.Migrated[v] != tsb.URL {
+			t.Fatalf("vehicle %s migrated to %q, want %s", v, pl.Migrated[v], tsb.URL)
+		}
 	}
 	if got := len(sb.eng.VehicleIDs()); got != len(vehicles) {
 		t.Fatalf("b holds %d vehicles, want %d", got, len(vehicles))
@@ -405,5 +423,173 @@ func TestServeAdoptionOverridesRing(t *testing.T) {
 	}
 	if st := sb.eng.Stats(); st.RecordsIn != 1 {
 		t.Fatalf("b admitted %d records, want 1", st.RecordsIn)
+	}
+}
+
+// TestServeDrainKeepsOperatorFence pins the unknown-vehicle drain
+// path: a vehicle pre-fenced via /admin/cordon that never built a
+// handler must keep its fence through a drain that names it — the
+// drain has nothing to move but must not silently reopen ingest.
+// Also pins that a plain cordon 409 carries no peer hint.
+func TestServeDrainKeepsOperatorFence(t *testing.T) {
+	s, ts := namedServer(t, "a", nil)
+	base := time.Now().UTC()
+
+	if resp, body := postBody(t, ts.URL+"/admin/cordon?vehicle=veh-z", "", nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("cordon: %d %s", resp.StatusCode, body)
+	}
+	// The target URL is never contacted: the vehicle has no handler, so
+	// there is nothing to ship.
+	resp, body := postBody(t, ts.URL+"/admin/drain?vehicle=veh-z&to=http://peer.invalid:9", "", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("drain of unknown vehicle: %d %s", resp.StatusCode, body)
+	}
+	var dr drainResponse
+	if err := json.Unmarshal(body, &dr); err != nil {
+		t.Fatal(err)
+	}
+	if dr.Moved != 0 {
+		t.Fatalf("drain moved %d vehicles, want 0", dr.Moved)
+	}
+
+	resp, body = postBody(t, ts.URL+"/ingest/stream", "application/octet-stream", singleRecordFrame("veh-z", base, 0))
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("post-drain ingest: %d %s, want 409 (fence erased by the drain?)", resp.StatusCode, body)
+	}
+	var ua unavailableResponse
+	if err := json.Unmarshal(body, &ua); err != nil {
+		t.Fatal(err)
+	}
+	if ua.State != "cordoned" {
+		t.Fatalf("409 state %q, want cordoned", ua.State)
+	}
+	if ua.Peer != "" {
+		t.Fatalf("cordon 409 carries peer hint %q, want none", ua.Peer)
+	}
+	if st := s.eng.Stats(); st.RecordsIn != 0 {
+		t.Fatalf("engine admitted %d records through the fence", st.RecordsIn)
+	}
+}
+
+// TestServeDrainPartialFailure pins the transactional per-vehicle
+// handoff: when the peer fails mid-drain, vehicles it confirmed stay
+// moved, the failing vehicle is re-adopted locally, and no vehicle is
+// ever live on both instances — the split-brain a bulk re-adopt would
+// produce.
+func TestServeDrainPartialFailure(t *testing.T) {
+	sa, tsa := namedServer(t, "a", nil)
+	sb, tsb := namedServer(t, "b", nil)
+
+	// A flaky front for b: the first handoff POST forwards verbatim,
+	// every later one fails before reaching b.
+	var calls atomic.Int32
+	flaky := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) > 1 {
+			http.Error(w, "injected failure", http.StatusServiceUnavailable)
+			return
+		}
+		body, err := io.ReadAll(r.Body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		resp, err := http.Post(tsb.URL+r.URL.Path, r.Header.Get("Content-Type"), bytes.NewReader(body))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadGateway)
+			return
+		}
+		fwd, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		w.WriteHeader(resp.StatusCode)
+		w.Write(fwd) //nolint:errcheck // test server
+	}))
+	t.Cleanup(flaky.Close)
+
+	base := time.Now().UTC()
+	for _, v := range []string{"veh-1", "veh-2"} {
+		if resp, body := postBody(t, tsa.URL+"/ingest/stream", "application/octet-stream", singleRecordFrame(v, base, 0)); resp.StatusCode != http.StatusOK {
+			t.Fatalf("seed ingest %s: %d %s", v, resp.StatusCode, body)
+		}
+	}
+
+	// VehicleIDs drains in sorted order: veh-1 ships first (confirmed),
+	// veh-2 hits the injected failure.
+	resp, body := postBody(t, tsa.URL+"/admin/drain?to="+flaky.URL, "", nil)
+	if resp.StatusCode != http.StatusBadGateway {
+		t.Fatalf("partial drain: %d %s, want 502", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "after 1 vehicles moved") {
+		t.Fatalf("drain error does not report the confirmed vehicles: %s", body)
+	}
+
+	// Exactly one live copy of each vehicle: veh-1 on b, veh-2 back on a.
+	if got := sb.eng.VehicleIDs(); len(got) != 1 || got[0] != "veh-1" {
+		t.Fatalf("b holds %v, want [veh-1]", got)
+	}
+	if got := sa.eng.VehicleIDs(); len(got) != 1 || got[0] != "veh-2" {
+		t.Fatalf("a holds %v, want [veh-2]", got)
+	}
+
+	// The re-adopted vehicle serves on a again; the moved one 409s with
+	// the drain target recorded per vehicle.
+	if resp, body := postBody(t, tsa.URL+"/ingest/stream", "application/octet-stream", singleRecordFrame("veh-2", base, 1)); resp.StatusCode != http.StatusOK {
+		t.Fatalf("re-adopted ingest: %d %s, want 200", resp.StatusCode, body)
+	}
+	resp, body = postBody(t, tsa.URL+"/ingest/stream", "application/octet-stream", singleRecordFrame("veh-1", base, 1))
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("moved-vehicle ingest: %d %s, want 409", resp.StatusCode, body)
+	}
+	var ua unavailableResponse
+	if err := json.Unmarshal(body, &ua); err != nil {
+		t.Fatal(err)
+	}
+	if ua.Vehicle != "veh-1" || ua.State != "migrating" || ua.Peer != flaky.URL {
+		t.Fatalf("409 body %s, want veh-1 migrating toward %s", body, flaky.URL)
+	}
+}
+
+// TestServeDrainPeerConflictKeepsFence pins the double-adoption guard:
+// when the peer already serves a live handler for the vehicle, the
+// drain must NOT re-adopt the extracted state locally — that would put
+// the vehicle live on both instances. The local copy stays fenced with
+// the 409 hint pointing at the peer, whose copy wins.
+func TestServeDrainPeerConflictKeepsFence(t *testing.T) {
+	sa, tsa := namedServer(t, "a", nil)
+	sb, tsb := namedServer(t, "b", nil)
+	base := time.Now().UTC()
+
+	for _, ts := range []*httptest.Server{tsa, tsb} {
+		if resp, body := postBody(t, ts.URL+"/ingest/stream", "application/octet-stream", singleRecordFrame("veh-dup", base, 0)); resp.StatusCode != http.StatusOK {
+			t.Fatalf("seed ingest: %d %s", resp.StatusCode, body)
+		}
+	}
+
+	resp, body := postBody(t, tsa.URL+"/admin/drain?vehicle=veh-dup&to="+tsb.URL, "", nil)
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("conflicting drain: %d %s, want 409", resp.StatusCode, body)
+	}
+
+	// a must not hold a live handler — the peer's copy is the only one.
+	if got := sa.eng.VehicleIDs(); len(got) != 0 {
+		t.Fatalf("origin still serves %v after the conflict", got)
+	}
+	resp, body = postBody(t, tsa.URL+"/ingest/stream", "application/octet-stream", singleRecordFrame("veh-dup", base, 1))
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("post-conflict ingest on a: %d %s, want 409", resp.StatusCode, body)
+	}
+	var ua unavailableResponse
+	if err := json.Unmarshal(body, &ua); err != nil {
+		t.Fatal(err)
+	}
+	if ua.State != "migrating" || ua.Peer != tsb.URL {
+		t.Fatalf("409 body %s, want migrating toward %s", body, tsb.URL)
+	}
+
+	// b keeps serving its copy untouched.
+	if resp, body := postBody(t, tsb.URL+"/ingest/stream", "application/octet-stream", singleRecordFrame("veh-dup", base, 1)); resp.StatusCode != http.StatusOK {
+		t.Fatalf("peer ingest after conflict: %d %s, want 200", resp.StatusCode, body)
+	}
+	if st := sb.eng.Stats(); st.RecordsIn != 2 {
+		t.Fatalf("peer admitted %d records, want 2", st.RecordsIn)
 	}
 }

@@ -63,10 +63,14 @@ type server struct {
 	ring   *controlplane.Ring
 	client *http.Client
 
-	// drainedTo remembers the last drain target so a 409 for a
-	// migrated vehicle can hint where the vehicle went.
-	drainMu   sync.Mutex
-	drainedTo string
+	// migrated maps each vehicle this instance drained away to the
+	// peer base URL that adopted it, so a later 409 for that vehicle
+	// can point the producer at the adoptee. Entries are per vehicle
+	// and per drain — a vehicle that is merely cordoned, or drained in
+	// an earlier drain to a different peer, never borrows another
+	// vehicle's destination. Adopting a vehicle back removes its entry.
+	migrateMu sync.Mutex
+	migrated  map[string]string
 
 	// adopted tracks vehicles this instance accepted via handoff even
 	// though the ring places them on a peer. Adoption overrides ring
@@ -148,18 +152,19 @@ func newServer(cfg serverConfig) (*server, error) {
 		ring.Add(peer)
 	}
 	s := &server{
-		eng:     eng,
-		reg:     reg,
-		journal: journal,
-		ingest:  obs.NewIngestMetrics(reg),
-		ctrl:    obs.NewCtrlMetrics(reg),
-		maxBody: cfg.maxBody,
-		drained: make(chan struct{}),
-		name:    name,
-		peers:   cfg.peers,
-		ring:    ring,
-		client:  &http.Client{Timeout: 30 * time.Second},
-		adopted: make(map[string]bool),
+		eng:      eng,
+		reg:      reg,
+		journal:  journal,
+		ingest:   obs.NewIngestMetrics(reg),
+		ctrl:     obs.NewCtrlMetrics(reg),
+		maxBody:  cfg.maxBody,
+		drained:  make(chan struct{}),
+		name:     name,
+		peers:    cfg.peers,
+		ring:     ring,
+		client:   &http.Client{Timeout: 30 * time.Second},
+		adopted:  make(map[string]bool),
+		migrated: make(map[string]string),
 	}
 	// The journal captures every alarm with full context via the
 	// observer; the channel drain below is the live tail for operators.
@@ -233,15 +238,18 @@ type unavailableResponse struct {
 // writeUnavailable sends the typed 409: the producer should wait
 // RetryAfter (or re-resolve placement to Peer) and resend exactly the
 // refused vehicles — batch admission is all-or-nothing per vehicle, so
-// the retry cannot duplicate records.
+// the retry cannot duplicate records. The Peer hint is attached only
+// for a vehicle this instance actually drained away (state
+// "migrating" with a recorded destination); a plain cordon has no
+// peer to point at.
 func (s *server) writeUnavailable(w http.ResponseWriter, resp unavailableResponse) {
 	if resp.RetryAfter <= 0 {
 		resp.RetryAfter = 1
 	}
-	if resp.Peer == "" {
-		s.drainMu.Lock()
-		resp.Peer = s.drainedTo
-		s.drainMu.Unlock()
+	if resp.Peer == "" && resp.State == fleet.StateMigrating {
+		s.migrateMu.Lock()
+		resp.Peer = s.migrated[resp.Vehicle]
+		s.migrateMu.Unlock()
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("Retry-After", strconv.Itoa(resp.RetryAfter))
@@ -344,6 +352,11 @@ func (s *server) handleIngestStream(w http.ResponseWriter, r *http.Request) {
 				s.adopted[vs.ID] = true
 				s.adoptMu.Unlock()
 			}
+			// A vehicle handed back after an earlier drain away lives
+			// here again; its old migration hint is stale.
+			s.migrateMu.Lock()
+			delete(s.migrated, vs.ID)
+			s.migrateMu.Unlock()
 			resp.Handoffs++
 			return nil
 		}
@@ -504,11 +517,17 @@ type drainResponse struct {
 
 // handleAdminDrain moves vehicles to a peer (POST /admin/drain?to=URL,
 // optionally ?vehicle=ID for a single vehicle; default all residents).
-// Each vehicle is cordoned, extracted at a batch boundary, and shipped
-// as a KindHandoff frame in one POST to the peer's /ingest/stream. On
-// any failure every extracted vehicle is re-adopted locally, so a
-// failed drain loses nothing. On success the vehicles stay fenced here
-// ("migrating") and later ingest for them 409s with the peer hint.
+// The handoff is transactional per vehicle: each vehicle is extracted
+// at a batch boundary and shipped as its own single-frame POST to the
+// peer's /ingest/stream (ship), so one request never carries more
+// than one vehicle's state and the peer's -max-body bounds a frame,
+// not the whole fleet. Only a peer-confirmed adoption counts as moved
+// — an unconfirmed vehicle is re-adopted locally before the drain
+// aborts, so at every instant each vehicle is live on exactly one
+// instance. Vehicles confirmed before a mid-drain failure stay moved
+// (the response says how many); re-issuing the drain resumes with the
+// rest. Moved vehicles stay fenced here ("migrating") and later
+// ingest for them 409s with the recorded peer hint.
 func (s *server) handleAdminDrain(w http.ResponseWriter, r *http.Request) {
 	to := strings.TrimRight(r.URL.Query().Get("to"), "/")
 	if to == "" {
@@ -522,78 +541,120 @@ func (s *server) handleAdminDrain(w http.ResponseWriter, r *http.Request) {
 		ids = s.eng.VehicleIDs()
 	}
 
-	start := time.Now()
-	var (
-		frames []byte
-		moved  []fleet.VehicleState
-	)
-	abort := func(status int, err error) {
-		var readoptErr error
-		for _, vs := range moved {
-			if aerr := s.eng.AdoptVehicle(vs); aerr != nil && readoptErr == nil {
-				readoptErr = aerr
-			}
-		}
-		msg := "drain failed: " + err.Error()
-		if readoptErr != nil {
-			// Should be unreachable (we hold the only copy of the
-			// extracted state), but losing a vehicle must be loud.
-			msg += "; re-adopt failed: " + readoptErr.Error()
-			status = http.StatusInternalServerError
-		}
-		http.Error(w, msg, status)
+	var names []string
+	fail := func(status int, err error) {
+		http.Error(w, fmt.Sprintf("drain failed after %d vehicles moved: %v", len(names), err), status)
 	}
 	for _, id := range ids {
-		s.eng.Cordon(id)
+		start := time.Now()
 		vs, err := s.eng.ExtractVehicle(id)
 		if errors.Is(err, fleet.ErrUnknownVehicle) {
-			// Placed here but never materialised — nothing to move.
-			s.eng.Uncordon(id)
+			// Placed here but never materialised — nothing to move, and
+			// an operator fence set via /admin/cordon stays put (the
+			// engine restores it on the failed extraction).
 			continue
 		}
 		if err != nil {
-			abort(http.StatusInternalServerError, err)
+			fail(http.StatusInternalServerError, err)
 			return
 		}
-		if frames, err = wire.AppendHandoff(frames, vs.Encode()); err != nil {
-			moved = append(moved, vs)
-			abort(http.StatusInternalServerError, err)
+		if status, err := s.ship(to, vs); err != nil {
+			fail(status, err)
 			return
 		}
-		moved = append(moved, vs)
-	}
-
-	names := make([]string, 0, len(moved))
-	for _, vs := range moved {
-		names = append(names, vs.ID)
+		s.ctrl.ObserveHandoff(time.Since(start))
+		s.adoptMu.Lock()
+		delete(s.adopted, id)
+		s.adoptMu.Unlock()
+		s.migrateMu.Lock()
+		s.migrated[id] = to
+		s.migrateMu.Unlock()
+		names = append(names, id)
 	}
 	sort.Strings(names)
-	if len(moved) > 0 {
-		resp, err := s.client.Post(to+"/ingest/stream", "application/octet-stream", bytes.NewReader(frames))
-		if err != nil {
-			abort(http.StatusBadGateway, err)
-			return
+	writeJSON(w, drainResponse{Moved: len(names), Vehicles: names, To: to})
+}
+
+// ship delivers one extracted vehicle to the peer as a single
+// KindHandoff frame and returns nil only when the peer confirmed the
+// adoption (2xx with handoffs == 1 in its ingestResponse). Every
+// unconfirmed outcome re-adopts the state locally before returning,
+// with two exceptions that would otherwise leave the vehicle live on
+// both instances at once:
+//
+//   - the peer answered 409 — it already serves a live handler for
+//     the vehicle, so the peer's copy wins and the local state stays
+//     fenced (re-adopting here would be the split-brain the handoff
+//     design exists to prevent); the 409 hint is pointed at the peer;
+//   - the POST failed in transport, so the confirmation may have been
+//     lost rather than the delivery: the peer's placement is
+//     consulted, and if the vehicle is resident there the handoff is
+//     treated as confirmed.
+func (s *server) ship(to string, vs fleet.VehicleState) (int, error) {
+	frame, err := wire.AppendHandoff(nil, vs.Encode())
+	if err != nil {
+		return http.StatusInternalServerError, s.readopt(vs, err)
+	}
+	resp, err := s.client.Post(to+"/ingest/stream", "application/octet-stream", bytes.NewReader(frame))
+	if err != nil {
+		if s.residentOn(to, vs.ID) {
+			return 0, nil
 		}
-		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
-		resp.Body.Close() //nolint:errcheck // read to completion above
-		if resp.StatusCode/100 != 2 {
-			abort(http.StatusBadGateway, fmt.Errorf("peer returned %s: %s", resp.Status, bytes.TrimSpace(body)))
-			return
-		}
-		elapsed := time.Since(start)
-		for range moved {
-			s.ctrl.ObserveHandoff(elapsed)
+		return http.StatusBadGateway, s.readopt(vs, err)
+	}
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
+	resp.Body.Close() //nolint:errcheck // read to completion above
+	if resp.StatusCode == http.StatusConflict {
+		s.migrateMu.Lock()
+		s.migrated[vs.ID] = to
+		s.migrateMu.Unlock()
+		return http.StatusConflict, fmt.Errorf(
+			"peer already serves vehicle %s (%s); local state kept fenced, peer copy wins",
+			vs.ID, bytes.TrimSpace(body))
+	}
+	var ir ingestResponse
+	if resp.StatusCode/100 == 2 && json.Unmarshal(body, &ir) == nil && ir.Handoffs == 1 {
+		return 0, nil
+	}
+	return http.StatusBadGateway, s.readopt(vs, fmt.Errorf(
+		"peer did not adopt vehicle %s: %s: %s", vs.ID, resp.Status, bytes.TrimSpace(body)))
+}
+
+// readopt returns an extracted vehicle to local service after a ship
+// the peer did not confirm, so a failed drain strands nothing.
+func (s *server) readopt(vs fleet.VehicleState, cause error) error {
+	if err := s.eng.AdoptVehicle(vs); err != nil {
+		// Should be unreachable (we hold the only copy of the extracted
+		// state), but losing a vehicle must be loud.
+		return fmt.Errorf("%v; re-adopt of vehicle %s failed, state lost: %v", cause, vs.ID, err)
+	}
+	return cause
+}
+
+// residentOn reports whether the peer's placement lists id as
+// resident — the tiebreaker for a handoff POST whose response was
+// lost in transport.
+func (s *server) residentOn(peer, id string) bool {
+	resp, err := s.client.Get(peer + "/admin/placement")
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close() //nolint:errcheck // body fully decoded
+	if resp.StatusCode != http.StatusOK {
+		return false
+	}
+	var pl struct {
+		Residents []string `json:"residents"`
+	}
+	if json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&pl) != nil {
+		return false
+	}
+	for _, v := range pl.Residents {
+		if v == id {
+			return true
 		}
 	}
-	s.adoptMu.Lock()
-	for _, vs := range moved {
-		delete(s.adopted, vs.ID)
-	}
-	s.adoptMu.Unlock()
-	s.drainMu.Lock()
-	s.drainedTo = to
-	s.drainMu.Unlock()
-	writeJSON(w, drainResponse{Moved: len(moved), Vehicles: names, To: to})
+	return false
 }
 
 // placementMember is one ring member in the placement listing.
@@ -610,9 +671,12 @@ func (s *server) handleAdminPlacement(w http.ResponseWriter, r *http.Request) {
 		members = append(members, placementMember{Name: name, URL: url})
 	}
 	sort.Slice(members, func(i, j int) bool { return members[i].Name < members[j].Name })
-	s.drainMu.Lock()
-	drainedTo := s.drainedTo
-	s.drainMu.Unlock()
+	s.migrateMu.Lock()
+	migrated := make(map[string]string, len(s.migrated))
+	for id, to := range s.migrated {
+		migrated[id] = to
+	}
+	s.migrateMu.Unlock()
 	s.adoptMu.Lock()
 	adopted := make([]string, 0, len(s.adopted))
 	for id := range s.adopted {
@@ -625,6 +689,6 @@ func (s *server) handleAdminPlacement(w http.ResponseWriter, r *http.Request) {
 		Members   []placementMember `json:"members"`
 		Residents []string          `json:"residents"`
 		Adopted   []string          `json:"adopted,omitempty"`
-		DrainedTo string            `json:"drained_to,omitempty"`
-	}{s.name, members, s.eng.VehicleIDs(), adopted, drainedTo})
+		Migrated  map[string]string `json:"migrated,omitempty"`
+	}{s.name, members, s.eng.VehicleIDs(), adopted, migrated})
 }

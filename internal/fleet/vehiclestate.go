@@ -162,6 +162,57 @@ func setCordonLocked(s *shard, id, state string) {
 	s.cordonMu.Unlock()
 }
 
+// swapCordonLocked sets a vehicle's availability state and returns
+// the previous one ("" when the vehicle was serving), as a single
+// operation under the shard's cordon lock. The caller holds the
+// shard's ingest mutex.
+func swapCordonLocked(s *shard, id, state string) (prev string) {
+	s.cordonMu.Lock()
+	if s.cordon == nil {
+		s.cordon = map[string]string{}
+	}
+	prev = s.cordon[id]
+	if prev == "" {
+		s.cordonN.Add(1)
+	}
+	s.cordon[id] = state
+	s.cordonMu.Unlock()
+	return prev
+}
+
+// swapCordon is swapCordonLocked with the shard's ingest mutex taken:
+// reading the previous fence and writing the new one are one atomic
+// step, so a concurrent Cordon/Uncordon can never slip between the
+// read and the write and be lost.
+func (e *Engine) swapCordon(id, state string) (prev string) {
+	s := e.shardFor(id)
+	s.mu.Lock()
+	prev = swapCordonLocked(s, id, state)
+	s.mu.Unlock()
+	return prev
+}
+
+// restoreCordon undoes a swapCordon(id, StateMigrating) after a failed
+// extraction: prev is restored (or the fence cleared when prev was
+// empty) only while the vehicle is still marked migrating — a
+// Cordon/Uncordon that raced in after the swap wins over the restore
+// instead of being resurrected or stomped.
+func (e *Engine) restoreCordon(id, prev string) {
+	s := e.shardFor(id)
+	s.mu.Lock()
+	s.cordonMu.Lock()
+	if s.cordon[id] == StateMigrating {
+		if prev == "" {
+			delete(s.cordon, id)
+			s.cordonN.Add(-1)
+		} else {
+			s.cordon[id] = prev
+		}
+	}
+	s.cordonMu.Unlock()
+	s.mu.Unlock()
+}
+
 // clearCordon removes a vehicle's availability mark.
 func (e *Engine) clearCordon(id string) {
 	s := e.shardFor(id)
@@ -287,19 +338,18 @@ func (e *Engine) ExtractVehicle(id string) (VehicleState, error) {
 	}
 	// Cordon before quiescing: producers that got in first are flushed
 	// ahead of the barrier and therefore included in the snapshot;
-	// producers that come after are refused.
-	prev := e.CordonState(id)
-	e.setCordon(id, StateMigrating)
+	// producers that come after are refused. The swap captures any
+	// pre-existing fence atomically so the failure path can hand it
+	// back.
+	prev := e.swapCordon(id, StateMigrating)
 	release := e.quiesceShard(s)
 	vs, err := e.extractOwned(s, id)
 	release()
 	if err != nil {
-		// A failed extraction must not wedge the vehicle's ingest.
-		if prev == "" {
-			e.clearCordon(id)
-		} else {
-			e.setCordon(id, prev)
-		}
+		// A failed extraction must not wedge the vehicle's ingest; only
+		// the migrating mark this call set is undone — an operator
+		// fence, pre-existing or raced in since, stays.
+		e.restoreCordon(id, prev)
 		return VehicleState{}, err
 	}
 	return vs, nil

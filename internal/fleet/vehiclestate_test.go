@@ -40,8 +40,8 @@ func TestVehicleStateCodec(t *testing.T) {
 		}
 	}
 	for _, bad := range [][]byte{
-		{},                  // truncated length prefix
-		{1, 2, 3},           // short read
+		{},        // truncated length prefix
+		{1, 2, 3}, // short read
 		{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f}, // hostile ID length
 		append(cases[0].Encode(), 0xAA),                  // trailing garbage
 	} {
