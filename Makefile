@@ -1,14 +1,15 @@
 GO ?= go
 
-.PHONY: ci check vet build test race race-fleet grid-equiv resume-gate drain-gate fuzz-smoke bench-smoke bench-json vet-obs obs-overhead fitperf-smoke scoreperf-smoke ingest-smoke bench-micro
+.PHONY: ci check vet build test race race-fleet grid-equiv resume-gate drain-gate fuzz-smoke bench-smoke bench-json vet-obs obs-overhead trace-overhead fitperf-smoke scoreperf-smoke ingest-smoke bench-micro
 
 ## ci: the full gate — vet (incl. the obs metric-doc check), build,
 ## race-enabled tests (plus a focused race pass over the concurrent
 ## fleet/fitpool packages), the grid equivalence gate, the checkpoint
 ## resume and vehicle drain gates, the fit-kernel, score-path and
-## wire-ingest smokes, the observer overhead gate, the codec fuzz
-## smokes, bench smoke, and a perf run appended to BENCH_<n>.json.
-ci: vet-obs build race race-fleet grid-equiv resume-gate drain-gate fitperf-smoke scoreperf-smoke ingest-smoke obs-overhead fuzz-smoke bench-smoke bench-json
+## wire-ingest smokes, the observer and tracing overhead gates, the
+## codec fuzz smokes, bench smoke, and a perf run appended to
+## BENCH_<n>.json.
+ci: vet-obs build race race-fleet grid-equiv resume-gate drain-gate fitperf-smoke scoreperf-smoke ingest-smoke obs-overhead trace-overhead fuzz-smoke bench-smoke bench-json
 
 ## check: the fast inner-loop gate — vet, build, and the plain test
 ## suite, with none of ci's race/equivalence/bench machinery.
@@ -43,9 +44,10 @@ grid-equiv:
 ## resume-gate: checkpointing a live engine mid-stream and restoring at
 ## a different shard count must be bit-identical to an uninterrupted
 ## run, for every paper technique × transform — and so must running the
-## same stream under a fully enabled observer.
+## same stream under a fully enabled observer, or through the traced
+## batch-ingest path with per-frame provenance attached.
 resume-gate:
-	$(GO) test -run 'TestEngineCheckpointResumeGate|TestEngineObservedBitIdentity' ./internal/fleet/
+	$(GO) test -run 'TestEngineCheckpointResumeGate|TestEngineObservedBitIdentity|TestEngineTracedBitIdentity' ./internal/fleet/
 
 ## drain-gate: live vehicle handoff must not cost a bit — extracting
 ## vehicles from a running engine and adopting them at a different
@@ -56,7 +58,7 @@ resume-gate:
 ## whole-engine checkpoint is now built from the same per-vehicle codec
 ## the handoff uses, so both gates pin one serialization path.
 drain-gate:
-	$(GO) test -run 'TestVehicleHandoffDrainGate|TestConcurrentMigrationIngest|TestEngineCheckpointResumeGate|TestEngineObservedBitIdentity' ./internal/fleet/
+	$(GO) test -run 'TestVehicleHandoffDrainGate|TestVehicleHandoffDrainGateTraced|TestConcurrentMigrationIngest|TestEngineCheckpointResumeGate|TestEngineObservedBitIdentity' ./internal/fleet/
 	$(GO) test -run 'TestPlaneDrainGate' ./internal/controlplane/
 	$(GO) test -run 'TestServeDrainHandoff|TestServeAdoptionOverridesRing' ./cmd/navarchos-serve/
 
@@ -88,6 +90,13 @@ vet-obs: vet
 ## is opt-in via OBS_OVERHEAD_GATE and not part of plain `go test`).
 obs-overhead:
 	OBS_OVERHEAD_GATE=1 $(GO) test -run 'TestObservedOverheadGate' -v ./internal/core/
+
+## trace-overhead: the provenance budget — scoring with a batch context
+## attached to every sample must stay within 5% of the untraced hot
+## path (timing-sensitive, so it is opt-in via TRACE_OVERHEAD_GATE and
+## not part of plain `go test`).
+trace-overhead:
+	TRACE_OVERHEAD_GATE=1 $(GO) test -run 'TestTracedOverheadGate' -v ./internal/core/
 
 ## fuzz-smoke: a short fuzz of the binary codecs exposed to untrusted
 ## bytes — the checkpoint container, the NVWIRE1 telemetry frame

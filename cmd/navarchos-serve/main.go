@@ -13,14 +13,19 @@
 //	                      application/json)
 //	POST /ingest/stream   NVWIRE1 frame stream, chunked-friendly; also
 //	                      accepts KindHandoff frames (vehicle adoption)
-//	GET  /alarms          recent alarm-journal entries (?n=)
+//	GET  /alarms          recent alarm-journal entries (?n=), each with
+//	                      ingest provenance (batch/trace id, arrival
+//	                      time, queue wait, e2e latency)
 //	GET  /vehicles/{id}   one vehicle's retained alarm history (?n=)
-//	GET  /fleet           engine stats + journal tail
+//	GET  /fleet           engine stats + journal tail (+ placement view
+//	                      when -peers is set)
 //	GET  /metrics         Prometheus exposition (incl. pdm_ingest_*,
-//	                      pdm_ctrl_*)
+//	                      pdm_ctrl_*, pdm_e2e_*)
 //	POST /admin/cordon    fence a vehicle (?vehicle=, ?off=1 to lift)
 //	POST /admin/drain     move vehicles to a peer (?to=URL [?vehicle=])
 //	GET  /admin/placement ring members + resident vehicles
+//	GET  /admin/events    control-plane event log: drains, cordons,
+//	                      adoptions, peer conflicts (?n=, ?vehicle=)
 //	     /debug/vars, /debug/pprof/*
 //
 // Producers must upload each vehicle's telemetry in chronological
@@ -83,6 +88,7 @@ func main() {
 	factor := flag.Float64("factor", 14, "self-tuning threshold factor")
 	journalCap := flag.Int("journal-cap", 256, "alarm journal ring capacity")
 	journalPath := flag.String("journal", "", "append every alarm as a JSON line to this file")
+	eventsPath := flag.String("events", "", "append every control-plane event as a JSON line to this file")
 	checkpointPath := flag.String("checkpoint", "", "write engine state to this file on shutdown")
 	resumePath := flag.String("resume", "", "restore engine state from this file at startup")
 	maxBody := flag.Int64("max-body", 64<<20, "maximum ingest request body, bytes")
@@ -112,6 +118,14 @@ func main() {
 		}
 		defer jf.Close()
 		cfg.jsonlSink = jf
+	}
+	if *eventsPath != "" {
+		ef, err := os.Create(*eventsPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer ef.Close()
+		cfg.eventsSink = ef
 	}
 	if *resumePath != "" {
 		rf, err := os.Open(*resumePath)

@@ -81,7 +81,10 @@ func TestServeWireIngestEndToEnd(t *testing.T) {
 			ir, nframes, nrecs, nevs)
 	}
 
-	// The engine saw everything (Flush ran inside the handler).
+	// The engine saw everything. The handler's Flush enqueues but does
+	// not wait; the quiesce inside VehicleIDs is the barrier that makes
+	// the consumer-side counters (and every alarm) visible.
+	s.eng.VehicleIDs()
 	st := s.eng.Stats()
 	if st.RecordsIn != uint64(nrecs) || st.EventsIn != uint64(nevs) {
 		t.Fatalf("engine stats %d/%d, want %d/%d", st.RecordsIn, st.EventsIn, nrecs, nevs)
@@ -169,6 +172,9 @@ func TestServeStreamEndpoint(t *testing.T) {
 	if ir.Frames != nframes || ir.Records != nrecs {
 		t.Fatalf("stream response %+v, want %d frames / %d records", ir, nframes, nrecs)
 	}
+	// Quiesce before reading the consumer-side counter: the handler's
+	// Flush enqueues but does not wait for shard consumers.
+	s.eng.VehicleIDs()
 	if st := s.eng.Stats(); st.RecordsIn != uint64(nrecs) {
 		t.Fatalf("engine saw %d records, want %d", st.RecordsIn, nrecs)
 	}
@@ -241,6 +247,7 @@ func TestServeTextFormats(t *testing.T) {
 		t.Fatalf("bad csv header: %d, want 400", resp.StatusCode)
 	}
 
+	s.eng.VehicleIDs() // barrier: Flush alone does not wait for consumers
 	if st := s.eng.Stats(); st.RecordsIn != 3 || st.EventsIn != 1 {
 		t.Fatalf("engine stats %d/%d, want 3 records / 1 event", st.RecordsIn, st.EventsIn)
 	}

@@ -11,6 +11,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/navarchos/pdm"
@@ -32,6 +33,7 @@ type serverConfig struct {
 	resume     io.Reader // restore engine state from a checkpoint
 	alarmLog   io.Writer // one line per raw alarm (nil = discard)
 	jsonlSink  io.Writer // journal JSONL sink (nil = none)
+	eventsSink io.Writer // control-plane event log JSONL sink (nil = none)
 
 	// name identifies this instance on the placement ring ("self" when
 	// empty); peers maps the other instances' names to their base URLs.
@@ -51,9 +53,14 @@ type server struct {
 	journal *pdm.AlarmJournal
 	ingest  *obs.IngestMetrics
 	ctrl    *obs.CtrlMetrics
+	events  *obs.EventLog
 	mux     *http.ServeMux
 	maxBody int64
 	drained chan struct{}
+
+	// batchSeq numbers ingest batches for alarm provenance: every
+	// admitted frame gets a process-monotone batch ID.
+	batchSeq atomic.Uint64
 
 	// Placement: this instance's name, its peers, and the consistent
 	// ring over all of them. The ring is static per process — placement
@@ -151,12 +158,17 @@ func newServer(cfg serverConfig) (*server, error) {
 	for peer := range cfg.peers {
 		ring.Add(peer)
 	}
+	events := obs.NewEventLog(cfg.journalCap, reg)
+	if cfg.eventsSink != nil {
+		events.SetSink(cfg.eventsSink)
+	}
 	s := &server{
 		eng:      eng,
 		reg:      reg,
 		journal:  journal,
 		ingest:   obs.NewIngestMetrics(reg),
 		ctrl:     obs.NewCtrlMetrics(reg),
+		events:   events,
 		maxBody:  cfg.maxBody,
 		drained:  make(chan struct{}),
 		name:     name,
@@ -178,11 +190,17 @@ func newServer(cfg serverConfig) (*server, error) {
 		}
 	}()
 
-	s.mux = pdm.NewDebugMux(pdm.DebugConfig{
+	debugCfg := pdm.DebugConfig{
 		Registry:    reg,
 		Journal:     journal,
 		FleetStatus: func() any { return eng.Stats() },
-	})
+	}
+	if s.routed() {
+		// One endpoint, both planes: /fleet pairs the engine stats with
+		// the control-plane placement view when this instance has peers.
+		debugCfg.Placement = func() any { return s.placementView() }
+	}
+	s.mux = pdm.NewDebugMux(debugCfg)
 	s.mux.HandleFunc("POST /ingest", s.handleIngest)
 	s.mux.HandleFunc("POST /ingest/stream", s.handleIngestStream)
 	s.mux.HandleFunc("GET /alarms", s.handleAlarms)
@@ -190,6 +208,7 @@ func newServer(cfg serverConfig) (*server, error) {
 	s.mux.HandleFunc("POST /admin/cordon", s.handleAdminCordon)
 	s.mux.HandleFunc("POST /admin/drain", s.handleAdminDrain)
 	s.mux.HandleFunc("GET /admin/placement", s.handleAdminPlacement)
+	s.mux.HandleFunc("GET /admin/events", s.handleAdminEvents)
 	return s, nil
 }
 
@@ -357,6 +376,7 @@ func (s *server) handleIngestStream(w http.ResponseWriter, r *http.Request) {
 			s.migrateMu.Lock()
 			delete(s.migrated, vs.ID)
 			s.migrateMu.Unlock()
+			s.events.Record(obs.ControlEvent{Kind: obs.EventAdopt, Engine: s.name, VehicleID: vs.ID})
 			resp.Handoffs++
 			return nil
 		}
@@ -380,11 +400,24 @@ func (s *server) decodeAndAdmit(w http.ResponseWriter, r *http.Request,
 	var resp ingestResponse
 	var engineErr error
 	var mis misroute
+	start := time.Now()
 	sink := wire.SinkFunc(func(b *wire.Batch) error {
 		if s.routed() {
 			s.filterOwned(b, &mis)
 		}
-		if err := s.eng.IngestBatch(b.Records, b.Events); err != nil {
+		// One provenance context per frame: request receipt stands in
+		// for the first frame's wire arrival; on a long-lived stream,
+		// later frames are stamped as they complete decoding.
+		arrival := start
+		if resp.Frames > 0 {
+			arrival = time.Now()
+		}
+		bc := &obs.BatchCtx{
+			BatchID: s.batchSeq.Add(1),
+			TraceID: b.TraceID,
+			Arrival: arrival,
+		}
+		if err := s.eng.IngestBatchCtx(b.Records, b.Events, bc); err != nil {
 			engineErr = err
 			return err
 		}
@@ -393,7 +426,6 @@ func (s *server) decodeAndAdmit(w http.ResponseWriter, r *http.Request,
 		resp.Events += len(b.Events)
 		return nil
 	})
-	start := time.Now()
 	err := decode(body, sink, &resp)
 	s.ingest.ObserveDecode(time.Since(start), body.n, resp.Frames, resp.Records, resp.Events)
 	if err != nil {
@@ -495,8 +527,10 @@ func (s *server) handleAdminCordon(w http.ResponseWriter, r *http.Request) {
 	}
 	if r.URL.Query().Get("off") != "" {
 		s.eng.Uncordon(vehicle)
+		s.events.Record(obs.ControlEvent{Kind: obs.EventUncordon, Engine: s.name, VehicleID: vehicle})
 	} else {
 		s.eng.Cordon(vehicle)
+		s.events.Record(obs.ControlEvent{Kind: obs.EventCordon, Engine: s.name, VehicleID: vehicle})
 	}
 	state := s.eng.CordonState(vehicle)
 	if state == "" {
@@ -558,7 +592,11 @@ func (s *server) handleAdminDrain(w http.ResponseWriter, r *http.Request) {
 			fail(http.StatusInternalServerError, err)
 			return
 		}
+		s.events.Record(obs.ControlEvent{Kind: obs.EventDrainStart, Engine: s.name,
+			Peer: to, VehicleID: id})
 		if status, err := s.ship(to, vs); err != nil {
+			s.events.Record(obs.ControlEvent{Kind: obs.EventDrainAbort, Engine: s.name,
+				Peer: to, VehicleID: id, Detail: err.Error()})
 			fail(status, err)
 			return
 		}
@@ -569,6 +607,8 @@ func (s *server) handleAdminDrain(w http.ResponseWriter, r *http.Request) {
 		s.migrateMu.Lock()
 		s.migrated[id] = to
 		s.migrateMu.Unlock()
+		s.events.Record(obs.ControlEvent{Kind: obs.EventDrainFinish, Engine: s.name,
+			Peer: to, VehicleID: id, DurationS: time.Since(start).Seconds()})
 		names = append(names, id)
 	}
 	sort.Strings(names)
@@ -608,6 +648,8 @@ func (s *server) ship(to string, vs fleet.VehicleState) (int, error) {
 		s.migrateMu.Lock()
 		s.migrated[vs.ID] = to
 		s.migrateMu.Unlock()
+		s.events.Record(obs.ControlEvent{Kind: obs.EventPeerConflict, Engine: s.name,
+			Peer: to, VehicleID: vs.ID, Detail: string(bytes.TrimSpace(body))})
 		return http.StatusConflict, fmt.Errorf(
 			"peer already serves vehicle %s (%s); local state kept fenced, peer copy wins",
 			vs.ID, bytes.TrimSpace(body))
@@ -663,9 +705,25 @@ type placementMember struct {
 	URL  string `json:"url,omitempty"` // empty for this instance
 }
 
-// handleAdminPlacement reports this instance's view of the ring and the
-// vehicles currently resident in its engine.
-func (s *server) handleAdminPlacement(w http.ResponseWriter, r *http.Request) {
+// placementResponse is this instance's control-plane view: the ring
+// membership, the vehicles resident in the local engine, the adoption
+// and migration override tables, and a cross-link into the event log
+// that audits how the tables got that way. Served by /admin/placement
+// and embedded in /fleet's "placement" field when peers are configured.
+type placementResponse struct {
+	Self      string            `json:"self"`
+	Members   []placementMember `json:"members"`
+	Residents []string          `json:"residents"`
+	Adopted   []string          `json:"adopted,omitempty"`
+	Migrated  map[string]string `json:"migrated,omitempty"`
+	// EventsTotal counts control-plane events ever recorded; EventsURL
+	// is where the retained entries are served.
+	EventsTotal uint64 `json:"events_total"`
+	EventsURL   string `json:"events_url"`
+}
+
+// placementView snapshots the control-plane state.
+func (s *server) placementView() placementResponse {
 	members := []placementMember{{Name: s.name}}
 	for name, url := range s.peers {
 		members = append(members, placementMember{Name: name, URL: url})
@@ -684,11 +742,39 @@ func (s *server) handleAdminPlacement(w http.ResponseWriter, r *http.Request) {
 	}
 	s.adoptMu.Unlock()
 	sort.Strings(adopted)
+	return placementResponse{
+		Self:        s.name,
+		Members:     members,
+		Residents:   s.eng.VehicleIDs(),
+		Adopted:     adopted,
+		Migrated:    migrated,
+		EventsTotal: s.events.Total(),
+		EventsURL:   "/admin/events",
+	}
+}
+
+// handleAdminPlacement reports this instance's view of the ring and the
+// vehicles currently resident in its engine.
+func (s *server) handleAdminPlacement(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.placementView())
+}
+
+// handleAdminEvents returns the most recent control-plane events,
+// oldest first (?n= bounds the count, ?vehicle= filters to one
+// vehicle's audit trail).
+func (s *server) handleAdminEvents(w http.ResponseWriter, r *http.Request) {
+	n := journalN(r, 64)
+	var events []obs.ControlEvent
+	if v := r.URL.Query().Get("vehicle"); v != "" {
+		events = s.events.LastFor(v, n)
+	} else {
+		events = s.events.Last(n)
+	}
+	if events == nil {
+		events = []obs.ControlEvent{}
+	}
 	writeJSON(w, struct {
-		Self      string            `json:"self"`
-		Members   []placementMember `json:"members"`
-		Residents []string          `json:"residents"`
-		Adopted   []string          `json:"adopted,omitempty"`
-		Migrated  map[string]string `json:"migrated,omitempty"`
-	}{s.name, members, s.eng.VehicleIDs(), adopted, migrated})
+		Total  uint64             `json:"total"`
+		Events []obs.ControlEvent `json:"events"`
+	}{s.events.Total(), events})
 }

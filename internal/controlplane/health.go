@@ -3,6 +3,8 @@ package controlplane
 import (
 	"sort"
 	"time"
+
+	"github.com/navarchos/pdm/internal/obs"
 )
 
 // Health is one engine's state as seen by a health-check pass.
@@ -58,7 +60,34 @@ func (p *Plane) CheckHealth() []Health {
 		out = append(out, h)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	p.recordHealthTransitions(out)
 	return out
+}
+
+// recordHealthTransitions diffs a health pass against each member's
+// previous state and logs healthy<->failing flips. The first pass only
+// seeds the baseline — a steady state is not a transition.
+func (p *Plane) recordHealthTransitions(hs []Health) {
+	if p.events == nil {
+		return
+	}
+	p.mu.Lock()
+	for _, h := range hs {
+		m, ok := p.members[h.Name]
+		if !ok {
+			continue
+		}
+		if m.probed && m.lastHealthy != h.Healthy {
+			kind := obs.EventHealthUp
+			if !h.Healthy {
+				kind = obs.EventHealthDown
+			}
+			p.events.Record(obs.ControlEvent{Kind: kind, Engine: h.Name, Detail: h.Err})
+		}
+		m.probed = true
+		m.lastHealthy = h.Healthy
+	}
+	p.mu.Unlock()
 }
 
 // StartHealth runs CheckHealth every interval until the returned stop

@@ -44,11 +44,20 @@ type Config struct {
 	// Metrics receives placement/handoff/health instrumentation; nil
 	// disables it.
 	Metrics *obs.CtrlMetrics
+	// Events receives control-plane lifecycle events (cordon/uncordon,
+	// per-vehicle drain start/finish/abort, health transitions); nil
+	// disables the audit trail.
+	Events *obs.EventLog
 }
 
 type member struct {
 	eng      Engine
 	cordoned bool
+	// Health-probe transition tracking: probed latches after the first
+	// CheckHealth pass so the initial observation is not reported as a
+	// transition.
+	probed      bool
+	lastHealthy bool
 }
 
 // Plane is the control plane: a registry of named engines, the
@@ -69,6 +78,7 @@ type Plane struct {
 	members    map[string]*member
 	placements map[string]string // vehicle ID -> engine name
 	metrics    *obs.CtrlMetrics
+	events     *obs.EventLog
 }
 
 // New returns an empty Plane.
@@ -78,8 +88,12 @@ func New(cfg Config) *Plane {
 		members:    map[string]*member{},
 		placements: map[string]string{},
 		metrics:    cfg.Metrics,
+		events:     cfg.Events,
 	}
 }
+
+// Events returns the plane's event log (may be nil).
+func (p *Plane) Events() *obs.EventLog { return p.events }
 
 // Register adds a named engine and makes it eligible for placements.
 func (p *Plane) Register(name string, eng Engine) error {
@@ -159,6 +173,7 @@ func (p *Plane) cordonLocked(name string) error {
 		m.cordoned = true
 		p.ring.Remove(name)
 		p.metrics.SetCordoned(p.cordonedCountLocked())
+		p.events.Record(obs.ControlEvent{Kind: obs.EventCordon, Engine: name})
 	}
 	return nil
 }
@@ -175,6 +190,7 @@ func (p *Plane) Uncordon(name string) error {
 		m.cordoned = false
 		p.ring.Add(name)
 		p.metrics.SetCordoned(p.cordonedCountLocked())
+		p.events.Record(obs.ControlEvent{Kind: obs.EventUncordon, Engine: name})
 	}
 	return nil
 }
@@ -250,16 +266,24 @@ func (p *Plane) Drain(name string) (moved int, err error) {
 		// success.
 		src.Cordon(v)
 		start := time.Now()
+		p.events.Record(obs.ControlEvent{Kind: obs.EventDrainStart, Engine: name, VehicleID: v})
 		vs, extractErr := src.ExtractVehicle(v)
 		if extractErr != nil {
 			if errors.Is(extractErr, fleet.ErrUnknownVehicle) {
 				// Placed but never materialised: nothing to move, just
 				// re-pin.
 				if err := p.repoint(v, name); err != nil {
+					p.events.Record(obs.ControlEvent{Kind: obs.EventDrainAbort, Engine: name,
+						VehicleID: v, Detail: err.Error()})
 					return moved, err
 				}
+				p.events.Record(obs.ControlEvent{Kind: obs.EventDrainFinish, Engine: name,
+					VehicleID: v, Detail: "repointed without state",
+					DurationS: time.Since(start).Seconds()})
 				continue
 			}
+			p.events.Record(obs.ControlEvent{Kind: obs.EventDrainAbort, Engine: name,
+				VehicleID: v, Detail: extractErr.Error()})
 			return moved, fmt.Errorf("controlplane: drain %s: %w", name, extractErr)
 		}
 		target, targetName, pickErr := p.pickTarget(v, name)
@@ -270,6 +294,8 @@ func (p *Plane) Drain(name string) (moved int, err error) {
 			// Put the state back where it came from rather than dropping
 			// it on the floor; the vehicle keeps serving on the cordoned
 			// engine.
+			p.events.Record(obs.ControlEvent{Kind: obs.EventDrainAbort, Engine: name, Peer: targetName,
+				VehicleID: v, Detail: pickErr.Error()})
 			if backErr := src.AdoptVehicle(vs); backErr != nil {
 				return moved, fmt.Errorf("controlplane: drain %s: vehicle %s stranded: %v (after: %w)",
 					name, v, backErr, pickErr)
@@ -281,6 +307,8 @@ func (p *Plane) Drain(name string) (moved int, err error) {
 		p.mu.Unlock()
 		p.metrics.ObserveHandoff(time.Since(start))
 		p.metrics.Placed()
+		p.events.Record(obs.ControlEvent{Kind: obs.EventDrainFinish, Engine: name, Peer: targetName,
+			VehicleID: v, DurationS: time.Since(start).Seconds()})
 		moved++
 	}
 	return moved, nil

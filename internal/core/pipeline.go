@@ -216,6 +216,14 @@ func (p *Pipeline) SetDeferFits(on bool) { p.ds.SetDeferFits(on) }
 // DetectStage.TakePendingFit).
 func (p *Pipeline) TakePendingFit() func() error { return p.ds.TakePendingFit() }
 
+// SetProvenance attaches (or clears, with nil) the ingest-batch
+// context of the records about to be handled, forwarded to the detect
+// stage where alarms are built — the pipeline's half of the fleet
+// engine's ProvenanceSink seam.
+func (p *Pipeline) SetProvenance(bc *obs.BatchCtx, dequeue time.Time) {
+	p.ds.SetProvenance(bc, dequeue)
+}
+
 // HandleEvent feeds a maintenance event to the pipeline. Events that
 // trigger a reset (per the ResetPolicy) discard the reference profile
 // and return the pipeline to the collecting state.

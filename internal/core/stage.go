@@ -310,6 +310,21 @@ type DetectStage struct {
 	technique   string
 	cycleScored uint64    // samples scored under the current fit
 	lastReset   time.Time // last maintenance-triggered reset
+
+	// Provenance of the record currently being scored (also not part of
+	// snapshots): the fleet engine sets it before each traced record and
+	// clears it before untraced ones. Touched only on the alarm path —
+	// never by scoring itself — so it cannot perturb scores.
+	prov    *obs.BatchCtx
+	dequeue time.Time
+}
+
+// SetProvenance attaches (or, with nil, clears) the ingest-batch
+// context the next scored records belong to. dequeue is the shard's
+// dequeue clock read, used to report how long the batch waited queued.
+func (d *DetectStage) SetProvenance(bc *obs.BatchCtx, dequeue time.Time) {
+	d.prov = bc
+	d.dequeue = dequeue
 }
 
 // NewDetectStage builds a detect stage for one vehicle.
@@ -541,7 +556,7 @@ func (d *DetectStage) ScoreSample(t time.Time, x []float64) ([]detector.Alarm, e
 			sinceReset = t.Sub(d.lastReset).Seconds()
 		}
 		for _, a := range alarms {
-			d.o.RecordAlarm(obs.AlarmEvent{
+			e := obs.AlarmEvent{
 				Time:            a.Time,
 				VehicleID:       a.VehicleID,
 				Technique:       d.technique,
@@ -554,7 +569,25 @@ func (d *DetectStage) ScoreSample(t time.Time, x []float64) ([]detector.Alarm, e
 				RefCap:          d.cfg.ProfileLength,
 				RefAge:          d.cycleScored,
 				SinceLastEventS: sinceReset,
-			})
+			}
+			if d.prov != nil {
+				// The alarm path already allocates, so the clock read
+				// and histogram observations here leave the scoring
+				// steady state untouched.
+				e.BatchID = d.prov.BatchID
+				e.TraceID = d.prov.TraceID
+				e.ArrivalTime = d.prov.Arrival
+				// The engine stamps Enqueue before the shard can dequeue;
+				// the guard only defends against a hand-built BatchCtx
+				// with a zero Enqueue.
+				if w := d.dequeue.Sub(d.prov.Enqueue); w > 0 && !d.prov.Enqueue.IsZero() {
+					e.QueueWaitS = w.Seconds()
+				}
+				lat := time.Since(d.prov.Arrival)
+				e.E2ELatencyS = lat.Seconds()
+				d.o.ObserveAlarmLatency(lat)
+			}
+			d.o.RecordAlarm(e)
 		}
 	}
 	if d.cfg.Trace != nil {

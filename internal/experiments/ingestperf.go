@@ -9,9 +9,11 @@ import (
 	"sort"
 	"time"
 
+	"github.com/navarchos/pdm/internal/core"
 	"github.com/navarchos/pdm/internal/detector"
 	"github.com/navarchos/pdm/internal/fleet"
 	"github.com/navarchos/pdm/internal/fleetsim"
+	"github.com/navarchos/pdm/internal/obs"
 	"github.com/navarchos/pdm/internal/wire"
 )
 
@@ -49,15 +51,33 @@ type IngestRun struct {
 	AlarmsIdentical bool `json:"alarms_identical"`
 }
 
-// IngestPerfResult is the wire-ingest exhibit: decode throughput plus
-// wire-vs-replay end-to-end comparison per shard count.
+// IngestLatencyLeg reports ingest-to-alarm latency through the traced
+// wire path at one shard count: every decoded frame carries a
+// BatchCtx, and each alarm's latency is measured from its frame's wire
+// arrival to alarm emission (the same clock pdm_e2e_alarm_latency
+// exports in the serving front end).
+type IngestLatencyLeg struct {
+	Shards int `json:"shards"`
+	// Alarms is how many traced alarms the percentiles summarise.
+	Alarms int     `json:"alarms"`
+	P50Ms  float64 `json:"p50_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+	MaxMs  float64 `json:"max_ms"`
+	// QueueP99Ms is the p99 of the shard-queue wait component alone.
+	QueueP99Ms float64 `json:"queue_p99_ms"`
+}
+
+// IngestPerfResult is the wire-ingest exhibit: decode throughput,
+// wire-vs-replay end-to-end comparison per shard count, and traced
+// ingest-to-alarm latency percentiles.
 type IngestPerfResult struct {
-	Env      Env             `json:"env"`
-	Vehicles int             `json:"vehicles"`
-	Records  int             `json:"records"`
-	Events   int             `json:"events"`
-	Decode   IngestDecodeLeg `json:"decode"`
-	Runs     []IngestRun     `json:"runs"`
+	Env      Env                `json:"env"`
+	Vehicles int                `json:"vehicles"`
+	Records  int                `json:"records"`
+	Events   int                `json:"events"`
+	Decode   IngestDecodeLeg    `json:"decode"`
+	Runs     []IngestRun        `json:"runs"`
+	Latency  []IngestLatencyLeg `json:"latency"`
 }
 
 // wireOnce replays the encoded fleet through decode + IngestBatch at
@@ -128,6 +148,69 @@ func collectAlarms(f *fleetsim.Fleet, frames []byte, shards int, viaWire bool) (
 		return out[i].Channel < out[j].Channel
 	})
 	return out, nil
+}
+
+// percentile reads the q-quantile from an ascending-sorted slice.
+func percentile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// ingestLatency replays the frame stream once through the traced wire
+// path — decode, a fresh BatchCtx per frame, IngestBatchCtx — with a
+// journal-equipped observer, then summarises the journaled per-alarm
+// end-to-end latencies. The journal is sized to retain every alarm of
+// the run, so the percentiles cover the full population.
+func ingestLatency(frames []byte, shards, nrecords int) (IngestLatencyLeg, error) {
+	leg := IngestLatencyLeg{Shards: shards}
+	j := obs.NewJournal(nrecords)
+	o := obs.NewObserver(obs.NewRegistry(), obs.ObserverConfig{Journal: j})
+	eng, err := fleet.NewEngine(fleet.Config{
+		NewConfig: func(v string) (core.Config, error) {
+			cfg, err := perfPipelineConfig(v)
+			cfg.Observer = o
+			return cfg, err
+		},
+		Shards:     shards,
+		Observer:   o,
+		DropAlarms: true,
+	})
+	if err != nil {
+		return leg, err
+	}
+	var dec wire.Decoder
+	var batchID uint64
+	_, err = dec.DecodeStream(bytes.NewReader(frames), wire.SinkFunc(func(b *wire.Batch) error {
+		batchID++
+		bc := &obs.BatchCtx{BatchID: batchID, TraceID: b.TraceID, Arrival: time.Now()}
+		return eng.IngestBatchCtx(b.Records, b.Events, bc)
+	}))
+	if err != nil {
+		return leg, err
+	}
+	if err := eng.Close(); err != nil {
+		return leg, err
+	}
+	var lats, waits []float64
+	for _, e := range j.Last(0) {
+		if e.E2ELatencyS > 0 {
+			lats = append(lats, e.E2ELatencyS*1e3)
+			waits = append(waits, e.QueueWaitS*1e3)
+		}
+	}
+	sort.Float64s(lats)
+	sort.Float64s(waits)
+	leg.Alarms = len(lats)
+	leg.P50Ms = percentile(lats, 0.50)
+	leg.P99Ms = percentile(lats, 0.99)
+	if n := len(lats); n > 0 {
+		leg.MaxMs = lats[n-1]
+	}
+	leg.QueueP99Ms = percentile(waits, 0.99)
+	return leg, nil
 }
 
 // alarmsBitIdentical compares two sorted alarm slices bit-for-bit.
@@ -237,6 +320,12 @@ func IngestPerf(o *Options) (*IngestPerfResult, error) {
 		}
 		run.AlarmsIdentical = alarmsBitIdentical(got, want)
 		res.Runs = append(res.Runs, run)
+
+		leg, err := ingestLatency(frames, shards, len(f.Records))
+		if err != nil {
+			return nil, err
+		}
+		res.Latency = append(res.Latency, leg)
 	}
 	return res, nil
 }
@@ -252,5 +341,14 @@ func (r *IngestPerfResult) Render(w io.Writer) {
 	for _, run := range r.Runs {
 		fprintf(w, "%8d  %18.0f  %18.0f  %8.3f  %10v\n",
 			run.Shards, run.ReplayRecordsPerSec, run.WireRecordsPerSec, run.Ratio, run.AlarmsIdentical)
+	}
+	if len(r.Latency) > 0 {
+		fprintf(w, "ingest-to-alarm latency (traced wire path):\n")
+		fprintf(w, "%8s  %8s  %10s  %10s  %10s  %12s\n",
+			"shards", "alarms", "p50 ms", "p99 ms", "max ms", "queue p99 ms")
+		for _, l := range r.Latency {
+			fprintf(w, "%8d  %8d  %10.3f  %10.3f  %10.3f  %12.3f\n",
+				l.Shards, l.Alarms, l.P50Ms, l.P99Ms, l.MaxMs, l.QueueP99Ms)
+		}
 	}
 }

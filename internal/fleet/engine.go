@@ -67,6 +67,18 @@ type Handler interface {
 	ScoredSamples() uint64
 }
 
+// ProvenanceSink is implemented by handlers that can attribute the
+// alarms they raise to an ingest batch (core.Pipeline implements it).
+// The engine calls SetProvenance before HandleRecord: with the record's
+// batch context and the shard's dequeue clock read on the traced path,
+// and with (nil, zero) to clear stale context when untraced records
+// follow traced ones. Handlers without the method simply never carry
+// provenance — the engine probes with a type assertion, never requires
+// it.
+type ProvenanceSink interface {
+	SetProvenance(bc *obs.BatchCtx, dequeue time.Time)
+}
+
 // Config assembles an Engine. Exactly one of NewConfig and NewHandler is
 // required; everything else has defaults chosen for a laptop-scale
 // deployment.
@@ -144,12 +156,16 @@ func (c *Config) validate() error {
 }
 
 // envelope is one queued stream element: a record, an event, or a
-// checkpoint barrier.
+// checkpoint barrier. prov is the shared provenance context of the
+// ingest batch the element arrived in (nil on the Replay and
+// per-record paths): one pointer per envelope, one allocation per
+// frame, so tracing never adds per-record allocations.
 type envelope struct {
 	isEvent bool
 	rec     timeseries.Record
 	ev      obd.Event
 	bar     *barrier
+	prov    *obs.BatchCtx
 }
 
 // barrier pauses a shard at a batch boundary: the shard acknowledges
@@ -196,6 +212,18 @@ type shard struct {
 	// consumer band: owned by the shard goroutine, no synchronisation.
 	handlers map[string]Handler
 	skip     map[string]bool
+
+	// Provenance tracking, also shard-goroutine-owned. lastProv is the
+	// most recent batch context seen (pointer identity marks "same
+	// frame"), lastDequeue the clock read taken when it first surfaced —
+	// reused as every one of its records' dequeue time so tracing costs
+	// one clock read per (shard, frame), not per record. sawProv stays
+	// false until the first traced envelope, which keeps the untraced
+	// deliver path (Replay, bit-identity gates, overhead gate) at a
+	// single nil check.
+	lastProv    *obs.BatchCtx
+	lastDequeue time.Time
+	sawProv     bool
 
 	// Asynchronous refits. busy[id] exists exactly while a fit for
 	// vehicle id is in flight; its value is the queue of envelopes that
@@ -452,6 +480,24 @@ type ingestStage struct {
 // items were refused so the producer can retry exactly those vehicles
 // against their new placement.
 func (e *Engine) IngestBatch(records []timeseries.Record, events []obd.Event) error {
+	return e.ingestBatch(records, events, nil)
+}
+
+// IngestBatchCtx is IngestBatch with provenance: every envelope of the
+// batch carries bc by pointer, so alarms raised by these records can
+// report which ingest batch caused them and how long the path took.
+// bc.Enqueue is stamped here, once, when the batch enters the shard
+// queues — before the first channel send, so the channel's
+// happens-before edge publishes the stamp to every consumer (a fast
+// shard can start delivering while other shards' envelopes are still
+// being enqueued). Producer blocking on a full queue therefore counts
+// as queue wait. bc must not be mutated by the caller afterwards. A
+// nil bc degrades to IngestBatch.
+func (e *Engine) IngestBatchCtx(records []timeseries.Record, events []obd.Event, bc *obs.BatchCtx) error {
+	return e.ingestBatch(records, events, bc)
+}
+
+func (e *Engine) ingestBatch(records []timeseries.Record, events []obd.Event, bc *obs.BatchCtx) error {
 	if e.closed.Load() {
 		return ErrClosed
 	}
@@ -463,6 +509,7 @@ func (e *Engine) IngestBatch(records []timeseries.Record, events []obd.Event) er
 		st = &ingestStage{perShard: make([][]envelope, len(e.shards))}
 	}
 	push := func(env envelope, vehicleID string) error {
+		env.prov = bc
 		i := e.shardFor(vehicleID).index
 		st.perShard[i] = append(st.perShard[i], env)
 		return nil
@@ -472,10 +519,18 @@ func (e *Engine) IngestBatch(records []timeseries.Record, events []obd.Event) er
 		func(r timeseries.Record) error { return push(envelope{rec: r}, r.VehicleID) })
 	var refusal VehicleUnavailableError
 	if err == nil {
+		if bc != nil {
+			// Stamped before the first channel send: consumers read
+			// Enqueue through the channel's happens-before edge.
+			bc.Enqueue = time.Now()
+		}
 		for i, staged := range st.perShard {
 			if len(staged) > 0 {
 				e.enqueueStaged(e.shards[i], staged, &refusal)
 			}
+		}
+		if bc != nil {
+			e.cfg.Observer.TracedBatch()
 		}
 	}
 	for i := range st.perShard {
@@ -877,6 +932,29 @@ func (e *Engine) deliver(s *shard, env *envelope, id string) {
 	h, ok := e.handlerFor(s, id)
 	if !ok {
 		return
+	}
+	if env.prov != nil {
+		if env.prov != s.lastProv {
+			// First envelope of a new traced frame on this shard: one
+			// clock read covers the whole frame's dequeue time, and the
+			// frame's queue wait is observed once.
+			s.lastProv = env.prov
+			s.lastDequeue = time.Now()
+			s.sawProv = true
+			e.cfg.Observer.ObserveQueueWait(s.lastDequeue.Sub(env.prov.Enqueue))
+		}
+		if ps, ok := h.(ProvenanceSink); ok {
+			ps.SetProvenance(env.prov, s.lastDequeue)
+		}
+	} else if s.sawProv {
+		// A shard that has ever delivered traced records must clear a
+		// handler's provenance before untraced ones, or an untraced
+		// record's alarm would inherit the previous frame's context.
+		// Shards that never saw provenance never take this branch, so
+		// Replay-only runs keep the bare hot path.
+		if ps, ok := h.(ProvenanceSink); ok {
+			ps.SetProvenance(nil, time.Time{})
+		}
 	}
 	before := h.ScoredSamples()
 	alarms, err := h.HandleRecord(env.rec)

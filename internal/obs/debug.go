@@ -20,6 +20,13 @@ type DebugConfig struct {
 	// marshaled into the response's "engine" field — wire it to
 	// fleet.Engine.Stats.
 	FleetStatus func() any
+	// Placement, when non-nil, is called per /fleet request and
+	// marshaled into the response's "placement" field — the
+	// control-plane view (ring owners, cordons, migrations) that pairs
+	// with the data-plane engine stats. Serving layers running with
+	// peers wire it to their placement snapshot; single-instance
+	// deployments leave it nil and the field is omitted.
+	Placement func() any
 	// JournalN is the default number of journal entries /fleet returns
 	// (override per request with ?n=; default 32).
 	JournalN int
@@ -62,6 +69,9 @@ func NewDebugMux(cfg DebugConfig) *http.ServeMux {
 		if cfg.FleetStatus != nil {
 			resp.Engine = cfg.FleetStatus()
 		}
+		if cfg.Placement != nil {
+			resp.Placement = cfg.Placement()
+		}
 		if cfg.Journal != nil {
 			resp.JournalTotal = cfg.Journal.Total()
 			resp.Journal = cfg.Journal.Last(n)
@@ -80,6 +90,7 @@ func NewDebugMux(cfg DebugConfig) *http.ServeMux {
 // fleetStatus is the /fleet response shape.
 type fleetStatus struct {
 	Engine       any          `json:"engine,omitempty"`
+	Placement    any          `json:"placement,omitempty"`
 	JournalTotal uint64       `json:"journal_total"`
 	Journal      []AlarmEvent `json:"journal"`
 }

@@ -1,0 +1,190 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Control-plane event kinds recorded in the EventLog. The set is
+// closed on purpose: each kind maps to one labelled series of
+// pdm_ctrl_events_total, so free-form kinds would leak cardinality.
+const (
+	EventDrainStart   = "drain-start"   // per-vehicle drain began
+	EventDrainFinish  = "drain-finish"  // per-vehicle drain landed on the target
+	EventDrainAbort   = "drain-abort"   // per-vehicle drain failed; state restored
+	EventCordon       = "cordon"        // operator or drain fence raised
+	EventUncordon     = "uncordon"      // fence lowered
+	EventAdopt        = "adopt"         // vehicle state adopted from a peer
+	EventPeerConflict = "peer-conflict" // peer refused a handoff (409 split-brain rule)
+	EventHealthDown   = "health-down"   // health probe transition healthy -> failing
+	EventHealthUp     = "health-up"     // health probe transition failing -> healthy
+)
+
+// ControlEvent is one control-plane lifecycle entry: who did what to
+// which vehicle or engine, when, and how long it took. It is the
+// drain/cordon/adoption counterpart of the alarm Journal's AlarmEvent —
+// the audit trail an operator replays to answer "why is this vehicle
+// served here now?".
+type ControlEvent struct {
+	// Seq is the log-assigned monotone sequence number.
+	Seq uint64 `json:"seq"`
+	// Time is when the event was recorded.
+	Time time.Time `json:"time"`
+	// Kind is one of the Event* constants.
+	Kind string `json:"kind"`
+	// Engine is the member the event happened on (source engine for
+	// drains and handoffs).
+	Engine string `json:"engine,omitempty"`
+	// Peer is the counterpart member (drain target, adoption source,
+	// refusing peer), when the event involves two engines.
+	Peer string `json:"peer,omitempty"`
+	// VehicleID is set for per-vehicle events (drain, adopt, conflict).
+	VehicleID string `json:"vehicle,omitempty"`
+	// Detail carries free-form context (HTTP status, probe error, ...).
+	Detail string `json:"detail,omitempty"`
+	// DurationS is the event duration in seconds where one is
+	// meaningful (drain-finish, adopt), else 0.
+	DurationS float64 `json:"duration_s,omitempty"`
+}
+
+// EventLog is a bounded structured ring of control-plane events with
+// the same shape and guarantees as the alarm Journal: mutex-guarded
+// appends and reads, an optional JSONL sink whose errors are ignored,
+// and O(capacity) reads. Control-plane events are orders of magnitude
+// rarer than records, so a mutex is plenty.
+//
+// When built with a Registry it also counts every append into
+// pdm_ctrl_events_total labelled by kind.
+type EventLog struct {
+	mu       sync.Mutex
+	buf      []ControlEvent
+	next     uint64 // total appends ever; Seq of the next entry
+	sink     io.Writer
+	reg      *Registry
+	counters map[string]*Counter
+}
+
+// NewEventLog returns an event log retaining the last capacity entries
+// (default 256 when capacity <= 0). reg may be nil — the log then only
+// retains, without exporting counters.
+func NewEventLog(capacity int, reg *Registry) *EventLog {
+	if capacity <= 0 {
+		capacity = 256
+	}
+	l := &EventLog{buf: make([]ControlEvent, 0, capacity), reg: reg}
+	if reg != nil {
+		l.counters = map[string]*Counter{}
+	}
+	return l
+}
+
+// SetSink attaches a writer that receives every recorded event as one
+// JSON line (pass nil to detach). Sink errors are ignored: auditing
+// must never fail the control plane.
+func (l *EventLog) SetSink(w io.Writer) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.sink = w
+	l.mu.Unlock()
+}
+
+// counter resolves the per-kind counter under l.mu.
+func (l *EventLog) counter(kind string) *Counter {
+	if l.counters == nil {
+		return nil
+	}
+	c, ok := l.counters[kind]
+	if !ok {
+		c = l.reg.Counter("pdm_ctrl_events_total",
+			"Control-plane lifecycle events recorded in the event log, per kind.",
+			Label{Key: "kind", Value: kind})
+		l.counters[kind] = c
+	}
+	return c
+}
+
+// Record appends one event, assigning its sequence number and stamping
+// Time when the caller left it zero. Safe on a nil receiver so call
+// sites need no log-enabled branch.
+func (l *EventLog) Record(e ControlEvent) {
+	if l == nil {
+		return
+	}
+	if e.Time.IsZero() {
+		e.Time = time.Now()
+	}
+	l.mu.Lock()
+	e.Seq = l.next
+	l.next++
+	if len(l.buf) < cap(l.buf) {
+		l.buf = append(l.buf, e)
+	} else {
+		l.buf[int(e.Seq)%cap(l.buf)] = e
+	}
+	c := l.counter(e.Kind)
+	sink := l.sink
+	l.mu.Unlock()
+	if c != nil {
+		c.Inc()
+	}
+	if sink != nil {
+		if b, err := json.Marshal(e); err == nil {
+			sink.Write(append(b, '\n')) //nolint:errcheck // advisory sink
+		}
+	}
+}
+
+// Total returns how many events have ever been recorded.
+func (l *EventLog) Total() uint64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.next
+}
+
+// Last returns up to n most recent events, oldest first (n <= 0 means
+// all retained).
+func (l *EventLog) Last(n int) []ControlEvent {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if n <= 0 || n > len(l.buf) {
+		n = len(l.buf)
+	}
+	out := make([]ControlEvent, 0, n)
+	for i := 0; i < n; i++ {
+		// Entries live at Seq % cap; the oldest retained Seq is next-len.
+		seq := l.next - uint64(n) + uint64(i)
+		out = append(out, l.buf[int(seq)%cap(l.buf)])
+	}
+	return out
+}
+
+// LastFor returns up to n most recent retained events touching one
+// vehicle, oldest first (n <= 0 means all retained).
+func (l *EventLog) LastFor(vehicleID string, n int) []ControlEvent {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var out []ControlEvent
+	for i := 0; i < len(l.buf); i++ {
+		seq := l.next - uint64(len(l.buf)) + uint64(i)
+		if e := l.buf[int(seq)%cap(l.buf)]; e.VehicleID == vehicleID {
+			out = append(out, e)
+		}
+	}
+	if n > 0 && len(out) > n {
+		out = out[len(out)-n:]
+	}
+	return out
+}

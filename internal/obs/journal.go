@@ -45,6 +45,18 @@ type AlarmEvent struct {
 	// profile-resetting maintenance event (0 when no event has been
 	// seen: the vehicle is still on its initial profile).
 	SinceLastEventS float64 `json:"since_last_event_s"`
+
+	// Provenance (zero-valued and omitted when the alarming record was
+	// not ingested under a BatchCtx — e.g. plain Replay). BatchID is the
+	// receiver-assigned ingest batch, TraceID the producer-assigned wire
+	// trace context (0 when the frame carried none), ArrivalTime when
+	// the frame hit the process, QueueWaitS how long the batch sat in
+	// its shard queue, and E2ELatencyS wire arrival to this alarm.
+	BatchID     uint64    `json:"batch_id,omitempty"`
+	TraceID     uint64    `json:"trace_id,omitempty"`
+	ArrivalTime time.Time `json:"arrival_time,omitzero"`
+	QueueWaitS  float64   `json:"queue_wait_s,omitempty"`
+	E2ELatencyS float64   `json:"e2e_latency_s,omitempty"`
 }
 
 // Journal is a bounded structured ring of alarm events. Appends and

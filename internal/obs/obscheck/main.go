@@ -43,10 +43,21 @@ func main() {
 	// Exercise the real registration paths so the family list is the
 	// code's, not a hand-maintained mirror of the doc.
 	reg := obs.NewRegistry()
-	o := obs.NewObserver(reg, obs.ObserverConfig{})
+	o := obs.NewObserver(reg, obs.ObserverConfig{}) // registers pdm_pipeline_* and pdm_e2e_*
 	o.ScoreDist("closest-pair")
 	obs.NewIngestMetrics(reg)
 	obs.NewCtrlMetrics(reg)
+	// The event log registers its per-kind counter family lazily, so
+	// record one event of each kind the control plane and serving layer
+	// emit.
+	events := obs.NewEventLog(8, reg)
+	for _, kind := range []string{
+		obs.EventDrainStart, obs.EventDrainFinish, obs.EventDrainAbort,
+		obs.EventCordon, obs.EventUncordon, obs.EventAdopt,
+		obs.EventPeerConflict, obs.EventHealthDown, obs.EventHealthUp,
+	} {
+		events.Record(obs.ControlEvent{Kind: kind})
+	}
 	eng, err := fleet.NewEngine(fleet.Config{
 		NewHandler: func(string) (fleet.Handler, error) { return nopHandler{}, nil },
 		Shards:     1,

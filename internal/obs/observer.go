@@ -45,6 +45,10 @@ type Observer struct {
 	warmupDrops *Counter
 	alarms      *Counter
 
+	// End-to-end provenance metrics (pdm_e2e_*), observed only on the
+	// ingest and alarm paths — never per scored sample.
+	e2e e2eMetrics
+
 	// Per-technique score distributions, resolved once per stage build.
 	distMu sync.Mutex
 	dists  map[string]*Histogram
@@ -81,6 +85,7 @@ func NewObserver(reg *Registry, cfg ObserverConfig) *Observer {
 			"Raw records dropped by the pre-transform filter (warm-up and stationary-state cleaning)."),
 		alarms: reg.Counter("pdm_pipeline_alarms_total",
 			"Alarms emitted by instrumented pipelines (before day-level consolidation)."),
+		e2e:   newE2EMetrics(reg),
 		dists: map[string]*Histogram{},
 	}
 	return o

@@ -1,0 +1,87 @@
+package obs
+
+import "time"
+
+// BatchCtx is the provenance context attached to one ingested wire
+// frame (or one replayed batch). It is allocated once per frame on the
+// ingest path — never per record — and shared by pointer through the
+// shard queues, so the scoring hot path pays only a nil check when no
+// tracing is active and a pointer copy when it is.
+//
+// The distinction between Arrival and Enqueue is the point of the
+// type: Arrival is when the bytes hit the process (wire arrival),
+// Enqueue is when the decoded records were admitted into shard queues.
+// End-to-end alarm latency is measured from Arrival — detection
+// latency in temporal-AD evaluation (Carrasco et al.) counts from the
+// moment the evidence exists, not from when the system got around to
+// queueing it.
+type BatchCtx struct {
+	// BatchID is a process-monotone ingest batch identifier assigned by
+	// the receiver (serve handler or bench harness).
+	BatchID uint64
+	// TraceID is the producer-assigned trace context carried in the
+	// NVWIRE1 frame (0 when the frame carried none).
+	TraceID uint64
+	// Arrival is when the frame's first byte was seen by the receiver.
+	Arrival time.Time
+	// Enqueue is when the decoded batch was staged into shard queues.
+	Enqueue time.Time
+}
+
+// DefE2EBuckets spans end-to-end ingest-to-alarm latencies: from tens
+// of microseconds (in-process bench loops) up to ten seconds (deep
+// queues under backpressure).
+var DefE2EBuckets = []float64{
+	5e-5, 1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 1e-2,
+	2.5e-2, 5e-2, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// e2eMetrics registers the pdm_e2e_* family. Split out of NewObserver
+// only for readability; every Observer carries it so the family is
+// always exposed once an observer exists.
+type e2eMetrics struct {
+	latencyH  *Histogram
+	queueH    *Histogram
+	tracedIn  *Counter
+	tracedOut *Counter
+}
+
+func newE2EMetrics(reg *Registry) e2eMetrics {
+	return e2eMetrics{
+		latencyH: reg.Histogram("pdm_e2e_alarm_latency_seconds",
+			"Ingest-to-alarm latency measured from wire arrival of the frame that carried the alarming record.", DefE2EBuckets),
+		queueH: reg.Histogram("pdm_e2e_queue_wait_seconds",
+			"Shard-queue wait of traced batches: enqueue to first dequeue.", DefLatencyBuckets),
+		tracedIn: reg.Counter("pdm_e2e_traced_batches_total",
+			"Ingest batches admitted with provenance context attached."),
+		tracedOut: reg.Counter("pdm_e2e_traced_alarms_total",
+			"Alarms emitted with provenance context attached."),
+	}
+}
+
+// TracedBatch counts one batch admitted with provenance attached.
+func (o *Observer) TracedBatch() {
+	if o != nil {
+		o.e2e.tracedIn.Inc()
+	}
+}
+
+// ObserveQueueWait records one traced batch's shard-queue wait.
+func (o *Observer) ObserveQueueWait(d time.Duration) {
+	if o != nil && d > 0 {
+		o.e2e.queueH.Observe(d.Seconds())
+	}
+}
+
+// ObserveAlarmLatency records one alarm's wire-arrival-to-alarm
+// latency and counts the traced alarm. Called only on the alarm path,
+// which already allocates, so the zero-allocation steady state holds.
+func (o *Observer) ObserveAlarmLatency(d time.Duration) {
+	if o == nil {
+		return
+	}
+	o.e2e.tracedOut.Inc()
+	if d > 0 {
+		o.e2e.latencyH.Observe(d.Seconds())
+	}
+}

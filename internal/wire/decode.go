@@ -162,6 +162,16 @@ func (d *Decoder) decodePayload(payload []byte, b *Batch) error {
 				ev.Note = string(note)
 			}
 			b.Events = append(b.Events, ev)
+		case tagTrace:
+			// The common-prefix uint64 is the trace ID here, not a
+			// timestamp; the item carries no vehicle ID. The reserved
+			// flags byte is read and ignored so future producers can
+			// use it without breaking this decoder.
+			if len(id) != 0 {
+				return ErrBadFrame
+			}
+			r.uint8()
+			b.TraceID = uint64(nanos)
 		default:
 			return ErrBadFrame
 		}

@@ -159,8 +159,29 @@ func (e *Encoder) Event(ev *obd.Event) {
 const (
 	tagRecord = 0
 	tagEvent  = 1
+	tagTrace  = 2
 	flagDTC   = 1 << 0
 )
+
+// TraceContext appends the frame's trace-context item carrying a
+// producer-assigned trace ID (opening a frame if necessary). Stamp it
+// once, right after Begin, so receivers attribute every item in the
+// frame to it. A zero ID is the "no trace" value and appends nothing.
+func (e *Encoder) TraceContext(id uint64) {
+	if e.err != nil || id == 0 {
+		return
+	}
+	if !e.open {
+		e.Begin()
+	}
+	e.buf = append(e.buf, tagTrace)
+	// No vehicle ID: the item describes the whole frame.
+	e.buf = binary.LittleEndian.AppendUint16(e.buf, 0)
+	e.buf = binary.LittleEndian.AppendUint64(e.buf, id)
+	// Reserved flags byte pads the item to minItemSize.
+	e.buf = append(e.buf, 0)
+	e.count++
+}
 
 // AppendHandoff appends one vehicle-handoff frame carrying a
 // serialized fleet.VehicleState and returns the extended buffer. The

@@ -26,6 +26,19 @@ func FuzzWireDecode(f *testing.F) {
 	flipped := append([]byte(nil), valid...)
 	flipped[HeaderSize+5] ^= 0xff
 	f.Add(flipped)
+	// A frame using the trace-context extension, so the corpus mutates
+	// the new item surface too.
+	var tenc Encoder
+	tenc.Begin()
+	tenc.TraceContext(0xfeedface)
+	for i := range recs[:4] {
+		tenc.Record(&recs[i])
+	}
+	tenc.End()
+	if tenc.Err() != nil {
+		f.Fatal(tenc.Err())
+	}
+	f.Add(append([]byte(nil), tenc.Bytes()...))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		var dec Decoder
@@ -45,6 +58,7 @@ func FuzzWireDecode(f *testing.F) {
 		// and decode again to the same contents.
 		var enc Encoder
 		enc.Begin()
+		enc.TraceContext(b.TraceID)
 		ri, ei := 0, 0
 		for ri < len(b.Records) {
 			enc.Record(&b.Records[ri])
@@ -65,6 +79,9 @@ func FuzzWireDecode(f *testing.F) {
 		if len(b2.Records) != len(b.Records) || len(b2.Events) != len(b.Events) {
 			t.Fatalf("round trip changed item counts: %d/%d -> %d/%d",
 				len(b.Records), len(b.Events), len(b2.Records), len(b2.Events))
+		}
+		if b2.TraceID != b.TraceID {
+			t.Fatalf("round trip changed trace ID: %#x -> %#x", b.TraceID, b2.TraceID)
 		}
 		// The stream decoder must agree with the buffer decoder on the
 		// same bytes (same acceptance, never a panic).

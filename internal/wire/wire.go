@@ -31,13 +31,23 @@
 //
 //	uint32  count
 //	count × item:
-//	  uint8   tag (0 = record, 1 = event)
-//	  uint16  vehicle-ID length + that many bytes
-//	  int64   timestamp, UTC unix nanoseconds
-//	  record: uint8 value count (= obd.NumPIDs) + count × IEEE-754 bits
-//	  event:  uint8 type; uint8 flags (bit 0: DTC present);
+//	  uint8   tag (0 = record, 1 = event, 2 = trace context)
+//	  uint16  vehicle-ID length + that many bytes (always 0 for trace)
+//	  record: int64 timestamp, UTC unix nanoseconds;
+//	          uint8 value count (= obd.NumPIDs) + count × IEEE-754 bits
+//	  event:  int64 timestamp, UTC unix nanoseconds;
+//	          uint8 type; uint8 flags (bit 0: DTC present);
 //	          [uint16 DTC code length + bytes; uint8 DTC kind];
 //	          uint16 note length + bytes
+//	  trace:  uint64 producer trace ID; uint8 reserved flags (0)
+//
+// The trace-context item is the format's provenance extension: a
+// producer stamps at most one per frame (conventionally first) and the
+// decoder surfaces it as Batch.TraceID, where the ingest path threads
+// it into alarm provenance. It is deliberately an *item*, not a header
+// change — frames without one are byte-identical to the pre-extension
+// format, so old golden frames keep decoding and old decoders reject
+// only frames that actually use the extension.
 //
 // All integers are little-endian and fixed-width; floats travel as
 // IEEE-754 bit patterns, so a record round-trips bit-exactly — the
@@ -96,6 +106,8 @@ const (
 	maxIntern = 1 << 16
 	// minItemSize is the smallest encodable item (record tag + empty ID
 	// + timestamp + value count), used to sanity-check count prefixes.
+	// The trace-context item is padded with a reserved flags byte to
+	// exactly this size so the sanity check stays exact.
 	minItemSize = 1 + 2 + 8 + 1
 )
 
@@ -122,12 +134,17 @@ var castagnoli = crc32.MakeTable(crc32.Castagnoli)
 type Batch struct {
 	Records []timeseries.Record
 	Events  []obd.Event
+	// TraceID is the producer trace context carried by the frame's
+	// trace-context item (0 when the frame carried none; when a corrupt
+	// producer stamps several, the last one wins).
+	TraceID uint64
 }
 
 // Reset empties the batch, keeping capacity.
 func (b *Batch) Reset() {
 	b.Records = b.Records[:0]
 	b.Events = b.Events[:0]
+	b.TraceID = 0
 }
 
 // Len returns the number of items in the batch.

@@ -252,6 +252,67 @@ func TestEncoderLimits(t *testing.T) {
 	}
 }
 
+// TestTraceContextRoundTrip pins the trace-context extension item:
+// a frame carrying one survives encode→decode with the producer's
+// trace ID intact, a frame without one decodes to TraceID 0 (the
+// pre-extension format is a strict subset), and TraceContext(0) emits
+// nothing so untraced producers keep their byte-identical frames.
+func TestTraceContextRoundTrip(t *testing.T) {
+	recs, _ := testStream(8, 2)
+
+	var traced Encoder
+	traced.Begin()
+	traced.TraceContext(0xdeadbeefcafe)
+	for i := range recs {
+		traced.Record(&recs[i])
+	}
+	traced.End()
+	if traced.Err() != nil {
+		t.Fatal(traced.Err())
+	}
+
+	var dec Decoder
+	var b Batch
+	if _, err := dec.DecodeInto(traced.Bytes(), &b); err != nil {
+		t.Fatal(err)
+	}
+	if b.TraceID != 0xdeadbeefcafe {
+		t.Fatalf("decoded TraceID %#x, want %#x", b.TraceID, uint64(0xdeadbeefcafe))
+	}
+	if len(b.Records) != len(recs) {
+		t.Fatalf("trace item displaced records: got %d, want %d", len(b.Records), len(recs))
+	}
+
+	// Old-format frames (no trace item) must keep decoding and must not
+	// inherit a trace ID from a previously decoded frame.
+	var plain Encoder
+	plain.Begin()
+	for i := range recs {
+		plain.Record(&recs[i])
+	}
+	plain.End()
+	b.Reset()
+	if _, err := dec.DecodeInto(plain.Bytes(), &b); err != nil {
+		t.Fatal(err)
+	}
+	if b.TraceID != 0 {
+		t.Fatalf("untraced frame decoded to TraceID %#x, want 0", b.TraceID)
+	}
+
+	// A zero trace ID is "no context": the encoder emits no item, so the
+	// frame is byte-identical to one that never called TraceContext.
+	var zero Encoder
+	zero.Begin()
+	zero.TraceContext(0)
+	for i := range recs {
+		zero.Record(&recs[i])
+	}
+	zero.End()
+	if !bytes.Equal(zero.Bytes(), plain.Bytes()) {
+		t.Fatal("TraceContext(0) changed the encoded frame bytes")
+	}
+}
+
 // TestCSVDecode pins the CSV compat path: schema-checked streaming
 // decode in batches through the same FrameSink as the binary path.
 func TestCSVDecode(t *testing.T) {

@@ -388,6 +388,15 @@ type (
 	// DebugConfig wires a registry, journal and fleet status callback
 	// into a DebugServer.
 	DebugConfig = obs.DebugConfig
+	// BatchCtx is the per-batch provenance context accepted by
+	// FleetEngine.IngestBatchCtx; alarms caused by the batch's records
+	// report its batch/trace IDs and ingest-to-alarm latency.
+	BatchCtx = obs.BatchCtx
+	// ControlEventLog is the bounded ring of control-plane lifecycle
+	// events (drains, cordons, adoptions, health transitions).
+	ControlEventLog = obs.EventLog
+	// ControlEvent is one control-plane audit entry.
+	ControlEvent = obs.ControlEvent
 )
 
 // NewMetricsRegistry returns an empty metrics registry.
@@ -403,6 +412,13 @@ func NewObserver(reg *MetricsRegistry, cfg ObserverConfig) *Observer {
 // NewAlarmJournal returns a bounded alarm journal (capacity <= 0 means
 // the default of 256 entries).
 func NewAlarmJournal(capacity int) *AlarmJournal { return obs.NewJournal(capacity) }
+
+// NewControlEventLog returns a bounded control-plane event log
+// (capacity <= 0 means the default of 256 entries). reg may be nil to
+// retain without exporting pdm_ctrl_events_total.
+func NewControlEventLog(capacity int, reg *MetricsRegistry) *ControlEventLog {
+	return obs.NewEventLog(capacity, reg)
+}
 
 // NewDebugMux builds the observability routes (/metrics, /debug/vars,
 // /debug/pprof/*, /fleet) as a mux callers can extend with their own
