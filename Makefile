@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: ci check vet build test race race-fleet grid-equiv resume-gate drain-gate fuzz-smoke bench-smoke bench-json vet-obs obs-overhead trace-overhead fitperf-smoke scoreperf-smoke ingest-smoke bench-micro
+.PHONY: ci check vet build test race race-fleet grid-equiv resume-gate drain-gate fuzz-smoke bench-smoke bench-json vet-obs obs-overhead trace-overhead fitperf-smoke scoreperf-smoke ingest-smoke scaling-smoke bench-micro
 
 ## ci: the full gate — vet (incl. the obs metric-doc check), build,
 ## race-enabled tests (plus a focused race pass over the concurrent
@@ -9,7 +9,7 @@ GO ?= go
 ## wire-ingest smokes, the observer and tracing overhead gates, the
 ## codec fuzz smokes, bench smoke, and a perf run appended to
 ## BENCH_<n>.json.
-ci: vet-obs build race race-fleet grid-equiv resume-gate drain-gate fitperf-smoke scoreperf-smoke ingest-smoke obs-overhead trace-overhead fuzz-smoke bench-smoke bench-json
+ci: vet-obs build race race-fleet grid-equiv resume-gate drain-gate fitperf-smoke scoreperf-smoke ingest-smoke scaling-smoke obs-overhead trace-overhead fuzz-smoke bench-smoke bench-json
 
 ## check: the fast inner-loop gate — vet, build, and the plain test
 ## suite, with none of ci's race/equivalence/bench machinery.
@@ -76,7 +76,7 @@ fitperf-smoke:
 ## matmul, SIMD axpy/Adam, histogram vs exact split search, tranad fit),
 ## enough to catch a kernel benchmark that no longer compiles or crashes.
 bench-micro:
-	$(GO) test -run '^$$' -bench 'BenchmarkMatMul|BenchmarkDotUnrolled4|BenchmarkColInto|BenchmarkAddScaled|BenchmarkAdamStep' -benchtime 1x ./internal/mat/
+	$(GO) test -run '^$$' -bench 'BenchmarkMatMul|BenchmarkDotUnrolled4|BenchmarkColInto|BenchmarkAddScaled|BenchmarkAdamStep|BenchmarkSquaredDistances8|BenchmarkNormRow|BenchmarkLinFwd' -benchtime 1x ./internal/mat/
 	$(GO) test -run '^$$' -bench 'BenchmarkHistogramSplit|BenchmarkExactSplit' -benchtime 1x ./internal/gbt/
 	$(GO) test -run '^$$' -bench 'BenchmarkFitLegacy|BenchmarkFitFast' -benchtime 1x ./internal/detector/tranad/
 
@@ -137,6 +137,14 @@ scoreperf-smoke:
 	$(GO) test -run 'TestScorePaths|TestScoreLastRow|TestScoreInto|TestScoreWrapper|TestWarmStart|TestGrandScoreInto' \
 		./internal/detector/tranad/ ./internal/detector/regress/ ./internal/detector/grand/
 	$(GO) run ./cmd/navarchos-bench -experiment scoreperf -scale small -scoreperf-strict
+
+## scaling-smoke: the multi-core floor — at bench scale, shards=2
+## throughput must be at least shards=1 (the regression BENCH_2
+## recorded). Timing-sensitive and meaningless on a single-core host,
+## so it is opt-in via SCALING_SMOKE_GATE and skips itself (with the
+## logged insufficient_cpu reason) when the host has <2 usable CPUs.
+scaling-smoke:
+	SCALING_SMOKE_GATE=1 $(GO) test -run 'TestShardScalingSmoke' -timeout 20m -v ./internal/experiments/
 
 ## bench-json: one fleet-engine perf run at bench scale, with the
 ## fit-path, score-path, wire-ingest and vehicle-handoff exhibits

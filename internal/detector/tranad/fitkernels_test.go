@@ -71,6 +71,68 @@ func TestFastFitBitIdenticalToLegacy(t *testing.T) {
 	}
 }
 
+// TestFitTolEarlyStop pins the opt-in cold-fit training budget: a
+// loose FitTol must actually cut epochs (different weights than the
+// full run), the truncation must land exactly on an epoch boundary
+// (the stopped weights bit-match a full run with a smaller Epochs
+// budget — early stop is epoch truncation, nothing else), and the
+// stopped model must still score.
+func TestFitTolEarlyStop(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	ref := synthRef(rng, 120, 4)
+
+	flat := func(cfg Config) []float64 {
+		d := New(cfg)
+		if err := d.Fit(ref); err != nil {
+			t.Fatal(err)
+		}
+		var w []float64
+		for _, p := range d.params() {
+			w = append(w, p.W...)
+		}
+		return w
+	}
+	same := func(a, b []float64) bool {
+		for i := range a {
+			if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+				return false
+			}
+		}
+		return true
+	}
+
+	const epochs = 6
+	full := flat(Config{Epochs: epochs, Seed: 5})
+	stopped := flat(Config{Epochs: epochs, Seed: 5, FitTol: 0.9})
+
+	if same(full, stopped) {
+		t.Fatal("FitTol=0.9 did not stop early: weights identical to the full run")
+	}
+	boundary := -1
+	for e := 1; e < epochs; e++ {
+		if same(stopped, flat(Config{Epochs: e, Seed: 5})) {
+			boundary = e
+			break
+		}
+	}
+	if boundary < 0 {
+		t.Fatal("early-stopped weights match no truncated epoch budget: FitTol is not pure epoch truncation")
+	}
+	t.Logf("FitTol=0.9 stopped after %d of %d epochs", boundary, epochs)
+
+	d := New(Config{Epochs: 6, Seed: 5, FitTol: 0.9})
+	if err := d.Fit(ref); err != nil {
+		t.Fatal(err)
+	}
+	s, err := d.Score(ref[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(s[0]) || math.IsInf(s[0], 0) {
+		t.Fatalf("early-stopped model scored %v", s[0])
+	}
+}
+
 // TestMinibatchDeterministicAcrossWorkers checks the minibatch contract:
 // the trained weights depend on Batch but not on how many fitpool
 // workers computed the per-window gradients.

@@ -89,6 +89,16 @@ type Config struct {
 	// WarmTol is the relative epoch-over-epoch loss improvement under
 	// which a warm refit stops early (default 1e-3).
 	WarmTol float64
+	// FitTol is an opt-in early-stop budget for COLD full fits on the
+	// fast path: when positive, a cold fit stops after any epoch whose
+	// summed window loss improved on the previous epoch's by less than
+	// FitTol relative — the same rule warm refits apply via WarmTol.
+	// The default (0) runs every epoch, keeping cold fits bit-identical
+	// to the legacy trainer; equivalence gates must leave it unset.
+	// TranAD converges in few epochs by design, so a budget of ~1e-4
+	// typically saves the tail epochs of profile-sized fits unchanged
+	// in F-score.
+	FitTol float64
 }
 
 func (c *Config) defaults() {
@@ -295,7 +305,7 @@ func (d *Detector) Fit(ref [][]float64) error {
 			}
 		}
 	} else {
-		epochs, tol := d.cfg.Epochs, 0.0
+		epochs, tol := d.cfg.Epochs, d.cfg.FitTol
 		if warm {
 			epochs, tol = d.cfg.WarmEpochs, d.cfg.WarmTol
 		}

@@ -49,6 +49,53 @@ type PerfRun struct {
 	InsufficientCPU bool `json:"insufficient_cpu,omitempty"`
 }
 
+// ScalingPoint is one point of the published shard-scaling curve:
+// throughput at a shard count, normalised against the curve's
+// single-shard baseline.
+type ScalingPoint struct {
+	Shards        int     `json:"shards"`
+	RecordsPerSec float64 `json:"records_per_sec"`
+	// SpeedupVs1 is this point's throughput over the shards=1 point's.
+	SpeedupVs1 float64 `json:"speedup_vs_1"`
+	// Efficiency is SpeedupVs1/Shards — 1.0 is perfectly linear
+	// scaling, and "near-linear" means staying close to it.
+	Efficiency float64 `json:"efficiency"`
+	// InsufficientCPU marks points measured with more shards than host
+	// CPUs: published for the record, meaningless as scaling evidence.
+	InsufficientCPU bool `json:"insufficient_cpu,omitempty"`
+}
+
+// ScalingCurve is the named `perf` section of BENCH_<n>.json: the
+// 1..NumCPU shard-doubling curve in normalised form, so the headline
+// multi-core claim is a single machine-readable object instead of
+// something a reader reconstructs from raw runs.
+type ScalingCurve struct {
+	GoMaxProcs int            `json:"gomaxprocs"`
+	NumCPU     int            `json:"num_cpu"`
+	Repeats    int            `json:"repeats"`
+	Curve      []ScalingPoint `json:"curve"`
+	// NearLinear is true when every CPU-backed multi-shard point keeps
+	// at least nearLinearEfficiency of linear scaling. False when any
+	// point falls short — or when the host cannot evidence scaling at
+	// all (see InsufficientCPU).
+	NearLinear bool `json:"near_linear"`
+	// InsufficientCPU is true when the host has no CPU-backed
+	// multi-shard point (a 1-CPU container): the curve records only
+	// flagged oversubscribed points and proves nothing either way.
+	InsufficientCPU bool `json:"insufficient_cpu,omitempty"`
+}
+
+// nearLinearEfficiency is the efficiency floor (speedup/shards) a
+// CPU-backed point must hold for the curve to be called near-linear.
+const nearLinearEfficiency = 0.75
+
+// InsufficientCPU reports whether a run at the given shard count can
+// evidence multi-core scaling on this host — false when the host has
+// fewer CPUs than shards, in which case goroutines time-slice and the
+// measurement is published flagged. The scaling-smoke gate reuses this
+// to skip (with a logged reason) on hosts that cannot run the claim.
+func InsufficientCPU(shards int) bool { return shards > runtime.NumCPU() }
+
 // PerfResult is the machine-readable throughput/latency exhibit: the
 // complete solution (correlation × closest-pair) replayed through the
 // sharded engine at increasing shard counts.
@@ -61,6 +108,9 @@ type PerfResult struct {
 	Events   int       `json:"events"`
 	CPUs     int       `json:"cpus"`
 	Runs     []PerfRun `json:"runs"`
+	// Perf is the normalised shard-scaling curve derived from Runs —
+	// the section BENCH readers (and the scaling-smoke gate) consume.
+	Perf *ScalingCurve `json:"perf"`
 	// Grid, when present, is the grid-throughput exhibit (transform-once
 	// cache vs pre-cache reference) measured in the same invocation.
 	Grid *GridPerfResult `json:"grid,omitempty"`
@@ -216,10 +266,56 @@ func Perf(o *Options, shardCounts []int) (*PerfResult, error) {
 			MeanLatencyMicros: median * 1e6 / float64(len(f.Records)),
 			SamplesScored:     stats.SamplesScored,
 			Alarms:            stats.Alarms,
-			InsufficientCPU:   shards > runtime.NumCPU(),
+			InsufficientCPU:   InsufficientCPU(shards),
 		})
 	}
+	res.Perf = scalingCurve(res.Runs)
 	return res, nil
+}
+
+// scalingCurve normalises raw runs into the published `perf` section.
+// The baseline is the shards=1 run; without one (caller passed custom
+// shard counts) no curve is published.
+func scalingCurve(runs []PerfRun) *ScalingCurve {
+	var base float64
+	for _, r := range runs {
+		if r.Shards == 1 {
+			base = r.RecordsPerSec
+			break
+		}
+	}
+	if base <= 0 {
+		return nil
+	}
+	c := &ScalingCurve{
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Repeats:    perfRepeats,
+		NearLinear: true,
+	}
+	backed := 0
+	for _, r := range runs {
+		p := ScalingPoint{
+			Shards:          r.Shards,
+			RecordsPerSec:   r.RecordsPerSec,
+			SpeedupVs1:      r.RecordsPerSec / base,
+			InsufficientCPU: r.InsufficientCPU,
+		}
+		p.Efficiency = p.SpeedupVs1 / float64(r.Shards)
+		c.Curve = append(c.Curve, p)
+		if r.Shards > 1 && !r.InsufficientCPU {
+			backed++
+			if p.Efficiency < nearLinearEfficiency {
+				c.NearLinear = false
+			}
+		}
+	}
+	if backed == 0 {
+		// Nothing on the curve can evidence scaling either way.
+		c.NearLinear = false
+		c.InsufficientCPU = true
+	}
+	return c
 }
 
 // Render prints the perf exhibit as a text table.
@@ -236,5 +332,23 @@ func (r *PerfResult) Render(w io.Writer) {
 		fprintf(w, "%8d  %6d  %10.3f  %10.3f  %9.3f  %14.0f  %14.3f  %10d  %8d%s\n",
 			run.Shards, run.GoMaxProcs, run.Seconds, run.SecondsMin, run.SecondsStddev,
 			run.RecordsPerSec, run.MeanLatencyMicros, run.SamplesScored, run.Alarms, flag)
+	}
+	if c := r.Perf; c != nil {
+		fprintf(w, "Scaling curve (vs shards=1):")
+		for _, p := range c.Curve {
+			flag := ""
+			if p.InsufficientCPU {
+				flag = "*"
+			}
+			fprintf(w, "  %dx%.2f%s", p.Shards, p.SpeedupVs1, flag)
+		}
+		switch {
+		case c.InsufficientCPU:
+			fprintf(w, "  [host has %d CPU(s): no CPU-backed multi-shard point]\n", c.NumCPU)
+		case c.NearLinear:
+			fprintf(w, "  [near-linear: every CPU-backed point >= %.0f%% efficiency]\n", nearLinearEfficiency*100)
+		default:
+			fprintf(w, "  [NOT near-linear: some CPU-backed point < %.0f%% efficiency]\n", nearLinearEfficiency*100)
+		}
 	}
 }

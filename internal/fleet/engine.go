@@ -186,8 +186,18 @@ type barrier struct {
 // versa, which is one of the ways BENCH_2's shards=2 run managed to be
 // slower than shards=1.
 type shard struct {
+	// Read-only header, set once at construction: the shard's identity
+	// and its channels. free is the shard's batch free list — consumer→
+	// producer recycling that pairs each Put with a Get for the same
+	// shard, so recycled batches never migrate through sync.Pool's
+	// per-P caches (a producer on another P would miss there and
+	// allocate; the misses are what poolNew counts). Padded from the
+	// ingest band so producers hammering mu don't bounce the line the
+	// consumer re-reads these pointers from.
 	index int
 	in    chan []envelope
+	free  chan []envelope
+	_     [64]byte
 
 	// ingest band: touched by producer goroutines under mu.
 	mu      sync.Mutex
@@ -318,6 +328,7 @@ func newEngineStopped(cfg Config) (*Engine, error) {
 		e.shards[i] = &shard{
 			index:    i,
 			in:       make(chan []envelope, cfg.QueueDepth),
+			free:     make(chan []envelope, cfg.QueueDepth),
 			handlers: map[string]Handler{},
 			skip:     map[string]bool{},
 			busy:     map[string][]envelope{},
@@ -432,7 +443,7 @@ func (e *Engine) ingest(env envelope, vehicleID string) error {
 		}
 	}
 	if s.pending == nil {
-		s.pending = *(e.pool.Get().(*[]envelope))
+		s.pending = e.getBatch(s)
 	}
 	s.pending = append(s.pending, env)
 	if len(s.pending) >= e.cfg.BatchSize {
@@ -543,6 +554,32 @@ func (e *Engine) ingestBatch(records []timeseries.Record, events []obd.Event, bc
 	return err
 }
 
+// getBatch returns an empty batch for shard s: the shard's own free
+// list first, then the shared pool. The free list is the steady-state
+// path — every processed batch comes back through it — so the
+// sync.Pool (whose per-P caches a cross-P producer misses, and whose
+// victim cache each GC clears) only sees startup and overflow traffic.
+func (e *Engine) getBatch(s *shard) []envelope {
+	select {
+	case b := <-s.free:
+		return b
+	default:
+		return *(e.pool.Get().(*[]envelope))
+	}
+}
+
+// putBatch recycles a processed batch onto the shard's free list,
+// overflowing into the shared pool when producers are not taking
+// batches back fast enough (e.g. after a Replay finished).
+func (e *Engine) putBatch(s *shard, batch []envelope) {
+	batch = batch[:0]
+	select {
+	case s.free <- batch:
+	default:
+		e.pool.Put(&batch)
+	}
+}
+
 // envID returns the vehicle an envelope belongs to.
 func envID(env *envelope) string {
 	if env.isEvent {
@@ -580,7 +617,7 @@ func (e *Engine) enqueueStaged(s *shard, staged []envelope, refusal *VehicleUnav
 	}
 	for len(staged) > 0 {
 		if s.pending == nil {
-			s.pending = *(e.pool.Get().(*[]envelope))
+			s.pending = e.getBatch(s)
 		}
 		free := e.cfg.BatchSize - len(s.pending)
 		if free > len(staged) {
@@ -636,22 +673,34 @@ func (e *Engine) Replay(records []timeseries.Record, events []obd.Event) error {
 	for i := range caps {
 		caps[i] = e.cfg.BatchSize
 	}
+	// The growth ceiling is bounded on both axes: never more than 16
+	// batches' worth of envelopes in one send, and never more than a
+	// quarter of the queue's total envelope capacity — so an adapted
+	// producer still leaves the consumer a queue of several batches to
+	// drain opportunistically, instead of one giant batch that
+	// serialises the pipeline behind a single channel handoff.
 	maxCap := e.cfg.BatchSize * 16
+	if lim := e.cfg.BatchSize * e.cfg.QueueDepth / 4; lim > e.cfg.BatchSize && maxCap > lim {
+		maxCap = lim
+	}
 	push := func(env envelope, vehicleID string) error {
 		s := e.shardFor(vehicleID)
 		i := s.index
 		if local[i] == nil {
-			local[i] = *(e.pool.Get().(*[]envelope))
+			local[i] = e.getBatch(s)
 		}
 		local[i] = append(local[i], env)
 		if len(local[i]) >= caps[i] {
 			s.in <- local[i]
 			local[i] = nil
 			if q := len(s.in); q > e.cfg.QueueDepth/4 {
-				if caps[i] < maxCap {
-					caps[i] *= 2
+				if c := caps[i] * 2; c <= maxCap {
+					caps[i] = c
 				}
-			} else if q == 0 && caps[i] > e.cfg.BatchSize {
+			} else if q <= 1 && caps[i] > e.cfg.BatchSize {
+				// Near-empty, not just empty: a queue hovering at one
+				// batch is already consumer-bound enough that a big
+				// batch only adds producer-side latency.
 				caps[i] /= 2
 			}
 		}
@@ -895,8 +944,7 @@ func (e *Engine) runBatch(s *shard, batch []envelope) {
 	if e.batchH != nil && !sawBarrier {
 		e.batchH.Observe(time.Since(batchStart).Seconds())
 	}
-	batch = batch[:0]
-	e.pool.Put(&batch)
+	e.putBatch(s, batch)
 }
 
 // processEnv routes one envelope: parked when its vehicle has a fit in

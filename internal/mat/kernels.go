@@ -209,6 +209,67 @@ func LinFwd(x, b, w, out []float64) {
 	}
 }
 
+// DistLanes is the point count of one packed distance block: the
+// granule at which SquaredDistances8 processes a point set. Consumers
+// (the neighbour indexes) pack points dim-major in groups of DistLanes
+// and scan the remainder scalar.
+const DistLanes = 8
+
+// SquaredDistances8 computes the squared Euclidean distances from q to
+// the DistLanes points of one packed block: out[p] = Σ_j (q[j]-P_p[j])²
+// where element j of point p lives at block[j*DistLanes+p] (dim-major
+// packing). Every lane accumulates its own point's sum in j-order with
+// separate subtract/multiply/add — the exact SquaredEuclidean scalar
+// sequence — so each distance is bit-identical to a per-point scalar
+// call at every dispatch level. The kernel vectorises across points
+// instead of within one, which is the only way to give an
+// unreassociable in-order reduction SIMD throughput. len(q) may be 0
+// (all distances are 0). Panics on length mismatch.
+func SquaredDistances8(q, block, out []float64) {
+	dim := len(q)
+	if len(block) != dim*DistLanes || len(out) != DistLanes {
+		panic(fmt.Sprintf("mat: SquaredDistances8: len(q)=%d len(block)=%d len(out)=%d",
+			dim, len(block), len(out)))
+	}
+	if hasAVX {
+		distPackAVX(q, block, out)
+		return
+	}
+	for p := range out {
+		out[p] = 0
+	}
+	for j := 0; j < dim; j++ {
+		qj := q[j]
+		row := block[j*DistLanes : j*DistLanes+DistLanes]
+		for p, bv := range row {
+			d := qj - bv
+			out[p] += d * d
+		}
+	}
+}
+
+// NormRow computes one layer-norm output row,
+// out[j] = ((x[j]-m)*inv)*gain[j] + bias[j], with exactly the scalar
+// operation sequence per element (separate subtract and multiplies,
+// never an FMA), so SIMD and scalar dispatch produce identical bits.
+// Panics on length mismatch.
+func NormRow(x, gain, bias, out []float64, m, inv float64) {
+	n := len(x)
+	if len(gain) != n || len(bias) != n || len(out) != n {
+		panic(fmt.Sprintf("mat: NormRow: len(x)=%d len(gain)=%d len(bias)=%d len(out)=%d",
+			n, len(gain), len(bias), len(out)))
+	}
+	i := 0
+	if hasAVX && n >= 4 {
+		k := n &^ 3
+		normRowAVX(x[:k], gain[:k], bias[:k], out[:k], m, inv)
+		i = k
+	}
+	for ; i < n; i++ {
+		out[i] = (x[i]-m)*inv*gain[i] + bias[i]
+	}
+}
+
 // SIMDMode reports which vector kernel classes the running CPU enables
 // ("avx+fma", "avx" or "scalar"). Recorded in benchmark metadata so
 // perf numbers are interpretable across machines.

@@ -5,12 +5,16 @@ package mat
 // The assembly kernels in simd_amd64.s come in two bit-exactness
 // classes, mirroring the package's determinism contract:
 //
-//   - axpyAVX and adamAVX are elementwise: each output element is
-//     produced by exactly the scalar sequence of IEEE-754 operations
+//   - axpyAVX, adamAVX, normRowAVX and distPackAVX are elementwise (or
+//     per-lane in-order, for the distance kernel): each output element
+//     is produced by exactly the scalar sequence of IEEE-754 operations
 //     (separate multiply and add — never a fused multiply-add), just on
-//     four lanes at a time. Their results are bit-identical to the pure
-//     Go loops, so AddScaled and AdamStep stay inside the bit-exact
-//     contract even when vectorised.
+//     four lanes at a time. distPackAVX vectorises ACROSS points — one
+//     lane per point, each lane's reduction running in element order —
+//     which is how a sum that may not be reassociated still gets SIMD
+//     throughput. Their results are bit-identical to the pure Go loops,
+//     so AddScaled, AdamStep, NormRow and SquaredDistances8 stay inside
+//     the bit-exact contract even when vectorised.
 //   - dotFMA keeps four vector accumulators and uses VFMADD231PD, so it
 //     reassociates and changes rounding. It only ever backs
 //     DotUnrolled4, which already documents reassociation.
@@ -44,8 +48,26 @@ func linBwdFMA(x, g, w, wg, dx []float64)
 
 // linFwdAVX computes out = b + x·W in one call, bit-identical to the
 // scalar loop (including its zero-input skip). len(out) must be a
-// positive multiple of 8.
+// positive multiple of 8. The output is strip-mined through YMM
+// accumulators, so the k loop performs no out-row loads or stores.
 func linFwdAVX(x, b, w, out []float64)
+
+// distPackAVX computes the 8 squared Euclidean distances from q to one
+// dim-major packed block. Per lane the accumulation runs in j-order
+// with separate sub/mul/add, so each lane is bit-identical to a scalar
+// SquaredEuclidean. len(block) = len(q)*8, len(out) = 8; len(q) may be
+// 0 (out is zeroed). noescape: callers pass stack scratch from the
+// query hot paths, which must stay alloc-free.
+//
+//go:noescape
+func distPackAVX(q, block, out []float64)
+
+// normRowAVX computes out[j] = ((x[j]-m)*inv)*gain[j] + bias[j] with
+// the exact scalar operation sequence per lane (bit-identical). len(x)
+// must be a positive multiple of 4; the caller handles tails.
+//
+//go:noescape
+func normRowAVX(x, gain, bias, out []float64, m, inv float64)
 
 var (
 	hasAVX bool // VMULPD/VADDPD/VDIVPD/VSQRTPD kernels usable

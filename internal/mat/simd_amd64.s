@@ -187,6 +187,13 @@ lbj:
 // zero skip; NaN x[k] is processed, as in the scalar path). Elementwise
 // multiply-then-add lanes only, so the result is bit-identical to the
 // scalar loop. len(out) = len(b) a positive multiple of 8.
+//
+// The output is strip-mined 8 columns at a time with the strip held in
+// two YMM accumulators across the whole k loop, so the inner iteration
+// is broadcast + two W loads + mul + add — no out-row load/store per k
+// the way a column-sweeping axpy pays. Column strips are independent,
+// and within a strip each element accumulates in k-order, so the bits
+// are unchanged.
 // func linFwdAVX(x, b, w, out []float64)
 TEXT ·linFwdAVX(SB), NOSPLIT, $0-96
 	MOVQ x_base+0(FP), R9
@@ -196,18 +203,15 @@ TEXT ·linFwdAVX(SB), NOSPLIT, $0-96
 	MOVQ out_base+72(FP), DX
 	MOVQ out_len+80(FP), CX // out width
 
-	XORQ AX, AX
-fwdcopy:
-	VMOVUPD (BX)(AX*8), Y1
-	VMOVUPD 32(BX)(AX*8), Y2
-	VMOVUPD Y1, (DX)(AX*8)
-	VMOVUPD Y2, 32(DX)(AX*8)
-	ADDQ $8, AX
-	CMPQ AX, CX
-	JL   fwdcopy
-
 	VXORPD X3, X3, X3
-	XORQ R11, R11           // k
+	XORQ R12, R12           // column strip offset (elements)
+fwdstrip:
+	VMOVUPD (BX)(R12*8), Y4   // acc = bias strip
+	VMOVUPD 32(BX)(R12*8), Y5
+	LEAQ (DI)(R12*8), R13     // &w[0*width + strip]
+	XORQ R11, R11             // k
+	TESTQ R10, R10
+	JZ   fwdstore
 fwdk:
 	VMOVSD (R9)(R11*8), X0
 	VUCOMISD X3, X0
@@ -215,23 +219,87 @@ fwdk:
 	JE   fwdskip            // exact zero → skip row k of W
 fwddo:
 	VBROADCASTSD (R9)(R11*8), Y0
-	XORQ AX, AX
-fwdj:
-	VMOVUPD (DI)(AX*8), Y1
-	VMOVUPD 32(DI)(AX*8), Y2
+	VMOVUPD (R13), Y1
+	VMOVUPD 32(R13), Y2
 	VMULPD  Y0, Y1, Y1
 	VMULPD  Y0, Y2, Y2
-	VADDPD  (DX)(AX*8), Y1, Y1
-	VADDPD  32(DX)(AX*8), Y2, Y2
-	VMOVUPD Y1, (DX)(AX*8)
-	VMOVUPD Y2, 32(DX)(AX*8)
-	ADDQ $8, AX
-	CMPQ AX, CX
-	JL   fwdj
+	VADDPD  Y1, Y4, Y4
+	VADDPD  Y2, Y5, Y5
 fwdskip:
-	LEAQ (DI)(CX*8), DI
+	LEAQ (R13)(CX*8), R13   // next W row, same column strip
 	INCQ R11
 	CMPQ R11, R10
 	JL   fwdk
+fwdstore:
+	VMOVUPD Y4, (DX)(R12*8)
+	VMOVUPD Y5, 32(DX)(R12*8)
+	ADDQ $8, R12
+	CMPQ R12, CX
+	JL   fwdstrip
+	VZEROUPPER
+	RET
+
+// Squared Euclidean distances from q to the 8 points of one dim-major
+// packed block: out[p] = Σ_j (q[j]-block[j*8+p])², accumulated in
+// j-order per lane with separate subtract/multiply/add (no FMA), so
+// every lane produces exactly the bits of a scalar SquaredEuclidean
+// over that point. len(q) = dim (0 allowed: out is zeroed),
+// len(block) = dim*8, len(out) = 8.
+// func distPackAVX(q, block, out []float64)
+TEXT ·distPackAVX(SB), NOSPLIT, $0-72
+	MOVQ q_base+0(FP), SI
+	MOVQ q_len+8(FP), CX    // dim
+	MOVQ block_base+24(FP), DI
+	MOVQ out_base+48(FP), DX
+	VXORPD Y4, Y4, Y4       // acc lanes 0..3
+	VXORPD Y5, Y5, Y5       // acc lanes 4..7
+	XORQ AX, AX             // j
+	TESTQ CX, CX
+	JZ   dpdone
+dploop:
+	VBROADCASTSD (SI)(AX*8), Y0
+	VMOVUPD (DI), Y1
+	VMOVUPD 32(DI), Y2
+	VSUBPD  Y1, Y0, Y1      // q[j] - p[j], lanes 0..3
+	VSUBPD  Y2, Y0, Y2      // lanes 4..7
+	VMULPD  Y1, Y1, Y1
+	VMULPD  Y2, Y2, Y2
+	VADDPD  Y1, Y4, Y4
+	VADDPD  Y2, Y5, Y5
+	ADDQ $64, DI
+	INCQ AX
+	CMPQ AX, CX
+	JL   dploop
+dpdone:
+	VMOVUPD Y4, (DX)
+	VMOVUPD Y5, 32(DX)
+	VZEROUPPER
+	RET
+
+// One layer-norm output row: out[j] = ((x[j]-m)*inv)*gain[j] + bias[j]
+// — the exact scalar operation sequence (separate subtract and two
+// multiplies, never an FMA), four lanes at a time, so the result is
+// bit-identical to the Go loop. len(x) a positive multiple of 4; the
+// caller handles tails.
+// func normRowAVX(x, gain, bias, out []float64, m, inv float64)
+TEXT ·normRowAVX(SB), NOSPLIT, $0-112
+	MOVQ x_base+0(FP), SI
+	MOVQ x_len+8(FP), CX
+	MOVQ gain_base+24(FP), R8
+	MOVQ bias_base+48(FP), R9
+	MOVQ out_base+72(FP), DX
+	VBROADCASTSD m+96(FP), Y8
+	VBROADCASTSD inv+104(FP), Y9
+	XORQ AX, AX
+nrloop:
+	VMOVUPD (SI)(AX*8), Y0
+	VSUBPD  Y8, Y0, Y0            // x - m
+	VMULPD  Y9, Y0, Y0            // * inv
+	VMULPD  (R8)(AX*8), Y0, Y0    // * gain
+	VADDPD  (R9)(AX*8), Y0, Y0    // + bias
+	VMOVUPD Y0, (DX)(AX*8)
+	ADDQ $4, AX
+	CMPQ AX, CX
+	JL   nrloop
 	VZEROUPPER
 	RET

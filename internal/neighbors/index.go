@@ -32,9 +32,17 @@ var ErrNoData = errors.New("neighbors: empty point set")
 
 // BruteIndex is the exact O(n) linear-scan index. For the reference
 // profile sizes in this library (hundreds to a few thousand points) it
-// is often faster than the tree thanks to its simplicity.
+// is often faster than the tree thanks to its simplicity. When the
+// point set is dimensionally uniform (the only case the detectors
+// produce) the build packs it dim-major in 8-point blocks so the scan
+// runs through the SIMD distance kernel; the per-point sums are
+// bit-identical to scalar SquaredEuclidean and points are offered in
+// index order either way, so results match the scalar scan exactly.
 type BruteIndex struct {
-	data [][]float64
+	data    [][]float64
+	packed  []float64 // dim-major 8-lane blocks; nil for ragged data
+	nblocks int
+	dim     int // -1 when ragged → per-point scalar scan
 }
 
 // NewBrute builds a brute-force index over data (which is retained, not
@@ -43,7 +51,23 @@ func NewBrute(data [][]float64) (*BruteIndex, error) {
 	if len(data) == 0 {
 		return nil, ErrNoData
 	}
-	return &BruteIndex{data: data}, nil
+	b := &BruteIndex{data: data, dim: len(data[0])}
+	for _, p := range data {
+		if len(p) != b.dim {
+			b.dim = -1 // ragged: keep the legacy skip-on-mismatch scan
+			return b, nil
+		}
+	}
+	b.nblocks = len(data) / mat.DistLanes
+	b.packed = make([]float64, 0, b.nblocks*b.dim*mat.DistLanes)
+	for blk := 0; blk < b.nblocks; blk++ {
+		for j := 0; j < b.dim; j++ {
+			for p := 0; p < mat.DistLanes; p++ {
+				b.packed = append(b.packed, data[blk*mat.DistLanes+p][j])
+			}
+		}
+	}
+	return b, nil
 }
 
 // Len implements Index.
@@ -67,11 +91,29 @@ func (b *BruteIndex) KNN(q []float64, k int) ([]int, []float64) {
 
 // searchInto implements heapSearcher.
 func (b *BruteIndex) searchInto(q []float64, h *maxHeap) {
-	for i, p := range b.data {
-		d, err := mat.SquaredEuclidean(q, p)
-		if err != nil {
-			continue
+	if b.dim < 0 || len(q) != b.dim {
+		// Ragged data, or a query of the wrong width: the legacy scan
+		// offered exactly the points whose dimension matched q.
+		for i, p := range b.data {
+			d, err := mat.SquaredEuclidean(q, p)
+			if err != nil {
+				continue
+			}
+			h.offer(i, d)
 		}
+		return
+	}
+	var dist [mat.DistLanes]float64
+	blk := b.dim * mat.DistLanes
+	for bi := 0; bi < b.nblocks; bi++ {
+		mat.SquaredDistances8(q, b.packed[bi*blk:(bi+1)*blk], dist[:])
+		base := bi * mat.DistLanes
+		for p, d := range dist {
+			h.offer(base+p, d)
+		}
+	}
+	for i := b.nblocks * mat.DistLanes; i < len(b.data); i++ {
+		d, _ := mat.SquaredEuclidean(q, b.data[i])
 		h.offer(i, d)
 	}
 }

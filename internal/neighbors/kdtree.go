@@ -2,22 +2,47 @@ package neighbors
 
 import (
 	"sort"
+
+	"github.com/navarchos/pdm/internal/mat"
 )
 
+// kdLeafSize is the bucket capacity at which splitting stops. Leaves
+// are scanned with the packed 8-lane distance kernel, so a bucket of a
+// couple of blocks amortises the per-node branch-and-bound bookkeeping
+// without giving up much pruning.
+const kdLeafSize = 16
+
 // KDTree is a balanced k-d tree over a fixed point set, built by median
-// splits on the axis of greatest spread. Exact k-NN via bounded
-// branch-and-bound search.
+// splits on the axis of greatest spread down to bucketed leaves. Exact
+// k-NN via bounded branch-and-bound search; leaf buckets are scanned
+// with the packed SIMD distance kernel, whose per-point sums are
+// bit-identical to scalar SquaredEuclidean, so tree queries report
+// exactly the distances a brute scan would.
 type KDTree struct {
-	data  [][]float64
-	nodes []kdNode
-	root  int
-	dim   int
+	data   [][]float64
+	nodes  []kdNode
+	leaves []kdLeaf
+	packed []float64 // dim-major 8-lane blocks of every leaf, contiguous
+	root   int
+	dim    int
 }
 
+// kdNode is an internal splitting node. Children are encoded as node
+// references: ref >= 0 is an index into nodes, ref < 0 addresses leaf
+// -(ref+1).
 type kdNode struct {
-	point       int // index into data
+	split       float64
 	axis        int
-	left, right int // node indices; -1 = leaf edge
+	left, right int
+}
+
+// kdLeaf is a bucket of points: the first nblocks*mat.DistLanes ids are
+// packed dim-major at packed[off:] for the block kernel, the remainder
+// is scanned scalar.
+type kdLeaf struct {
+	ids     []int
+	off     int
+	nblocks int
 }
 
 // NewKDTree builds a tree over data (retained, not copied). All points
@@ -31,8 +56,8 @@ func NewKDTree(data [][]float64) (*KDTree, error) {
 	for i := range idx {
 		idx[i] = i
 	}
-	t.nodes = make([]kdNode, 0, len(data))
-	t.root = t.build(idx, 0)
+	t.nodes = make([]kdNode, 0, len(data)/kdLeafSize+1)
+	t.root = t.build(idx)
 	return t, nil
 }
 
@@ -42,24 +67,43 @@ func (t *KDTree) Len() int { return len(t.data) }
 // Point implements Index.
 func (t *KDTree) Point(i int) []float64 { return t.data[i] }
 
-// build recursively constructs the subtree over idx and returns its node
-// index, or -1 for an empty set.
-func (t *KDTree) build(idx []int, depth int) int {
-	if len(idx) == 0 {
-		return -1
+// build recursively constructs the subtree over idx and returns its
+// node reference.
+func (t *KDTree) build(idx []int) int {
+	if len(idx) <= kdLeafSize {
+		return t.makeLeaf(idx)
 	}
 	axis := t.bestAxis(idx)
 	sort.Slice(idx, func(a, b int) bool { return t.data[idx[a]][axis] < t.data[idx[b]][axis] })
 	mid := len(idx) / 2
+	split := t.data[idx[mid]][axis]
 	nodeIdx := len(t.nodes)
-	t.nodes = append(t.nodes, kdNode{point: idx[mid], axis: axis, left: -1, right: -1})
+	t.nodes = append(t.nodes, kdNode{axis: axis, split: split})
 	// Children are built after the parent is appended so the slice index
-	// stays stable.
-	left := t.build(idx[:mid], depth+1)
-	right := t.build(idx[mid+1:], depth+1)
+	// stays stable. Points left of mid have axis values <= split, the
+	// rest >= split, which is exactly what the pruning bound needs.
+	left := t.build(idx[:mid])
+	right := t.build(idx[mid:])
 	t.nodes[nodeIdx].left = left
 	t.nodes[nodeIdx].right = right
 	return nodeIdx
+}
+
+// makeLeaf buckets idx into a leaf, packing the full 8-point blocks
+// dim-major for the SIMD scan, and returns the leaf's node reference.
+func (t *KDTree) makeLeaf(idx []int) int {
+	ids := append([]int(nil), idx...)
+	nblocks := len(ids) / mat.DistLanes
+	off := len(t.packed)
+	for b := 0; b < nblocks; b++ {
+		for j := 0; j < t.dim; j++ {
+			for p := 0; p < mat.DistLanes; p++ {
+				t.packed = append(t.packed, t.data[ids[b*mat.DistLanes+p]][j])
+			}
+		}
+	}
+	t.leaves = append(t.leaves, kdLeaf{ids: ids, off: off, nblocks: nblocks})
+	return -len(t.leaves)
 }
 
 // bestAxis picks the coordinate with the widest range over idx.
@@ -105,28 +149,46 @@ func (t *KDTree) searchInto(q []float64, h *maxHeap) {
 	t.search(t.root, q, h)
 }
 
-func (t *KDTree) search(node int, q []float64, h *maxHeap) {
-	if node < 0 {
+func (t *KDTree) search(ref int, q []float64, h *maxHeap) {
+	if ref < 0 {
+		t.scanLeaf(&t.leaves[-ref-1], q, h)
 		return
 	}
-	n := &t.nodes[node]
-	p := t.data[n.point]
-	var d float64
-	for i := range q {
-		diff := q[i] - p[i]
-		d += diff * diff
-	}
-	h.offer(n.point, d)
-
-	diff := q[n.axis] - p[n.axis]
+	n := &t.nodes[ref]
+	diff := q[n.axis] - n.split
 	near, far := n.left, n.right
 	if diff > 0 {
-		near, far = n.right, n.left
+		near, far = far, near
 	}
 	t.search(near, q, h)
 	// Prune the far side unless the splitting plane is closer than the
 	// current k-th best.
 	if !h.full() || diff*diff < h.worst() {
 		t.search(far, q, h)
+	}
+}
+
+// scanLeaf offers every point of the bucket: packed blocks through the
+// 8-lane kernel, the tail through the scalar loop. Both accumulate each
+// point's sum in element order, so the offered distances are
+// bit-identical to a per-point SquaredEuclidean.
+func (t *KDTree) scanLeaf(lf *kdLeaf, q []float64, h *maxHeap) {
+	var dist [mat.DistLanes]float64
+	blk := t.dim * mat.DistLanes
+	for b := 0; b < lf.nblocks; b++ {
+		mat.SquaredDistances8(q, t.packed[lf.off+b*blk:lf.off+(b+1)*blk], dist[:])
+		base := b * mat.DistLanes
+		for p, d := range dist {
+			h.offer(lf.ids[base+p], d)
+		}
+	}
+	for _, id := range lf.ids[lf.nblocks*mat.DistLanes:] {
+		p := t.data[id]
+		var d float64
+		for i := range q {
+			df := q[i] - p[i]
+			d += df * df
+		}
+		h.offer(id, d)
 	}
 }

@@ -1,0 +1,161 @@
+package neighbors
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/navarchos/pdm/internal/mat"
+)
+
+// The packed-scan indexes sit under the grand detector's conformal
+// gates, so "matches within 1e-9" is not enough here: the distances a
+// packed scan offers must be Float64bits-identical to the scalar scan
+// it replaced, at every point count across the 8-lane block
+// boundaries.
+
+// scalarReference replays the legacy searchInto: a scalar
+// SquaredEuclidean per point, offered in index order.
+func scalarReference(data [][]float64, q []float64, k int) ([]int, []float64) {
+	h := newMaxHeap(k)
+	for i, p := range data {
+		d, err := mat.SquaredEuclidean(q, p)
+		if err != nil {
+			continue
+		}
+		h.offer(i, d)
+	}
+	return h.sorted()
+}
+
+// TestBrutePackedBitIdentical drives the packed brute scan against the
+// scalar reference at point counts spanning block boundaries (below
+// one block, exact blocks, unaligned tails), asserting identical
+// neighbour ids and bit-identical distances.
+func TestBrutePackedBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	for _, n := range []int{1, 2, 7, 8, 9, 15, 16, 17, 63, 64, 65, 200} {
+		for _, dim := range []int{1, 3, 8, 45} {
+			data := make([][]float64, n)
+			for i := range data {
+				p := make([]float64, dim)
+				for j := range p {
+					p[j] = rng.NormFloat64() * 5
+				}
+				data[i] = p
+			}
+			b, err := NewBrute(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			q := make([]float64, dim)
+			for j := range q {
+				q[j] = rng.NormFloat64() * 5
+			}
+			k := 1 + rng.Intn(10)
+			gotIdx, gotDist := b.KNN(q, k)
+			wantIdx, wantDist := scalarReference(data, q, k)
+			if len(gotIdx) != len(wantIdx) {
+				t.Fatalf("n=%d dim=%d k=%d: result sizes differ", n, dim, k)
+			}
+			for i := range gotIdx {
+				if gotIdx[i] != wantIdx[i] {
+					t.Fatalf("n=%d dim=%d k=%d: id %d: got %d want %d (simd=%s)",
+						n, dim, k, i, gotIdx[i], wantIdx[i], mat.SIMDMode())
+				}
+				if math.Float64bits(gotDist[i]) != math.Float64bits(wantDist[i]) {
+					t.Fatalf("n=%d dim=%d k=%d: dist %d: got %x want %x (simd=%s)",
+						n, dim, k, i, math.Float64bits(gotDist[i]), math.Float64bits(wantDist[i]), mat.SIMDMode())
+				}
+			}
+		}
+	}
+}
+
+// TestKDTreeLeafScanBitIdentical pins the bucketed tree's distances to
+// the scalar reference, bit for bit, at sizes around the leaf capacity
+// (single leaf, first split, many leaves with packed blocks and
+// tails). Continuous random data has no exact distance ties, so the
+// neighbour identities must agree too.
+func TestKDTreeLeafScanBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for _, n := range []int{1, kdLeafSize - 1, kdLeafSize, kdLeafSize + 1, 100, 300, 700} {
+		dim := 1 + rng.Intn(12)
+		data := make([][]float64, n)
+		for i := range data {
+			p := make([]float64, dim)
+			for j := range p {
+				p[j] = rng.NormFloat64() * 5
+			}
+			data[i] = p
+		}
+		tree, err := NewKDTree(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 20; trial++ {
+			q := make([]float64, dim)
+			for j := range q {
+				q[j] = rng.NormFloat64() * 5
+			}
+			k := 1 + rng.Intn(10)
+			gotIdx, gotDist := tree.KNN(q, k)
+			wantIdx, wantDist := scalarReference(data, q, k)
+			if len(gotIdx) != len(wantIdx) {
+				t.Fatalf("n=%d dim=%d k=%d: result sizes differ", n, dim, k)
+			}
+			for i := range gotIdx {
+				if gotIdx[i] != wantIdx[i] {
+					t.Fatalf("n=%d dim=%d k=%d: id %d: got %d want %d", n, dim, k, i, gotIdx[i], wantIdx[i])
+				}
+				if math.Float64bits(gotDist[i]) != math.Float64bits(wantDist[i]) {
+					t.Fatalf("n=%d dim=%d k=%d: dist %d: got %x want %x (simd=%s)",
+						n, dim, k, i, math.Float64bits(gotDist[i]), math.Float64bits(wantDist[i]), mat.SIMDMode())
+				}
+			}
+		}
+	}
+}
+
+// TestBruteRaggedFallback keeps the legacy contract for dimensionally
+// ragged point sets: points whose width does not match the query are
+// skipped, the rest are offered normally.
+func TestBruteRaggedFallback(t *testing.T) {
+	data := [][]float64{{0, 0}, {1, 2, 3}, {3, 4}, {9}}
+	b, err := NewBrute(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, dist := b.KNN([]float64{0, 0}, 4)
+	if len(idx) != 2 || idx[0] != 0 || idx[1] != 2 {
+		t.Fatalf("ragged KNN ids = %v, want [0 2]", idx)
+	}
+	if dist[0] != 0 || dist[1] != 5 {
+		t.Fatalf("ragged KNN dists = %v, want [0 5]", dist)
+	}
+	// A query matching the other width sees exactly those points.
+	idx, _ = b.KNN([]float64{1, 2, 3}, 4)
+	if len(idx) != 1 || idx[0] != 1 {
+		t.Fatalf("ragged KNN (dim 3) ids = %v, want [1]", idx)
+	}
+}
+
+// TestBruteSearchIntoZeroAlloc pins the packed scan's scratch to the
+// stack: a warm Query over the block-scanned brute index must not
+// allocate (the kd variant is covered by TestQueryMeanDistanceZeroAlloc).
+func TestBruteSearchIntoZeroAlloc(t *testing.T) {
+	pts := randomPoints(100, 8, 19)
+	b, err := NewBrute(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := pts[0]
+	var q Query
+	q.MeanDistance(b, x, 10)
+	allocs := testing.AllocsPerRun(200, func() {
+		q.MeanDistance(b, x, 10)
+	})
+	if allocs != 0 {
+		t.Errorf("packed brute MeanDistance allocated %.1f per run, want 0", allocs)
+	}
+}

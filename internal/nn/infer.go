@@ -35,8 +35,11 @@ func (l *Linear) ApplyRow(x, out []float64) {
 
 // ApplyRow normalises one row with the layer's gain and bias:
 // out = xhat·gain + bias with xhat = (x - mean) / sqrt(var + eps). The
-// reductions run in the fast Forward path's fused two-pass order, so the
-// bits match a full Forward of the same row.
+// reductions run in the fast Forward path's fused two-pass order (they
+// are in-order sums and must stay scalar), and the elementwise
+// normalise runs through mat.NormRow, whose SIMD dispatch replays the
+// scalar operation sequence per lane — so the bits match a full
+// Forward of the same row at every dispatch level.
 func (l *LayerNorm) ApplyRow(x, out []float64) {
 	var m float64
 	for _, xv := range x {
@@ -50,9 +53,7 @@ func (l *LayerNorm) ApplyRow(x, out []float64) {
 	}
 	v := ss / float64(len(x))
 	inv := 1 / math.Sqrt(v+l.Eps)
-	for j, xv := range x {
-		out[j] = (xv-m)*inv*l.gain.W[j] + l.bias.W[j]
-	}
+	mat.NormRow(x, l.gain.W, l.bias.W, out, m, inv)
 }
 
 // RowAt returns position pos of the sinusoidal table at width cols,
